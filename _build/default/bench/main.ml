@@ -1,0 +1,100 @@
+(** The benchmark harness: regenerates every table and figure of the
+    paper's evaluation (§8) and runs Bechamel micro-benchmarks — one
+    [Test.make] per experiment — timing a representative query for each.
+
+    Run with: [dune exec bench/main.exe]
+    Pass [--skip-ablations] to produce only Table 1 and Figures 9–10;
+    pass [--skip-bechamel] to skip the micro-benchmark pass. *)
+
+module Experiments = Stagg_report.Experiments
+
+let representative name =
+  match Stagg_benchsuite.Suite.find name with
+  | Some b -> b
+  | None -> failwith ("missing benchmark " ^ name)
+
+(* ---- Bechamel micro-benchmarks: one per table/figure ---- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let gemv = representative "art_gemv" in
+  let run_method m () = ignore (Stagg.Pipeline.run m gemv) in
+  let staged f = Staged.stage f in
+  [
+    (* Table 1 / Fig 9 / Fig 10: the head-to-head methods *)
+    Test.make ~name:"table1/fig9/fig10 STAGG_TD" (staged (run_method Stagg.Method_.stagg_td));
+    Test.make ~name:"table1/fig9/fig10 STAGG_BU" (staged (run_method Stagg.Method_.stagg_bu));
+    Test.make ~name:"table1 LLM-only"
+      (staged (fun () -> ignore (Stagg_baselines.Llm_only.run ~seed:1 gemv)));
+    Test.make ~name:"table1 C2TACO"
+      (staged (fun () -> ignore (Stagg_baselines.C2taco.run ~seed:1 ~heuristics:true gemv)));
+    Test.make ~name:"table1 Tenspiler"
+      (staged (fun () -> ignore (Stagg_baselines.Tenspiler.run ~seed:1 gemv)));
+    (* Table 2: the penalty machinery *)
+    Test.make ~name:"table2 STAGG_TD.Drop(A)"
+      (staged (run_method (Stagg.Method_.drop_all_penalties Stagg.Method_.stagg_td "A")));
+    (* Table 3 / Figs 11-12: grammar configurations *)
+    Test.make ~name:"table3/fig11 TD.EqualProbability"
+      (staged (run_method Stagg.Method_.td_equal_probability));
+    Test.make ~name:"table3/fig11 TD.LLMGrammar" (staged (run_method Stagg.Method_.td_llm_grammar));
+    Test.make ~name:"table3/fig12 TD.FullGrammar"
+      (staged (run_method Stagg.Method_.td_full_grammar));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "== Bechamel micro-benchmarks (one per experiment; gemv query) ==";
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          match
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              Instance.monotonic_clock raw
+          with
+          | ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.printf "  %-44s %14.0f ns/run\n%!" name est
+              | _ -> Printf.printf "  %-44s (no estimate)\n%!" name)
+          | exception _ -> Printf.printf "  %-44s (analysis failed)\n%!" name)
+        results)
+    (bechamel_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let skip_ablations = List.mem "--skip-ablations" args in
+  let skip_bechamel = List.mem "--skip-bechamel" args in
+  let progress msg = Printf.eprintf "[bench] %s\n%!" msg in
+  let t0 = Unix.gettimeofday () in
+  let runs =
+    if skip_ablations then Experiments.run_core ~progress ()
+    else Experiments.run_all ~progress ()
+  in
+  Printf.printf "Guided Tensor Lifting — experiment harness (suite of %d queries, seed %d)\n\n"
+    (List.length Stagg_benchsuite.Suite.all)
+    runs.seed;
+  print_string (Experiments.table1 runs);
+  print_newline ();
+  print_string (Experiments.fig9 runs);
+  print_newline ();
+  print_string (Experiments.fig10 runs);
+  print_newline ();
+  if not skip_ablations then begin
+    print_string (Experiments.table2 runs);
+    print_newline ();
+    print_string (Experiments.table3 runs);
+    print_newline ();
+    print_string (Experiments.fig11 runs);
+    print_newline ();
+    print_string (Experiments.fig12 runs);
+    print_newline ()
+  end;
+  Printf.printf "== machine-readable summary (method, solved, avg time over solved, avg attempts) ==\n";
+  print_string (Experiments.summary runs);
+  Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  if not skip_bechamel then run_bechamel ()

@@ -1,0 +1,285 @@
+(** The [stagg] command-line interface.
+
+    - [stagg list] — enumerate the benchmark suite;
+    - [stagg lift NAME] — run the full pipeline on one benchmark;
+    - [stagg show NAME] — dump the pipeline's intermediate artifacts
+      (LLM candidates, templates, dimension list, learned pCFG);
+    - [stagg kernel NAME] — print the TACO-compiled loop nest of a
+      benchmark's lifting;
+    - [stagg suite] — run a method over the whole suite;
+    - [stagg experiments] — regenerate the paper's tables and figures. *)
+
+open Cmdliner
+module Suite = Stagg_benchsuite.Suite
+module Bench = Stagg_benchsuite.Bench
+
+let find_bench_exn name =
+  match Suite.find name with
+  | Some b -> b
+  | None ->
+      Printf.eprintf "unknown benchmark %s (try `stagg list`)\n" name;
+      exit 2
+
+let method_of_string = function
+  | "td" -> Stagg.Method_.stagg_td
+  | "bu" -> Stagg.Method_.stagg_bu
+  | "td-equal" -> Stagg.Method_.td_equal_probability
+  | "td-llm-grammar" -> Stagg.Method_.td_llm_grammar
+  | "td-full-grammar" -> Stagg.Method_.td_full_grammar
+  | "bu-equal" -> Stagg.Method_.bu_equal_probability
+  | "bu-llm-grammar" -> Stagg.Method_.bu_llm_grammar
+  | "bu-full-grammar" -> Stagg.Method_.bu_full_grammar
+  | s ->
+      Printf.eprintf "unknown method %s\n" s;
+      exit 2
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Bench.t) ->
+        Printf.printf "%-22s %-12s llm=%-5s %s\n" b.name
+          (Bench.category_to_string b.category)
+          (Stagg_oracle.Llm_client.quality_to_string b.llm_quality)
+          b.ground_truth)
+      Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 77 benchmarks with their ground-truth liftings.")
+    Term.(const run $ const ())
+
+(* ---- lift ---- *)
+
+let name_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+
+let method_arg =
+  Arg.(
+    value
+    & opt string "td"
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"Search method: td, bu, td-equal, td-llm-grammar, td-full-grammar, bu-equal, ...")
+
+let lift_cmd =
+  let run name meth =
+    let b = find_bench_exn name in
+    let r = Stagg.Pipeline.run (method_of_string meth) b in
+    Format.printf "%a@." Stagg.Result_.pp r;
+    (match r.solution with
+    | Some sol ->
+        Format.printf "  template: %s@." (Stagg_taco.Pretty.program_to_string sol.template);
+        Format.printf "  substitution: %a@." Stagg_template.Subst.pp sol.subst
+    | None -> ());
+    exit (if r.solved then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "lift" ~doc:"Lift one benchmark to TACO and print the verified solution.")
+    Term.(const run $ name_arg $ method_arg)
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let run name meth =
+    let b = find_bench_exn name in
+    let m = method_of_string meth in
+    Printf.printf "=== C source ===%s\n" b.c_source;
+    (match Stagg.Pipeline.prepare m b with
+    | Error e -> Printf.printf "pipeline failed during preparation: %s\n" e
+    | Ok prep ->
+        Printf.printf "=== LLM candidates (parsed) ===\n";
+        List.iter
+          (fun c -> Printf.printf "  %s\n" (Stagg_taco.Pretty.program_to_string c))
+          prep.candidates;
+        Printf.printf "=== templatized ===\n";
+        List.iter
+          (fun t -> Printf.printf "  %s\n" (Stagg_taco.Pretty.program_to_string t))
+          prep.templates;
+        Printf.printf "=== predicted dimension list: %s ===\n"
+          (Stagg_template.Dimlist.to_string prep.dim_list);
+        Format.printf "=== probabilistic grammar ===@.%a@." Stagg_grammar.Pcfg.pp prep.pcfg)
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Dump the pipeline's intermediate artifacts for one benchmark (Fig. 1 stages ①–②).")
+    Term.(const run $ name_arg $ method_arg)
+
+(* ---- kernel ---- *)
+
+let kernel_cmd =
+  let run name =
+    let b = find_bench_exn name in
+    match Bench.truth b with
+    | None -> Printf.printf "%s has no TACO-expressible lifting\n" b.name
+    | Some p -> (
+        Printf.printf "TACO: %s\n\n" (Stagg_taco.Pretty.program_to_string p);
+        match Stagg_taco.Lower.lower p with
+        | Error e -> Printf.printf "lowering failed: %s\n" e
+        | Ok k -> print_string (Stagg_taco.Ir.kernel_to_c ~name:b.name k))
+  in
+  Cmd.v
+    (Cmd.info "kernel"
+       ~doc:"Compile a benchmark's ground-truth TACO program to a loop-nest kernel and print it.")
+    Term.(const run $ name_arg)
+
+(* ---- suite ---- *)
+
+let suite_cmd =
+  let run meth =
+    let results =
+      match meth with
+      | "llm" -> Stagg_baselines.Llm_only.run_suite ~seed:20250604 Suite.all
+      | "c2taco" -> Stagg_baselines.C2taco.run_suite ~seed:20250604 ~heuristics:true Suite.all
+      | "c2taco-noh" ->
+          Stagg_baselines.C2taco.run_suite ~seed:20250604 ~heuristics:false Suite.all
+      | "tenspiler" -> Stagg_baselines.Tenspiler.run_suite ~seed:20250604 Suite.real_world
+      | m -> Stagg.Pipeline.run_suite (method_of_string m) Suite.all
+    in
+    List.iter (fun r -> Format.printf "%a@." Stagg.Result_.pp r) results;
+    let solved = List.filter (fun r -> r.Stagg.Result_.solved) results in
+    Printf.printf "\nsolved %d/%d\n" (List.length solved) (List.length results)
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Run one method over the whole suite and print per-query results.")
+    Term.(const run $ method_arg)
+
+(* ---- lift-file: arbitrary C + signature spec + recorded LLM transcript ---- *)
+
+let lift_file_cmd =
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c") in
+  let sig_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "s"; "sig" ] ~docv:"SPEC"
+          ~doc:
+            "Tensor signature of the function's parameters, e.g. \
+             'N:size,M:size,A:arr[N,M],X:arr[M],R:out[N]'.")
+  in
+  let replay_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "r"; "llm-replay" ] ~docv:"TRANSCRIPT"
+          ~doc:
+            "File of recorded LLM response lines (one candidate per line; # comments ignored). \
+             Record it by sending the paper's Prompt 1 to any model.")
+  in
+  let run path spec replay meth =
+    let read_file p =
+      let ic = open_in p in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let c_source = read_file path in
+    match Stagg_minic.Parser.parse_function c_source with
+    | Error e ->
+        Printf.eprintf "C parse error: %s\n" e;
+        exit 2
+    | Ok func -> (
+        match Stagg_minic.Sigspec.parse spec with
+        | Error e ->
+            Printf.eprintf "signature spec error: %s\n" e;
+            exit 2
+        | Ok signature ->
+            let q =
+              {
+                Stagg.Pipeline.qname = Filename.basename path;
+                func;
+                signature;
+                c_source;
+                client = Stagg_oracle.Replay.of_file replay;
+              }
+            in
+            let r = Stagg.Pipeline.lift (method_of_string meth) q in
+            Format.printf "%a@." Stagg.Result_.pp r;
+            (match r.solution with
+            | Some sol ->
+                Format.printf "  template: %s@."
+                  (Stagg_taco.Pretty.program_to_string sol.template);
+                Format.printf "  substitution: %a@." Stagg_template.Subst.pp sol.subst
+            | None -> ());
+            exit (if r.solved then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "lift-file"
+       ~doc:
+         "Lift an arbitrary C file using a recorded LLM transcript as the candidate oracle.")
+    Term.(const run $ file_arg $ sig_arg $ replay_arg $ method_arg)
+
+(* ---- export: lifted program to NumPy / PyTorch / TACO C++ ---- *)
+
+let export_cmd =
+  let backend_arg =
+    Arg.(
+      value
+      & opt string "numpy"
+      & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc:"Target: numpy, pytorch, or taco-cpp.")
+  in
+  let run name backend meth =
+    let b = find_bench_exn name in
+    let r = Stagg.Pipeline.run (method_of_string meth) b in
+    match r.solution with
+    | None ->
+        Printf.eprintf "%s was not lifted (%s)\n" name (Option.value ~default:"?" r.failure);
+        exit 1
+    | Some sol -> (
+        let export =
+          match backend with
+          | "numpy" -> Stagg_taco.Export.to_numpy ~name
+          | "pytorch" -> Stagg_taco.Export.to_pytorch ~name
+          | "taco-cpp" -> Stagg_taco.Export.to_taco_cpp ~name
+          | b ->
+              Printf.eprintf "unknown backend %s\n" b;
+              exit 2
+        in
+        match export sol.concrete with
+        | Ok code -> print_string code
+        | Error e ->
+            Printf.eprintf "export failed: %s\n" e;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Lift a benchmark and render the result for a high-performance backend.")
+    Term.(const run $ name_arg $ backend_arg $ method_arg)
+
+(* ---- experiments ---- *)
+
+let experiments_cmd =
+  let core_flag =
+    Arg.(value & flag & info [ "core" ] ~doc:"Only Table 1 and Figures 9–10 (skip ablations).")
+  in
+  let run core =
+    let progress msg = Printf.eprintf "[experiments] %s\n%!" msg in
+    let runs =
+      if core then Stagg_report.Experiments.run_core ~progress ()
+      else Stagg_report.Experiments.run_all ~progress ()
+    in
+    print_string (Stagg_report.Experiments.table1 runs);
+    print_newline ();
+    print_string (Stagg_report.Experiments.fig9 runs);
+    print_newline ();
+    print_string (Stagg_report.Experiments.fig10 runs);
+    if not core then begin
+      print_newline ();
+      print_string (Stagg_report.Experiments.table2 runs);
+      print_newline ();
+      print_string (Stagg_report.Experiments.table3 runs);
+      print_newline ();
+      print_string (Stagg_report.Experiments.fig11 runs);
+      print_newline ();
+      print_string (Stagg_report.Experiments.fig12 runs)
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures (§8).")
+    Term.(const run $ core_flag)
+
+let () =
+  let info =
+    Cmd.info "stagg" ~version:"1.0.0"
+      ~doc:"Guided tensor lifting: synthesize TACO programs from legacy C (PLDI 2025 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; lift_cmd; lift_file_cmd; export_cmd; show_cmd; kernel_cmd; suite_cmd; experiments_cmd ]))

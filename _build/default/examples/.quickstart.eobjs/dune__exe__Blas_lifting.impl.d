@@ -1,0 +1,1 @@
+examples/blas_lifting.ml: List Printf Stagg Stagg_baselines Stagg_benchsuite Stagg_taco String

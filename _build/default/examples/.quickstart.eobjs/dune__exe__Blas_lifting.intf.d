@@ -1,0 +1,1 @@
+examples/blas_lifting.mli:

@@ -1,0 +1,1 @@
+examples/export_backends.ml: List Printf Stagg Stagg_benchsuite Stagg_minic Stagg_taco

@@ -1,0 +1,1 @@
+examples/grammar_explore.ml: Format List Printf Stagg Stagg_benchsuite Stagg_grammar Stagg_template

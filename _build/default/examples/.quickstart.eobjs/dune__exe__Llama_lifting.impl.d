@@ -1,0 +1,1 @@
+examples/llama_lifting.ml: List Option Printf Stagg Stagg_benchsuite Stagg_taco

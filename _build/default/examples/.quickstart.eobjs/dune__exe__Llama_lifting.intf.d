@@ -1,0 +1,1 @@
+examples/llama_lifting.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Option Printf Rat Stagg Stagg_benchsuite Stagg_grammar Stagg_minic Stagg_oracle Stagg_taco Stagg_template Stagg_util String Value

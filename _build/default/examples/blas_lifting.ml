@@ -1,0 +1,29 @@
+(** Lift the BLAS benchmark category with both STAGG searches and compare
+    against the C2TACO baseline — the paper intro's motivating workload
+    (legacy linear-algebra kernels written against raw pointers).
+
+    Run with: [dune exec examples/blas_lifting.exe] *)
+
+module Suite = Stagg_benchsuite.Suite
+module Bench = Stagg_benchsuite.Bench
+
+let () =
+  let blas = Suite.by_category Bench.Blas in
+  Printf.printf "Lifting the %d BLAS kernels\n\n" (List.length blas);
+  Printf.printf "%-16s %-9s %-9s %-9s  %s\n" "kernel" "STAGG^TD" "STAGG^BU" "C2TACO" "lifted expression (TD)";
+  Printf.printf "%s\n" (String.make 100 '-');
+  List.iter
+    (fun (b : Bench.t) ->
+      let td = Stagg.Pipeline.run Stagg.Method_.stagg_td b in
+      let bu = Stagg.Pipeline.run Stagg.Method_.stagg_bu b in
+      let c2 = Stagg_baselines.C2taco.run ~seed:20250604 ~heuristics:true b in
+      let mark (r : Stagg.Result_.t) =
+        if r.solved then Printf.sprintf "%.2fs" r.time_s else "--"
+      in
+      Printf.printf "%-16s %-9s %-9s %-9s  %s\n" b.name (mark td) (mark bu) (mark c2)
+        (match td.solution with
+        | Some sol -> Stagg_taco.Pretty.program_to_string sol.concrete
+        | None -> "(not lifted)"))
+    blas;
+  Printf.printf "\nEvery lifted expression above was proven equivalent to its C source\n";
+  Printf.printf "by bounded model checking over exact rationals (paper §7).\n"

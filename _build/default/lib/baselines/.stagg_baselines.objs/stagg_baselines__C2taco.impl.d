@@ -1,0 +1,1 @@
+lib/baselines/c2taco.ml: Ast Hashtbl List Prng Rat Stagg Stagg_benchsuite Stagg_minic Stagg_taco Stagg_template Stagg_util Stagg_validate String Unix

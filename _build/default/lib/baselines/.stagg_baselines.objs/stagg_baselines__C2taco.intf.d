@@ -1,0 +1,1 @@
+lib/baselines/c2taco.mli: Stagg Stagg_benchsuite

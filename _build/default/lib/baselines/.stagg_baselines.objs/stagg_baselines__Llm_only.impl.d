@@ -1,0 +1,1 @@
+lib/baselines/llm_only.ml: Hashtbl List Prng Stagg Stagg_benchsuite Stagg_minic Stagg_oracle Stagg_template Stagg_util Stagg_validate Stagg_verify Unix

@@ -1,0 +1,1 @@
+lib/baselines/llm_only.mli: Stagg Stagg_benchsuite

@@ -1,0 +1,1 @@
+lib/baselines/tenspiler.ml: Hashtbl Lazy List Prng Stagg Stagg_benchsuite Stagg_taco Stagg_util Stagg_validate Stagg_verify Unix

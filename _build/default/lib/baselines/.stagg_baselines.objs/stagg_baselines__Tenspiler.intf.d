@@ -1,0 +1,1 @@
+lib/baselines/tenspiler.mli: Stagg Stagg_benchsuite

@@ -1,0 +1,24 @@
+(** Reimplementation of the C2TACO baseline [de Souza Magalhães et al.,
+    GPCE 2023], the enumerative lifter the paper compares against.
+
+    C2TACO enumerates {e concrete} TACO programs bottom-up, shortest
+    first, directly over the legacy program's arguments, and accepts the
+    first program that reproduces the I/O examples (no bounded
+    verification — the paper contrasts this with STAGG's verifier, §9.2).
+    Its domain-specific heuristics prune the space using static analysis
+    of the C source:
+    - tensor dimensionalities from dataflow/delinearization (shared with
+      STAGG's {!Stagg_minic.Dims});
+    - the operator set restricted to operators occurring in the source;
+    - the index-variable pool sized by the loop-nest depth.
+
+    [heuristics:false] reproduces the paper's C2TACO.NoHeuristics row:
+    all four operators and the full 4-variable index pool (same coverage,
+    more attempts and time — Table 1). *)
+
+val label : heuristics:bool -> string
+
+val run : seed:int -> heuristics:bool -> Stagg_benchsuite.Bench.t -> Stagg.Result_.t
+
+val run_suite :
+  seed:int -> heuristics:bool -> Stagg_benchsuite.Bench.t list -> Stagg.Result_.t list

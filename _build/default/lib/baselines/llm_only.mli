@@ -1,0 +1,10 @@
+(** The LLM-only baseline (paper §8): ask GPT-4 for candidates and check
+    them directly — no grammar, no search. A query is solved when any of
+    the ~10 candidates, after templatization, validates on the I/O
+    examples and passes bounded verification. Fast but inaccurate
+    (the paper measures 44% of benchmarks, avg 1.62 attempts). *)
+
+val label : string
+
+val run : seed:int -> Stagg_benchsuite.Bench.t -> Stagg.Result_.t
+val run_suite : seed:int -> Stagg_benchsuite.Bench.t list -> Stagg.Result_.t list

@@ -1,0 +1,1 @@
+lib/benchsuite/bench.ml: Hashtbl Printf Stagg_minic Stagg_oracle Stagg_taco String

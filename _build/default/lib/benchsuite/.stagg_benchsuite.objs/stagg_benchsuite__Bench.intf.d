@@ -1,0 +1,1 @@
+lib/benchsuite/bench.mli: Stagg_minic Stagg_oracle Stagg_taco

@@ -1,0 +1,1 @@
+lib/benchsuite/suite.ml: Bench Hashtbl List Printf String Suite_artificial Suite_blas Suite_darknet Suite_dsp Suite_llama Suite_mathfu Suite_simpl_array

@@ -1,0 +1,1 @@
+lib/benchsuite/suite_artificial.ml: Bench Stagg_oracle

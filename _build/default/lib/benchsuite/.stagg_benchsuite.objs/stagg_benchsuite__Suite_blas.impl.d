@@ -1,0 +1,1 @@
+lib/benchsuite/suite_blas.ml: Bench Stagg_oracle

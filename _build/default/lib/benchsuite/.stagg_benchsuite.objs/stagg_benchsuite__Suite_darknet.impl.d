@@ -1,0 +1,1 @@
+lib/benchsuite/suite_darknet.ml: Bench Stagg_oracle

@@ -1,0 +1,1 @@
+lib/benchsuite/suite_dsp.ml: Bench Stagg_oracle

@@ -1,0 +1,1 @@
+lib/benchsuite/suite_llama.ml: Bench Stagg_oracle

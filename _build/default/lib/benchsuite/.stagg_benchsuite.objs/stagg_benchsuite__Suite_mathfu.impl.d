@@ -1,0 +1,1 @@
+lib/benchsuite/suite_mathfu.ml: Bench Stagg_oracle

@@ -1,0 +1,1 @@
+lib/benchsuite/suite_simpl_array.ml: Bench Stagg_oracle

@@ -1,0 +1,35 @@
+let all =
+  Suite_artificial.all @ Suite_blas.all @ Suite_darknet.all @ Suite_dsp.all @ Suite_mathfu.all
+  @ Suite_simpl_array.all @ Suite_llama.all
+
+let real_world = List.filter Bench.is_real_world all
+let artificial = List.filter (fun b -> not (Bench.is_real_world b)) all
+let by_category c = List.filter (fun (b : Bench.t) -> b.category = c) all
+let find name = List.find_opt (fun (b : Bench.t) -> String.equal b.name name) all
+let names = List.map (fun (b : Bench.t) -> b.name) all
+
+let self_check () =
+  let failures = ref [] in
+  let fail name msg = failures := (name, msg) :: !failures in
+  (* names unique *)
+  let seen = Hashtbl.create 128 in
+  List.iter
+    (fun (b : Bench.t) ->
+      if Hashtbl.mem seen b.name then fail b.name "duplicate benchmark name";
+      Hashtbl.replace seen b.name ())
+    all;
+  if List.length all <> 77 then
+    fail "suite" (Printf.sprintf "expected 77 benchmarks, found %d" (List.length all));
+  if List.length real_world <> 67 then
+    fail "suite" (Printf.sprintf "expected 67 real-world benchmarks, found %d" (List.length real_world));
+  List.iter
+    (fun (b : Bench.t) ->
+      match Bench.func b with
+      | exception Failure msg -> fail b.name msg
+      | _f -> (
+          match Bench.truth b with
+          | exception Failure msg -> fail b.name msg
+          | None -> ()
+          | Some _ -> ()))
+    all;
+  List.rev !failures

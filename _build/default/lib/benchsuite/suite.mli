@@ -1,0 +1,18 @@
+(** The full 77-query benchmark suite of paper §8: 10 artificial examples
+    and 67 real-world kernels (61 in the C2TACO suite's categories, 6 from
+    llama-style inference code). *)
+
+val all : Bench.t list
+
+(** The 67 real-world benchmarks. *)
+val real_world : Bench.t list
+
+val artificial : Bench.t list
+val by_category : Bench.category -> Bench.t list
+val find : string -> Bench.t option
+val names : string list
+
+(** Suite self-check: every benchmark parses, its ground truth parses, and
+    running the C program agrees with the ground truth on I/O examples.
+    Returns the list of failures (empty = healthy). Used by the tests. *)
+val self_check : unit -> (string * string) list

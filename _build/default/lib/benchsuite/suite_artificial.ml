@@ -1,0 +1,172 @@
+(** The 10 artificial benchmarks: textbook dense tensor kernels in clean,
+    directly-indexed C (paper §8: "10 artificial examples"). *)
+
+open Bench
+open Stagg_oracle.Llm_client
+
+let mk = mk ~category:Artificial
+
+let all =
+  [
+    mk ~name:"art_copy" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i)"
+      {|
+void array_copy(int N, int* A, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i];
+  }
+}
+|};
+    mk ~name:"art_scal_const" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) * 5"
+      {|
+void scale_by_five(int N, int* A, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] * 5;
+  }
+}
+|};
+    mk ~name:"art_vec_add" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) + B(i)"
+      {|
+void vector_add(int N, int* A, int* B, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] + B[i];
+  }
+}
+|};
+    mk ~name:"art_dot" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = A(i) * B(i)"
+      {|
+void dot_product(int N, int* A, int* B, int* R) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < N; i++) {
+    acc += A[i] * B[i];
+  }
+  *R = acc;
+}
+|};
+    mk ~name:"art_outer" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N" ]; arr "B" [ "M" ]; arr "R" [ "N"; "M" ] ]
+      ~out:"R" ~truth:"R(i,j) = A(i) * B(j)"
+      {|
+void outer_product(int N, int M, int* A, int* B, int* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[i * M + j] = A[i] * B[j];
+    }
+  }
+}
+|};
+    mk ~name:"art_gemv" ~quality:Exact
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "X" [ "M" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i,j) * X(j)"
+      {|
+void matrix_vector(int N, int M, int* A, int* X, int* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    R[i] = 0;
+    for (j = 0; j < M; j++) {
+      R[i] += A[i * M + j] * X[j];
+    }
+  }
+}
+|};
+    mk ~name:"art_gemm" ~quality:Near
+      ~args:
+        [
+          size "N"; size "M"; size "K"; arr "A" [ "N"; "K" ]; arr "B" [ "K"; "M" ];
+          arr "R" [ "N"; "M" ];
+        ]
+      ~out:"R" ~truth:"R(i,j) = A(i,k) * B(k,j)"
+      {|
+void matrix_multiply(int N, int M, int K, int* A, int* B, int* R) {
+  int i, j, k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[i * M + j] = 0;
+      for (k = 0; k < K; k++) {
+        R[i * M + j] += A[i * K + k] * B[k * M + j];
+      }
+    }
+  }
+}
+|};
+    mk ~name:"art_ttv" ~quality:Near
+      ~args:
+        [
+          size "N"; size "M"; size "K"; arr "A" [ "N"; "M"; "K" ]; arr "X" [ "K" ];
+          arr "R" [ "N"; "M" ];
+        ]
+      ~out:"R" ~truth:"R(i,j) = A(i,j,k) * X(k)"
+      {|
+void tensor_times_vector(int N, int M, int K, int* A, int* X, int* R) {
+  int i, j, k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[i * M + j] = 0;
+      for (k = 0; k < K; k++) {
+        R[i * M + j] += A[i * M * K + j * K + k] * X[k];
+      }
+    }
+  }
+}
+|};
+    mk ~name:"art_ttm" ~quality:Near
+      ~args:
+        [
+          size "N"; size "M"; size "K"; size "L"; arr "A" [ "N"; "M"; "L" ]; arr "B" [ "K"; "L" ];
+          arr "R" [ "N"; "M"; "K" ];
+        ]
+      ~out:"R" ~truth:"R(i,j,k) = A(i,j,l) * B(k,l)"
+      {|
+void tensor_times_matrix(int N, int M, int K, int L, int* A, int* B, int* R) {
+  int i, j, k, l;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      for (k = 0; k < K; k++) {
+        R[i * M * K + j * K + k] = 0;
+        for (l = 0; l < L; l++) {
+          R[i * M * K + j * K + k] += A[i * M * L + j * L + l] * B[k * L + l];
+        }
+      }
+    }
+  }
+}
+|};
+    mk ~name:"art_mttkrp" ~quality:Near
+      ~args:
+        [
+          size "N"; size "M"; size "K"; size "L"; arr "A" [ "N"; "K"; "L" ]; arr "B" [ "K"; "M" ];
+          arr "C" [ "L"; "M" ]; arr "R" [ "N"; "M" ];
+        ]
+      ~out:"R" ~truth:"R(i,j) = A(i,k,l) * B(k,j) * C(l,j)"
+      {|
+void mttkrp(int N, int M, int K, int L, int* A, int* B, int* C, int* R) {
+  int i, j, k, l;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[i * M + j] = 0;
+    }
+  }
+  for (i = 0; i < N; i++) {
+    for (k = 0; k < K; k++) {
+      for (l = 0; l < L; l++) {
+        for (j = 0; j < M; j++) {
+          R[i * M + j] += A[i * K * L + k * L + l] * B[k * M + j] * C[l * M + j];
+        }
+      }
+    }
+  }
+}
+|};
+  ]

@@ -1,0 +1,194 @@
+(** BLAS-derived benchmarks (12), in the low-level styles BLAS reference
+    code actually uses: pointer walks, strided linear indexing,
+    accumulator scalars. *)
+
+open Bench
+open Stagg_oracle.Llm_client
+
+let mk = mk ~category:Blas
+
+let all =
+  [
+    mk ~name:"blas_sdot" ~quality:Exact
+      ~args:[ size "N"; arr "X" [ "N" ]; arr "Y" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = X(i) * Y(i)"
+      {|
+void sdot(int N, int* X, int* Y, int* R) {
+  int i;
+  int* px = X;
+  int* py = Y;
+  int stemp = 0;
+  for (i = 0; i < N; i++) {
+    stemp += *px++ * *py++;
+  }
+  *R = stemp;
+}
+|};
+    mk ~name:"blas_saxpy" ~quality:Exact
+      ~args:[ size "N"; scalar "alpha"; arr "X" [ "N" ]; arr "Y" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = alpha * X(i) + Y(i)"
+      {|
+void saxpy(int N, int alpha, int* X, int* Y, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = alpha * X[i] + Y[i];
+  }
+}
+|};
+    mk ~name:"blas_sscal" ~quality:Exact
+      ~args:[ size "N"; scalar "alpha"; arr "X" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = alpha * X(i)"
+      {|
+void sscal(int N, int alpha, int* X, int* R) {
+  int i;
+  int* px = X;
+  int* pr = R;
+  for (i = 0; i < N; i++) {
+    *pr++ = alpha * *px++;
+  }
+}
+|};
+    mk ~name:"blas_scopy" ~quality:Exact
+      ~args:[ size "N"; arr "X" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = X(i)"
+      {|
+void scopy(int N, int* X, int* R) {
+  int i;
+  int* px = X;
+  int* pr = R;
+  for (i = 0; i < N; i++) {
+    *pr = *px;
+    px++;
+    pr++;
+  }
+}
+|};
+    mk ~name:"blas_sgemv" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "X" [ "M" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i,j) * X(j)"
+      {|
+void sgemv(int N, int M, int* A, int* X, int* R) {
+  int i, j;
+  int* pa = A;
+  for (i = 0; i < N; i++) {
+    int temp = 0;
+    for (j = 0; j < M; j++) {
+      temp += *pa++ * X[j];
+    }
+    R[i] = temp;
+  }
+}
+|};
+    mk ~name:"blas_sgemv_acc" ~quality:Near
+      ~args:
+        [ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "X" [ "M" ]; arr "Y" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i,j) * X(j) + Y(i)"
+      {|
+void sgemv_acc(int N, int M, int* A, int* X, int* Y, int* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    int temp = 0;
+    for (j = 0; j < M; j++) {
+      temp += A[i * M + j] * X[j];
+    }
+    R[i] = temp + Y[i];
+  }
+}
+|};
+    mk ~name:"blas_sgemm" ~quality:Near
+      ~args:
+        [
+          size "N"; size "M"; size "K"; arr "A" [ "N"; "K" ]; arr "B" [ "K"; "M" ];
+          arr "R" [ "N"; "M" ];
+        ]
+      ~out:"R" ~truth:"R(i,j) = A(i,k) * B(k,j)"
+      {|
+void sgemm(int N, int M, int K, int* A, int* B, int* R) {
+  int i, j, k;
+  for (j = 0; j < M; j++) {
+    for (i = 0; i < N; i++) {
+      R[i * M + j] = 0;
+    }
+    for (k = 0; k < K; k++) {
+      for (i = 0; i < N; i++) {
+        R[i * M + j] += A[i * K + k] * B[k * M + j];
+      }
+    }
+  }
+}
+|};
+    mk ~name:"blas_sger" ~quality:Near
+      ~args:[ size "N"; size "M"; scalar "alpha"; arr "X" [ "N" ]; arr "Y" [ "M" ]; arr "R" [ "N"; "M" ] ]
+      ~out:"R" ~truth:"R(i,j) = alpha * X(i) * Y(j)"
+      {|
+void sger(int N, int M, int alpha, int* X, int* Y, int* R) {
+  int i, j;
+  for (j = 0; j < M; j++) {
+    int temp = alpha * Y[j];
+    for (i = 0; i < N; i++) {
+      R[i * M + j] = X[i] * temp;
+    }
+  }
+}
+|};
+    mk ~name:"blas_syrk_lt" ~quality:Near
+      ~args:[ size "N"; size "K"; arr "A" [ "N"; "K" ]; arr "R" [ "N"; "N" ] ]
+      ~out:"R" ~truth:"R(i,j) = A(i,k) * A(j,k)"
+      {|
+void syrk_full(int N, int K, int* A, int* R) {
+  int i, j, k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < N; j++) {
+      int acc = 0;
+      for (k = 0; k < K; k++) {
+        acc += A[i * K + k] * A[j * K + k];
+      }
+      R[i * N + j] = acc;
+    }
+  }
+}
+|};
+    mk ~name:"blas_wdot" ~quality:Near
+      ~args:[ size "N"; arr "W" [ "N" ]; arr "X" [ "N" ]; arr "Y" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = W(i) * X(i) * Y(i)"
+      {|
+void weighted_dot(int N, int* W, int* X, int* Y, int* R) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < N; i++) {
+    acc += W[i] * X[i] * Y[i];
+  }
+  *R = acc;
+}
+|};
+    mk ~name:"blas_axpby" ~quality:Near
+      ~args:
+        [
+          size "N"; scalar "alpha"; arr "X" [ "N" ]; scalar "beta"; arr "Y" [ "N" ]; arr "R" [ "N" ];
+        ]
+      ~out:"R" ~truth:"R(i) = alpha * X(i) + beta * Y(i)"
+      {|
+void axpby(int N, int alpha, int* X, int beta, int* Y, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = alpha * X[i] + beta * Y[i];
+  }
+}
+|};
+    mk ~name:"blas_sgemv_t" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "X" [ "N" ]; arr "R" [ "M" ] ]
+      ~out:"R" ~truth:"R(i) = A(j,i) * X(j)"
+      {|
+void sgemv_trans(int N, int M, int* A, int* X, int* R) {
+  int i, j;
+  for (j = 0; j < M; j++) {
+    R[j] = 0;
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[j] += A[i * M + j] * X[i];
+    }
+  }
+}
+|};
+  ]

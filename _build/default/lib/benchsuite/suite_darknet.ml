@@ -1,0 +1,193 @@
+(** Darknet-derived benchmarks (12): the dense layers and auxiliary kernels
+    of a small CNN framework, as flat C over channel-major buffers. *)
+
+open Bench
+open Stagg_oracle.Llm_client
+
+let mk = mk ~category:Darknet
+
+let all =
+  [
+    mk ~name:"dk_bias_add" ~quality:Near
+      ~args:[ size "C"; size "S"; arr "X" [ "C"; "S" ]; arr "B" [ "C" ]; arr "R" [ "C"; "S" ] ]
+      ~out:"R" ~truth:"R(i,j) = X(i,j) + B(i)"
+      {|
+void add_bias(int C, int S, int* X, int* B, int* R) {
+  int c, s;
+  for (c = 0; c < C; c++) {
+    for (s = 0; s < S; s++) {
+      R[c * S + s] = X[c * S + s] + B[c];
+    }
+  }
+}
+|};
+    mk ~name:"dk_scale_bias" ~quality:Near
+      ~args:[ size "C"; size "S"; arr "X" [ "C"; "S" ]; arr "B" [ "C" ]; arr "R" [ "C"; "S" ] ]
+      ~out:"R" ~truth:"R(i,j) = X(i,j) * B(i)"
+      {|
+void scale_bias(int C, int S, int* X, int* B, int* R) {
+  int c, s;
+  for (c = 0; c < C; c++) {
+    for (s = 0; s < S; s++) {
+      R[c * S + s] = X[c * S + s] * B[c];
+    }
+  }
+}
+|};
+    mk ~name:"dk_shortcut" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) + B(i)"
+      {|
+void shortcut_layer(int N, int* A, int* B, int* R) {
+  int i;
+  int* pa = A;
+  int* pb = B;
+  for (i = 0; i < N; i++) {
+    R[i] = *pa++ + *pb++;
+  }
+}
+|};
+    mk ~name:"dk_weighted_sum" ~quality:Near
+      ~args:
+        [ size "N"; arr "A" [ "N" ]; scalar "wa"; arr "B" [ "N" ]; scalar "wb"; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) * wa + B(i) * wb"
+      {|
+void weighted_sum_arrays(int N, int* A, int wa, int* B, int wb, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] * wa + B[i] * wb;
+  }
+}
+|};
+    mk ~name:"dk_flatten_scale" ~quality:Near
+      ~args:[ size "C"; size "H"; size "W"; scalar "s"; arr "X" [ "C"; "H"; "W" ]; arr "R" [ "C"; "H"; "W" ] ]
+      ~out:"R" ~truth:"R(i,j,k) = X(i,j,k) * s"
+      {|
+void flatten_scale(int C, int H, int W, int s, int* X, int* R) {
+  int c, h, w;
+  for (c = 0; c < C; c++) {
+    for (h = 0; h < H; h++) {
+      for (w = 0; w < W; w++) {
+        R[c * H * W + h * W + w] = X[c * H * W + h * W + w] * s;
+      }
+    }
+  }
+}
+|};
+    mk ~name:"dk_normalize" ~quality:Near
+      ~args:[ size "C"; size "S"; arr "X" [ "C"; "S" ]; arr "M" [ "C" ]; arr "V" [ "C" ]; arr "R" [ "C"; "S" ] ]
+      ~out:"R" ~truth:"R(i,j) = (X(i,j) - M(i)) / V(i)"
+      {|
+void normalize_layer(int C, int S, int* X, int* M, int* V, int* R) {
+  int c, s;
+  for (c = 0; c < C; c++) {
+    for (s = 0; s < S; s++) {
+      R[c * S + s] = (X[c * S + s] - M[c]) / V[c];
+    }
+  }
+}
+|};
+    mk ~name:"dk_avgpool_sum" ~quality:Exact
+      ~args:[ size "C"; size "S"; arr "X" [ "C"; "S" ]; arr "R" [ "C" ] ]
+      ~out:"R" ~truth:"R(i) = X(i,j)"
+      {|
+void global_pool_sum(int C, int S, int* X, int* R) {
+  int c, s;
+  for (c = 0; c < C; c++) {
+    R[c] = 0;
+    for (s = 0; s < S; s++) {
+      R[c] += X[c * S + s];
+    }
+  }
+}
+|};
+    mk ~name:"dk_sum_all" ~quality:Exact
+      ~args:[ size "N"; size "M"; arr "X" [ "N"; "M" ]; cell "R" ]
+      ~out:"R" ~truth:"R = X(i,j)"
+      {|
+void sum_all(int N, int M, int* X, int* R) {
+  int i, j;
+  int total = 0;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      total += X[i * M + j];
+    }
+  }
+  *R = total;
+}
+|};
+    mk ~name:"dk_mse" ~quality:Near
+      ~args:[ size "N"; arr "P" [ "N" ]; arr "T" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = (P(i) - T(i)) * (P(i) - T(i))"
+      {|
+void sum_squared_error(int N, int* P, int* T, int* R) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < N; i++) {
+    int d = P[i] - T[i];
+    acc += d * d;
+  }
+  *R = acc;
+}
+|};
+    (* a 1x1 convolution over NCHW feature maps: its lifting
+       R(i,j,k,l) = A(i,m,k,l) * F(j,m) needs five distinct index
+       variables, one more than the TACO template space's {i,j,k,l} —
+       no enumerator over the paper's space can express it *)
+    mk ~name:"dk_conv1x1" ~quality:Far
+      ~args:
+        [
+          size "N"; size "C"; size "K"; size "H"; size "Q";
+          arr "A" [ "N"; "C"; "H"; "Q" ]; arr "F" [ "K"; "C" ]; arr "R" [ "N"; "K"; "H"; "Q" ];
+        ]
+      ~out:"R" ~truth:"R(i,j,k,l) = A(i,m,k,l) * F(j,m)"
+      {|
+void conv1x1_nchw(int N, int C, int K, int H, int Q, int* A, int* F, int* R) {
+  int n, c, k, h, q;
+  for (n = 0; n < N; n++) {
+    for (k = 0; k < K; k++) {
+      for (h = 0; h < H; h++) {
+        for (q = 0; q < Q; q++) {
+          R[n * K * H * Q + k * H * Q + h * Q + q] = 0;
+        }
+      }
+      for (c = 0; c < C; c++) {
+        for (h = 0; h < H; h++) {
+          for (q = 0; q < Q; q++) {
+            R[n * K * H * Q + k * H * Q + h * Q + q] += F[k * C + c] * A[n * C * H * Q + c * H * Q + h * Q + q];
+          }
+        }
+      }
+    }
+  }
+}
+|};
+    mk ~name:"dk_scale_sum_all" ~quality:Near
+      ~args:[ size "N"; size "M"; scalar "alpha"; arr "X" [ "N"; "M" ]; cell "R" ]
+      ~out:"R" ~truth:"R = alpha * X(i,j)"
+      {|
+void scaled_total(int N, int M, int alpha, int* X, int* R) {
+  int i, j;
+  int total = 0;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      total += X[i * M + j];
+    }
+  }
+  *R = alpha * total;
+}
+|};
+    mk ~name:"dk_hadamard" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "B" [ "N"; "M" ]; arr "R" [ "N"; "M" ] ]
+      ~out:"R" ~truth:"R(i,j) = A(i,j) * B(i,j)"
+      {|
+void elementwise_mul(int N, int M, int* A, int* B, int* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[i * M + j] = A[i * M + j] * B[i * M + j];
+    }
+  }
+}
+|};
+  ]

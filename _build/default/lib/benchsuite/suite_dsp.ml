@@ -1,0 +1,173 @@
+(** UTDSP-style benchmarks (12): signal-processing kernels in the heavily
+    pointer-based style of DSP reference code. *)
+
+open Bench
+open Stagg_oracle.Llm_client
+
+let mk = mk ~category:Dsp
+
+let all =
+  [
+    mk ~name:"dsp_vecsum" ~quality:Exact
+      ~args:[ size "N"; arr "X" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = X(i)"
+      {|
+void vector_sum(int N, int* X, int* R) {
+  int i;
+  int* p = X;
+  int acc = 0;
+  for (i = 0; i < N; i++) {
+    acc += *p++;
+  }
+  *R = acc;
+}
+|};
+    mk ~name:"dsp_vecmul" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) * B(i)"
+      {|
+void sample_product(int N, int* A, int* B, int* R) {
+  int i;
+  int* pa = A;
+  int* pb = B;
+  int* pr = R;
+  for (i = 0; i < N; i++) {
+    *pr++ = *pa++ * *pb++;
+  }
+}
+|};
+    mk ~name:"dsp_vecdiv" ~quality:Near
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) / B(i)"
+      {|
+void sample_ratio(int N, int* A, int* B, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] / B[i];
+  }
+}
+|};
+    mk ~name:"dsp_vecsub" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) - B(i)"
+      {|
+void residual_signal(int N, int* A, int* B, int* R) {
+  int i;
+  int* pa = A;
+  int* pb = B;
+  for (i = 0; i < N; i++) {
+    R[i] = *pa++ - *pb++;
+  }
+}
+|};
+    mk ~name:"dsp_energy" ~quality:Exact
+      ~args:[ size "N"; arr "X" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = X(i) * X(i)"
+      {|
+void signal_energy(int N, int* X, int* R) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < N; i++) {
+    acc += X[i] * X[i];
+  }
+  *R = acc;
+}
+|};
+    mk ~name:"dsp_mean8" ~quality:Near
+      ~args:[ size "N"; arr "X" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = X(i) / 8"
+      {|
+void block_mean8(int N, int* X, int* R) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < N; i++) {
+    acc += X[i];
+  }
+  *R = acc / 8;
+}
+|};
+    mk ~name:"dsp_matvec_ptr" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "X" [ "M" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i,j) * X(j)"
+      {|
+void mat_vec_mult(int N, int M, int* A, int* X, int* R) {
+  int i, j;
+  int* pa = A;
+  int* pr = R;
+  for (i = 0; i < N; i++) {
+    int* px = X;
+    int acc = 0;
+    for (j = 0; j < M; j++) {
+      acc += *pa++ * *px++;
+    }
+    *pr++ = acc;
+  }
+}
+|};
+    mk ~name:"dsp_mat_scale" ~quality:Exact
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "R" [ "N"; "M" ] ]
+      ~out:"R" ~truth:"R(i,j) = A(i,j) * 3"
+      {|
+void amplify_matrix(int N, int M, int* A, int* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[i * M + j] = A[i * M + j] * 3;
+    }
+  }
+}
+|};
+    mk ~name:"dsp_mat_add" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "B" [ "N"; "M" ]; arr "R" [ "N"; "M" ] ]
+      ~out:"R" ~truth:"R(i,j) = A(i,j) + B(i,j)"
+      {|
+void mix_frames(int N, int M, int* A, int* B, int* R) {
+  int i, j;
+  int* pa = A;
+  int* pb = B;
+  int* pr = R;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      *pr++ = *pa++ + *pb++;
+    }
+  }
+}
+|};
+    mk ~name:"dsp_lms_update" ~quality:Near
+      ~args:[ size "N"; arr "W" [ "N" ]; scalar "mu"; scalar "err"; arr "X" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = W(i) + mu * err * X(i)"
+      {|
+void lms_weight_update(int N, int* W, int mu, int err, int* X, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = W[i] + mu * err * X[i];
+  }
+}
+|};
+    mk ~name:"dsp_window" ~quality:Exact
+      ~args:[ size "N"; arr "X" [ "N" ]; arr "W" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = X(i) * W(i)"
+      {|
+void apply_window(int N, int* X, int* W, int* R) {
+  int i;
+  int* px = X;
+  int* pw = W;
+  for (i = 0; i < N; i++) {
+    R[i] = *px * *pw;
+    px++;
+    pw++;
+  }
+}
+|};
+    mk ~name:"dsp_diff_scale" ~quality:Near
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = (A(i) - B(i)) * 4"
+      {|
+void scaled_difference(int N, int* A, int* B, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = (A[i] - B[i]) * 4;
+  }
+}
+|};
+  ]

@@ -1,0 +1,93 @@
+(** llama benchmarks (6): dense kernels from the C++/C inference code of
+    Llama-style transformers (paper §8 draws 6 queries from llama2.cpp). *)
+
+open Bench
+open Stagg_oracle.Llm_client
+
+let mk = mk ~category:Llama
+
+let all =
+  [
+    mk ~name:"ll_rmsnorm_ss" ~quality:Exact
+      ~args:[ size "D"; arr "X" [ "D" ]; cell "R" ]
+      ~out:"R" ~truth:"R = X(i) * X(i)"
+      {|
+void rmsnorm_sum_squares(int D, float* X, float* R) {
+  int j;
+  float ss = 0;
+  for (j = 0; j < D; j++) {
+    ss += X[j] * X[j];
+  }
+  *R = ss;
+}
+|};
+    mk ~name:"ll_matmul" ~quality:Exact
+      ~args:[ size "D"; size "V"; arr "W" [ "V"; "D" ]; arr "X" [ "D" ]; arr "R" [ "V" ] ]
+      ~out:"R" ~truth:"R(i) = W(i,j) * X(j)"
+      {|
+void matmul(int D, int V, float* W, float* X, float* R) {
+  int i, j;
+  for (i = 0; i < V; i++) {
+    float val = 0;
+    for (j = 0; j < D; j++) {
+      val += W[i * D + j] * X[j];
+    }
+    R[i] = val;
+  }
+}
+|};
+    mk ~name:"ll_residual" ~quality:Exact
+      ~args:[ size "D"; arr "X" [ "D" ]; arr "H" [ "D" ]; arr "R" [ "D" ] ]
+      ~out:"R" ~truth:"R(i) = X(i) + H(i)"
+      {|
+void residual_add(int D, float* X, float* H, float* R) {
+  int i;
+  for (i = 0; i < D; i++) {
+    R[i] = X[i] + H[i];
+  }
+}
+|};
+    mk ~name:"ll_logit_scale" ~quality:Near
+      ~args:[ size "D"; arr "X" [ "D" ]; scalar "inv_temp"; arr "R" [ "D" ] ]
+      ~out:"R" ~truth:"R(i) = X(i) * inv_temp"
+      {|
+void logits_scale(int D, float* X, float inv_temp, float* R) {
+  int i;
+  for (i = 0; i < D; i++) {
+    R[i] = X[i] * inv_temp;
+  }
+}
+|};
+    mk ~name:"ll_att_scores" ~quality:Near
+      ~args:[ size "T"; size "H"; arr "Q" [ "H" ]; arr "K" [ "T"; "H" ]; arr "R" [ "T" ] ]
+      ~out:"R" ~truth:"R(i) = Q(j) * K(i,j)"
+      {|
+void attention_scores(int T, int H, float* Q, float* K, float* R) {
+  int t, h;
+  for (t = 0; t < T; t++) {
+    float score = 0;
+    for (h = 0; h < H; h++) {
+      score += Q[h] * K[t * H + h];
+    }
+    R[t] = score;
+  }
+}
+|};
+    mk ~name:"ll_weighted_v" ~quality:Near
+      ~args:[ size "T"; size "H"; arr "ATT" [ "T" ]; arr "V" [ "T"; "H" ]; arr "R" [ "H" ] ]
+      ~out:"R" ~truth:"R(i) = ATT(j) * V(j,i)"
+      {|
+void weighted_values(int T, int H, float* ATT, float* V, float* R) {
+  int t, h;
+  for (h = 0; h < H; h++) {
+    R[h] = 0;
+  }
+  for (t = 0; t < T; t++) {
+    float a = ATT[t];
+    for (h = 0; h < H; h++) {
+      R[h] += a * V[t * H + h];
+    }
+  }
+}
+|};
+  ]

@@ -1,0 +1,187 @@
+(** mathfu-style benchmarks (13): the vector/matrix kernels of a game math
+    library (flat loops over small dense vectors and matrices). *)
+
+open Bench
+open Stagg_oracle.Llm_client
+
+let mk = mk ~category:Mathfu
+
+let all =
+  [
+    mk ~name:"mf_vec_add" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) + B(i)"
+      {|
+void vec_add(int N, float* A, float* B, float* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] + B[i];
+  }
+}
+|};
+    mk ~name:"mf_vec_sub" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) - B(i)"
+      {|
+void vec_sub(int N, float* A, float* B, float* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] - B[i];
+  }
+}
+|};
+    mk ~name:"mf_vec_hadamard" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) * B(i)"
+      {|
+void vec_hadamard(int N, float* A, float* B, float* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] * B[i];
+  }
+}
+|};
+    mk ~name:"mf_vec_scale" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; scalar "s"; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) * s"
+      {|
+void vec_scale(int N, float* A, float s, float* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] * s;
+  }
+}
+|};
+    mk ~name:"mf_vec_dot" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = A(i) * B(i)"
+      {|
+void vec_dot(int N, float* A, float* B, float* R) {
+  int i;
+  float acc = 0;
+  for (i = 0; i < N; i++) {
+    acc += A[i] * B[i];
+  }
+  *R = acc;
+}
+|};
+    mk ~name:"mf_vec_lerp" ~quality:Near
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; scalar "t"; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) + (B(i) - A(i)) * t"
+      {|
+void vec_lerp(int N, float* A, float* B, float t, float* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] + (B[i] - A[i]) * t;
+  }
+}
+|};
+    mk ~name:"mf_mat_mul" ~quality:Near
+      ~args:
+        [
+          size "N"; size "M"; size "K"; arr "A" [ "N"; "K" ]; arr "B" [ "K"; "M" ];
+          arr "R" [ "N"; "M" ];
+        ]
+      ~out:"R" ~truth:"R(i,j) = A(i,k) * B(k,j)"
+      {|
+void mat_mul(int N, int M, int K, float* A, float* B, float* R) {
+  int i, j, k;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      float acc = 0;
+      for (k = 0; k < K; k++) {
+        acc += A[i * K + k] * B[k * M + j];
+      }
+      R[i * M + j] = acc;
+    }
+  }
+}
+|};
+    mk ~name:"mf_mat_vec" ~quality:Exact
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "V" [ "M" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i,j) * V(j)"
+      {|
+void mat_vec(int N, int M, float* A, float* V, float* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    R[i] = 0;
+    for (j = 0; j < M; j++) {
+      R[i] += A[i * M + j] * V[j];
+    }
+  }
+}
+|};
+    mk ~name:"mf_mat_add" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "B" [ "N"; "M" ]; arr "R" [ "N"; "M" ] ]
+      ~out:"R" ~truth:"R(i,j) = A(i,j) + B(i,j)"
+      {|
+void mat_add(int N, int M, float* A, float* B, float* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[i * M + j] = A[i * M + j] + B[i * M + j];
+    }
+  }
+}
+|};
+    mk ~name:"mf_mat_scale" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; scalar "s"; arr "R" [ "N"; "M" ] ]
+      ~out:"R" ~truth:"R(i,j) = A(i,j) * s"
+      {|
+void mat_scale(int N, int M, float* A, float s, float* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[i * M + j] = A[i * M + j] * s;
+    }
+  }
+}
+|};
+    mk ~name:"mf_outer" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N" ]; arr "B" [ "M" ]; arr "R" [ "N"; "M" ] ]
+      ~out:"R" ~truth:"R(i,j) = A(i) * B(j)"
+      {|
+void vec_outer(int N, int M, float* A, float* B, float* R) {
+  int i, j;
+  float* pr = R;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      *pr++ = A[i] * B[j];
+    }
+  }
+}
+|};
+    mk ~name:"mf_vec_offset" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; scalar "s"; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) + s"
+      {|
+void vec_offset(int N, float* A, float s, float* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] + s;
+  }
+}
+|};
+    mk ~name:"mf_transform_pair" ~quality:Near
+      ~args:
+        [
+          size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "V" [ "M" ]; arr "B" [ "N"; "M" ];
+          arr "W" [ "M" ]; arr "R" [ "N" ];
+        ]
+      ~out:"R" ~truth:"R(i) = A(i,j) * V(j) + B(i,j) * W(j)"
+      {|
+void transform_pair(int N, int M, float* A, float* V, float* B, float* W, float* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    float acc = 0;
+    for (j = 0; j < M; j++) {
+      acc += A[i * M + j] * V[j];
+    }
+    for (j = 0; j < M; j++) {
+      acc += B[i * M + j] * W[j];
+    }
+    R[i] = acc;
+  }
+}
+|};
+  ]

@@ -1,0 +1,166 @@
+(** simpl_array benchmarks (12): small array-manipulation routines of the
+    kind harvested from application codebases in the C2TACO suite. *)
+
+open Bench
+open Stagg_oracle.Llm_client
+
+let mk = mk ~category:Simpl_array
+
+let all =
+  [
+    mk ~name:"sa_sum" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = A(i)"
+      {|
+void array_total(int N, int* A, int* R) {
+  int i;
+  int total = 0;
+  for (i = 0; i < N; i++) {
+    total = total + A[i];
+  }
+  *R = total;
+}
+|};
+    mk ~name:"sa_sum2d" ~quality:Exact
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; cell "R" ]
+      ~out:"R" ~truth:"R = A(i,j)"
+      {|
+void grid_total(int N, int M, int* A, int* R) {
+  int i, j;
+  int total = 0;
+  int* p = A;
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      total += *p++;
+    }
+  }
+  *R = total;
+}
+|};
+    mk ~name:"sa_mul_sum" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = A(i) * B(i)"
+      {|
+void pairwise_total(int N, int* A, int* B, int* R) {
+  int i;
+  int total = 0;
+  for (i = 0; i < N; i++) {
+    total += A[i] * B[i];
+  }
+  *R = total;
+}
+|};
+    mk ~name:"sa_add_one" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) + 1"
+      {|
+void increment_all(int N, int* A, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] + 1;
+  }
+}
+|};
+    mk ~name:"sa_const_sub" ~quality:Near
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = 10 - A(i)"
+      {|
+void invert_range(int N, int* A, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = 10 - A[i];
+  }
+}
+|};
+    mk ~name:"sa_row_sums" ~quality:Exact
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i,j)"
+      {|
+void row_sums(int N, int M, int* A, int* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    int s = 0;
+    for (j = 0; j < M; j++) {
+      s += A[i * M + j];
+    }
+    R[i] = s;
+  }
+}
+|};
+    mk ~name:"sa_col_sums" ~quality:Near
+      ~args:[ size "N"; size "M"; arr "A" [ "N"; "M" ]; arr "R" [ "M" ] ]
+      ~out:"R" ~truth:"R(i) = A(j,i)"
+      {|
+void col_sums(int N, int M, int* A, int* R) {
+  int i, j;
+  for (j = 0; j < M; j++) {
+    R[j] = 0;
+  }
+  for (i = 0; i < N; i++) {
+    for (j = 0; j < M; j++) {
+      R[j] += A[i * M + j];
+    }
+  }
+}
+|};
+    mk ~name:"sa_triple_prod" ~quality:Near
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "C" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) * B(i) * C(i)"
+      {|
+void triple_product(int N, int* A, int* B, int* C, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] * B[i] * C[i];
+  }
+}
+|};
+    mk ~name:"sa_scaled_total" ~quality:Near
+      ~args:[ size "N"; arr "A" [ "N" ]; cell "R" ]
+      ~out:"R" ~truth:"R = A(i) * 7"
+      {|
+void scaled_total(int N, int* A, int* R) {
+  int i;
+  int total = 0;
+  for (i = 0; i < N; i++) {
+    total += A[i];
+  }
+  *R = total * 7;
+}
+|};
+    mk ~name:"sa_fma_const" ~quality:Near
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "B" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) * 2 + B(i)"
+      {|
+void double_and_add(int N, int* A, int* B, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] * 2 + B[i];
+  }
+}
+|};
+    mk ~name:"sa_quarter" ~quality:Exact
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) / 4"
+      {|
+void quarter_each(int N, int* A, int* R) {
+  int i;
+  int* pa = A;
+  int* pr = R;
+  for (i = 0; i < N; i++) {
+    *pr++ = *pa++ / 4;
+  }
+}
+|};
+    mk ~name:"sa_norm_ratio" ~quality:Near
+      ~args:[ size "N"; arr "A" [ "N" ]; scalar "lo"; scalar "hi"; arr "R" [ "N" ] ]
+      ~out:"R" ~truth:"R(i) = A(i) / (hi - lo)"
+      {|
+void normalize_span(int N, int* A, int lo, int hi, int* R) {
+  int i;
+  int span = hi - lo;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] / span;
+  }
+}
+|};
+  ]

@@ -1,0 +1,1 @@
+lib/core/method_.ml: Astar List Penalty Printf Stagg_search

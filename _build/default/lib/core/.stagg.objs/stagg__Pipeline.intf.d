@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Method_ Result_ Stagg_benchsuite Stagg_grammar Stagg_minic Stagg_oracle Stagg_search Stagg_taco

@@ -1,0 +1,1 @@
+lib/core/result_.ml: Format List Option Stagg_taco Stagg_validate

@@ -1,0 +1,63 @@
+(** Method configurations: which search, which grammar, which penalties —
+    the knobs behind every row of Tables 1–3 and Figures 9–12. *)
+
+open Stagg_search
+
+type search_kind = Top_down | Bottom_up
+
+type grammar_mode =
+  | Refined  (** dimension-list-refined grammar, learned probabilities (STAGG) *)
+  | Equal_probability  (** refined grammar, uniform probabilities *)
+  | Llm_grammar  (** full TACO grammar, learned probabilities *)
+  | Full_grammar  (** full TACO grammar, uniform probabilities *)
+
+type t = {
+  label : string;
+  search : search_kind;
+  grammar : grammar_mode;
+  penalties : Penalty.criterion list;
+  budget : Astar.budget;
+  max_depth : int;  (** top-down depth limit (§5.1) *)
+  verify : bool;  (** bounded verification of validated candidates (§7) *)
+  seed : int;  (** drives the mock LLM and example generation *)
+}
+
+(* The attempt/expansion caps are the binding limits: they are
+   deterministic, so solve/fail outcomes do not flip with machine load.
+   The wall-clock limit is a backstop (the paper used 60 minutes). *)
+let default_budget = { Astar.max_attempts = 60_000; max_expansions = 300_000; timeout_s = 10. }
+
+let base search grammar penalties label =
+  {
+    label;
+    search;
+    grammar;
+    penalties;
+    budget = default_budget;
+    max_depth = 6;
+    verify = true;
+    seed = 20250604;
+  }
+
+let stagg_td = base Top_down Refined Penalty.all_topdown "STAGG^TD"
+let stagg_bu = base Bottom_up Refined Penalty.all_bottomup "STAGG^BU"
+
+(* Table 2: penalty ablations *)
+let drop_penalty m (c : Penalty.criterion) =
+  {
+    m with
+    label = Printf.sprintf "%s.Drop(%s)" m.label (Penalty.criterion_to_string c);
+    penalties = List.filter (fun x -> x <> c) m.penalties;
+  }
+
+let drop_all_penalties m suffix = { m with label = m.label ^ ".Drop(" ^ suffix ^ ")"; penalties = [] }
+
+(* Table 3: grammar ablations *)
+let with_grammar m g suffix = { m with label = m.label ^ "." ^ suffix; grammar = g }
+
+let td_equal_probability = with_grammar stagg_td Equal_probability "EqualProbability"
+let td_llm_grammar = with_grammar stagg_td Llm_grammar "LLMGrammar"
+let td_full_grammar = with_grammar stagg_td Full_grammar "FullGrammar"
+let bu_equal_probability = with_grammar stagg_bu Equal_probability "EqualProbability"
+let bu_llm_grammar = with_grammar stagg_bu Llm_grammar "LLMGrammar"
+let bu_full_grammar = with_grammar stagg_bu Full_grammar "FullGrammar"

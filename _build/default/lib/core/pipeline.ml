@@ -1,0 +1,183 @@
+open Stagg_util
+open Stagg_grammar
+open Stagg_search
+open Stagg_template
+module Bench = Stagg_benchsuite.Bench
+module Validator = Stagg_validate.Validator
+module Examples = Stagg_validate.Examples
+module Bmc = Stagg_verify.Bmc
+
+type prepared = {
+  candidates : Stagg_taco.Ast.program list;
+  templates : Stagg_taco.Ast.program list;
+  dim_list : int list;
+  pcfg : Pcfg.t;
+  penalty_ctx : Penalty.ctx;
+}
+
+type query = {
+  qname : string;
+  func : Stagg_minic.Ast.func;
+  signature : Stagg_minic.Signature.t;
+  c_source : string;
+  client : (module Stagg_oracle.Llm_client.S);
+}
+
+let query_of_bench (m : Method_.t) (b : Bench.t) : query =
+  (* one deterministic mock-LLM stream per (seed, benchmark) *)
+  let prng = Prng.create ~seed:(m.seed lxor Hashtbl.hash b.name) in
+  let client =
+    match Bench.truth b with
+    | Some ground_truth -> Stagg_oracle.Mock_llm.client ~prng ~ground_truth ~quality:b.llm_quality
+    | None -> Stagg_oracle.Replay.of_lines []
+  in
+  { qname = b.name; func = Bench.func b; signature = b.signature; c_source = b.c_source; client }
+
+let ops_in_templates templates =
+  List.fold_left
+    (fun acc t ->
+      List.fold_left
+        (fun acc op -> if List.mem op acc then acc else op :: acc)
+        acc
+        (Stagg_taco.Ast.ops_used t.Stagg_taco.Ast.rhs))
+    [] templates
+  |> List.rev
+
+let grammar_has_const (cfg : Cfg.t) =
+  Array.exists
+    (fun (r : Cfg.rule) -> List.exists (fun s -> s = Cfg.T Cfg.Tok_const) r.rhs)
+    (Cfg.rules cfg)
+
+let prepare_query (m : Method_.t) (q : query) : (prepared, string) result =
+  let (module Llm) = q.client in
+  let responses = Llm.query ~prompt:(Stagg_oracle.Prompt.build ~c_source:q.c_source) in
+  let candidates = Stagg_oracle.Response.parse_all responses in
+  if candidates = [] then Error "no syntactically valid LLM candidates"
+  else begin
+    let templates = List.filter_map Templatize.templatize candidates in
+    if templates = [] then Error "no templatizable LLM candidates"
+    else begin
+      match Dimlist.predict templates with
+      | None -> Error "dimension prediction failed"
+      | Some predicted ->
+          (* static analysis takes precedence for the LHS (§4.2.3) *)
+          let dim_list =
+            match Stagg_minic.Dims.lhs_dim q.func with
+            | Some d -> Dimlist.override_lhs predicted d
+            | None -> predicted
+          in
+          (* The LLMGrammar/FullGrammar ablations drop the §4.2.4 dimension
+             refinement but keep the §4.2.2 symbol restriction: tensor
+             names, maximal rank and index variables still come from the
+             candidate set (the paper restricts the base grammar to "the
+             names we have chosen as symbolic tensor variables" before any
+             dimension reasoning). *)
+          let n_rhs_tensors =
+            max 1
+              (List.fold_left
+                 (fun acc t -> max acc (List.length (Templatize.symbols t) - 1))
+                 0 templates)
+          in
+          let max_rank =
+            max 1
+              (List.fold_left
+                 (fun acc t ->
+                   List.fold_left (fun a (_, r) -> max a r) acc (Templatize.symbols t))
+                 0 templates)
+          in
+          let cfg =
+            match (m.search, m.grammar) with
+            | _, (Method_.Refined | Method_.Equal_probability) -> (
+                match m.search with
+                | Method_.Top_down -> Gen_topdown.generate ~dim_list ~templates
+                | Method_.Bottom_up -> Gen_bottomup.generate ~dim_list ~templates)
+            | Method_.Top_down, (Method_.Llm_grammar | Method_.Full_grammar) ->
+                Taco_grammar.generate ~n_rhs_tensors ~max_rank
+                  ~n_indices:(Genlib.unique_index_count templates) ()
+            | Method_.Bottom_up, (Method_.Llm_grammar | Method_.Full_grammar) ->
+                Gen_bottomup.generate_full ~n_rhs_tensors ~max_rank
+                  ~n_indices:(Genlib.unique_index_count templates) ()
+          in
+          let pcfg =
+            match m.grammar with
+            | Method_.Refined | Method_.Llm_grammar ->
+                Pcfg.of_weights cfg (Derive.weights_of_templates cfg templates)
+            | Method_.Equal_probability | Method_.Full_grammar -> Pcfg.uniform cfg
+          in
+          let penalty_ctx =
+            {
+              Penalty.dim_list;
+              ops_available = ops_in_templates templates;
+              grammar_has_const = grammar_has_const cfg;
+              enabled = m.penalties;
+            }
+          in
+          Ok { candidates; templates; dim_list; pcfg; penalty_ctx }
+    end
+  end
+
+let prepare m b = prepare_query m (query_of_bench m b)
+
+let lift (m : Method_.t) (q : query) : Result_.t =
+  let started = Unix.gettimeofday () in
+  let finish ~solved ~solution ~attempts ~expansions ~n_candidates ~failure =
+    {
+      Result_.bench = q.qname;
+      method_label = m.label;
+      solved;
+      solution;
+      time_s = Unix.gettimeofday () -. started;
+      attempts;
+      expansions;
+      n_candidates;
+      failure;
+    }
+  in
+  match prepare_query m q with
+  | Error reason ->
+      finish ~solved:false ~solution:None ~attempts:0 ~expansions:0 ~n_candidates:0
+        ~failure:(Some reason)
+  | Ok prep -> (
+      let n_candidates = List.length prep.candidates in
+      let func = q.func in
+      let prng = Prng.create ~seed:(m.seed lxor Hashtbl.hash (q.qname, "examples")) in
+      match Examples.generate ~func ~signature:q.signature ~prng () with
+      | Error msg ->
+          finish ~solved:false ~solution:None ~attempts:0 ~expansions:0 ~n_candidates
+            ~failure:(Some msg)
+      | Ok examples -> (
+          let verify concrete =
+            if not m.verify then true
+            else
+              match Bmc.check ~func ~signature:q.signature ~candidate:concrete () with
+              | Bmc.Equivalent -> true
+              | Bmc.Not_equivalent _ | Bmc.Inconclusive _ -> false
+          in
+          let consts = Stagg_minic.Ast.constants func in
+          let validate template =
+            Validator.validate ~signature:q.signature ~examples ~consts ~verify template
+          in
+          let outcome =
+            match m.search with
+            | Method_.Top_down ->
+                Astar.search_topdown ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
+                  ~max_depth:m.max_depth ~budget:m.budget ~validate ()
+            | Method_.Bottom_up ->
+                Astar.search_bottomup ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
+                  ~dim_list:prep.dim_list ~budget:m.budget ~validate ()
+          in
+          let stats = Astar.stats_of outcome in
+          match outcome with
+          | Astar.Solved (sol, _) ->
+              finish ~solved:true ~solution:(Some sol) ~attempts:stats.attempts
+                ~expansions:stats.expansions ~n_candidates ~failure:None
+          | Astar.Exhausted _ ->
+              finish ~solved:false ~solution:None ~attempts:stats.attempts
+                ~expansions:stats.expansions ~n_candidates ~failure:(Some "search space exhausted")
+          | Astar.Budget_exceeded _ ->
+              finish ~solved:false ~solution:None ~attempts:stats.attempts
+                ~expansions:stats.expansions ~n_candidates ~failure:(Some "budget exceeded")))
+
+let run (m : Method_.t) (b : Bench.t) : Result_.t = lift m (query_of_bench m b)
+
+let run_suite m benches = List.map (run m) benches

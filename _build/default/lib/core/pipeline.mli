@@ -1,0 +1,50 @@
+(** The end-to-end STAGG pipeline (paper Fig. 1).
+
+    ① query the LLM for candidate translations → ② templatize and learn a
+    probabilistic grammar of templates (refined by the predicted dimension
+    list, LHS dimension from static analysis) → ③ search the template
+    space with weighted A* (top-down or bottom-up) → validate complete
+    templates against I/O examples → ④ bounded verification of the
+    surviving instantiation. *)
+
+(** Intermediate artifacts, exposed for the CLI, the examples and the
+    tests. *)
+type prepared = {
+  candidates : Stagg_taco.Ast.program list;  (** parsed LLM candidates *)
+  templates : Stagg_taco.Ast.program list;  (** templatized candidates *)
+  dim_list : int list;  (** predicted L, LHS overridden by static analysis *)
+  pcfg : Stagg_grammar.Pcfg.t;
+  penalty_ctx : Stagg_search.Penalty.ctx;
+}
+
+(** A lifting query: everything the pipeline needs about one legacy
+    program. Suite benchmarks are one source of queries ({!query_of_bench});
+    arbitrary C files with a signature spec and a recorded LLM transcript
+    are another (the CLI's [lift-file]). *)
+type query = {
+  qname : string;
+  func : Stagg_minic.Ast.func;
+  signature : Stagg_minic.Signature.t;
+  c_source : string;
+  client : (module Stagg_oracle.Llm_client.S);
+}
+
+(** [query_of_bench m b] packages a suite benchmark with its mock LLM. *)
+val query_of_bench : Method_.t -> Stagg_benchsuite.Bench.t -> query
+
+(** [prepare_query m q] runs stages ①–② and builds the grammar that stage
+    ③ will search. [Error reason] when the LLM yields no usable
+    candidate. *)
+val prepare_query : Method_.t -> query -> (prepared, string) result
+
+(** [prepare m bench] — {!prepare_query} on a suite benchmark. *)
+val prepare : Method_.t -> Stagg_benchsuite.Bench.t -> (prepared, string) result
+
+(** [lift m q] — the whole pipeline on an arbitrary query; never raises. *)
+val lift : Method_.t -> query -> Result_.t
+
+(** [run m bench] — the whole pipeline; never raises. *)
+val run : Method_.t -> Stagg_benchsuite.Bench.t -> Result_.t
+
+(** [run_suite m benches] — [run] over a list, in order. *)
+val run_suite : Method_.t -> Stagg_benchsuite.Bench.t list -> Result_.t list

@@ -1,0 +1,1 @@
+lib/grammar/derive.ml: Array Ast Cfg List Option Stagg_taco String

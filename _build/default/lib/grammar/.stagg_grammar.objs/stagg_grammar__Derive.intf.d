@@ -1,0 +1,1 @@
+lib/grammar/derive.mli: Cfg Stagg_taco

@@ -1,0 +1,1 @@
+lib/grammar/gen_bottomup.ml: Array Ast Cfg Fun Genlib List Printf Stagg_taco

@@ -1,0 +1,1 @@
+lib/grammar/gen_bottomup.mli: Cfg Stagg_taco

@@ -1,0 +1,1 @@
+lib/grammar/gen_topdown.ml: Ast Cfg Genlib List Stagg_taco

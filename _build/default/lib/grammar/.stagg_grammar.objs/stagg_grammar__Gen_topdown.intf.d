@@ -1,0 +1,1 @@
+lib/grammar/gen_topdown.mli: Cfg Stagg_taco

@@ -1,0 +1,1 @@
+lib/grammar/genlib.ml: Ast Char Hashtbl List Printf Stagg_taco String

@@ -1,0 +1,1 @@
+lib/grammar/pcfg.ml: Array Cfg Float Format Hashtbl List Option

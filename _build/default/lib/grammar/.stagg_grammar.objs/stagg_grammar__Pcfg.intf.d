@@ -1,0 +1,1 @@
+lib/grammar/pcfg.mli: Cfg Format Stagg_taco

@@ -1,0 +1,1 @@
+lib/grammar/taco_grammar.ml: Ast Cfg Fun Genlib List Stagg_taco

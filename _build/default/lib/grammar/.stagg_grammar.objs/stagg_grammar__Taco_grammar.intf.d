@@ -1,0 +1,1 @@
+lib/grammar/taco_grammar.mli: Cfg

@@ -1,0 +1,24 @@
+(** The §5.2 grammar generator: a right-linear template grammar for the
+    bottom-up search.
+
+    For a dimension list [L] with [n = |L|] tensors, produces:
+    {v
+    PROGRAM  ::= TENSOR1 "=" EXPR
+    EXPR     ::= TENSOR2 TAIL1
+    TAILk    ::= ε | OP TENSOR(k+2) TAIL(k+1)      (k = 1 .. n-2)
+    TAIL(n-1)::= ε
+    OP       ::= "+" | "-" | "*" | "/"
+    TENSORk  ::= every arrangement of L[k-1] indices; "Const" at 0-dim
+    v}
+    Each position has its own nonterminal, so the grammar itself enumerates
+    tensors in dimension-list order and bounds the expression length —
+    exactly why the bottom-up search needs fewer penalty rules (§5.2). *)
+
+val generate : dim_list:int list -> templates:Stagg_taco.Ast.program list -> Cfg.t
+
+(** Unrefined right-linear grammar: one shared TENSOR nonterminal over
+    every symbol name and rank, unbounded chain. Backs the bottom-up
+    [LLMGrammar] / [FullGrammar] ablations of Table 3, where the
+    dimension-list refinement is disabled but the bottom-up search shape
+    is kept. *)
+val generate_full : ?n_rhs_tensors:int -> ?max_rank:int -> ?n_indices:int -> unit -> Cfg.t

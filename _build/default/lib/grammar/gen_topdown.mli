@@ -1,0 +1,18 @@
+(** The §4.2.4 grammar generator: a refined template grammar for the
+    top-down search, from a predicted dimension list.
+
+    For a dimension list [L] (element 0 = the LHS tensor) and the candidate
+    templates [T], produces:
+    {v
+    PROGRAM ::= TENSOR1 "=" EXPR
+    EXPR    ::= TENSOR | EXPR OP EXPR
+    OP      ::= "+" | "-" | "*" | "/"
+    TENSOR1 ::= "a" / "a(i)" / "a(i,j)" / ...     (fixed by L[0])
+    TENSOR  ::= every arrangement of L[k] indices out of i(T) index
+                variables, for every RHS position k; "Const" for 0-dim
+                positions
+    v}
+    Index tuples with a repeated variable are pruned unless some candidate
+    uses one (paper: "we will remove b(i,i)"). *)
+
+val generate : dim_list:int list -> templates:Stagg_taco.Ast.program list -> Cfg.t

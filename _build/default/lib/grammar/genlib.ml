@@ -1,0 +1,62 @@
+(** Shared helpers for the grammar generators (§4.2.4 and §5.2). *)
+
+open Stagg_taco
+
+(* The canonical index-variable pool {i, j, k, l} (paper Fig. 5). *)
+let canonical_pool = [ "i"; "j"; "k"; "l" ]
+
+let canonical_indices n =
+  if n < 0 || n > List.length canonical_pool then
+    invalid_arg (Printf.sprintf "canonical_indices: unsupported count %d" n);
+  List.filteri (fun k _ -> k < n) canonical_pool
+
+(* Tensor symbol name for position [pos] in the dimension list: position 0
+   (the LHS) is "a", then "b", "c", ... *)
+let tensor_name pos = String.make 1 (Char.chr (Char.code 'a' + pos))
+
+let rec tuples pool = function
+  | 0 -> [ [] ]
+  | n -> List.concat_map (fun rest -> List.map (fun v -> v :: rest) pool) (tuples pool (n - 1))
+
+let has_duplicate idxs =
+  List.exists (fun i -> List.length (List.filter (String.equal i) idxs) > 1) idxs
+
+(* All [dim]-tuples over the first [n_indices] canonical index variables;
+   tuples with a repeated variable are pruned unless [allow_repeat]
+   (§4.2.4: "we will remove b(i,i)" if unused by every candidate). *)
+let index_tuples ~dim ~n_indices ~allow_repeat =
+  let pool = canonical_indices (max 1 (min n_indices (List.length canonical_pool))) in
+  tuples pool dim |> List.filter (fun t -> allow_repeat || not (has_duplicate t))
+
+(* Does any candidate template contain an access with a repeated index? *)
+let templates_have_repeated_index (templates : Ast.program list) =
+  let rec expr_has = function
+    | Ast.Access (_, idxs) -> has_duplicate idxs
+    | Ast.Const _ -> false
+    | Ast.Neg e -> expr_has e
+    | Ast.Bin (_, a, b) -> expr_has a || expr_has b
+  in
+  List.exists (fun (p : Ast.program) -> has_duplicate (snd p.lhs) || expr_has p.rhs) templates
+
+(* Number of unique index variables across the candidate templates —
+   [i(T)] in the paper. At least 1 so 1-D tensors stay expressible. *)
+let unique_index_count (templates : Ast.program list) =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p -> List.iter (fun i -> Hashtbl.replace seen i ()) (Ast.indices_of_program p))
+    templates;
+  max 1 (min (Hashtbl.length seen) (List.length canonical_pool))
+
+(* Does any candidate template contain the symbolic constant? Constant
+   productions enter a generated grammar only in that case: Const can only
+   be instantiated from source literals, and the search should only spend
+   probability mass on it when the LLM actually suggested a constant. *)
+let templates_have_const (templates : Ast.program list) =
+  let rec expr_has = function
+    | Ast.Const _ -> true
+    | Ast.Access (n, []) -> String.equal n "Const"
+    | Ast.Access _ -> false
+    | Ast.Neg e -> expr_has e
+    | Ast.Bin (_, a, b) -> expr_has a || expr_has b
+  in
+  List.exists (fun (p : Ast.program) -> expr_has p.rhs) templates

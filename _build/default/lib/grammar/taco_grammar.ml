@@ -1,0 +1,56 @@
+open Stagg_taco
+
+let generate ?(n_rhs_tensors = 4) ?(max_rank = 3) ?(n_indices = 4) () =
+  let ranks = List.init (max_rank + 1) Fun.id in
+  let tensor_prods_for name =
+    List.concat_map
+      (fun rank ->
+        Genlib.index_tuples ~dim:rank ~n_indices ~allow_repeat:true
+        |> List.map (fun idxs -> ("TENSOR", [ Cfg.T (Cfg.Tok_tensor (name, idxs)) ])))
+      ranks
+  in
+  let lhs_prods =
+    (* the LHS is always the first symbol "a"; Fig. 5 allows any rank *)
+    List.concat_map
+      (fun rank ->
+        Genlib.index_tuples ~dim:rank ~n_indices ~allow_repeat:false
+        |> List.map (fun idxs -> ("TENSOR1", [ Cfg.T (Cfg.Tok_tensor ("a", idxs)) ])))
+      ranks
+  in
+  let rhs_names = List.init n_rhs_tensors (fun k -> Genlib.tensor_name (k + 1)) in
+  let binaries =
+    List.map
+      (fun op -> ("EXPR", [ Cfg.NT "EXPR"; Cfg.T (Cfg.Tok_op op); Cfg.NT "EXPR" ]))
+      Ast.all_ops
+  in
+  let prods =
+    [ ("PROGRAM", [ Cfg.NT "TENSOR1"; Cfg.T Cfg.Tok_assign; Cfg.NT "EXPR" ]) ]
+    @ lhs_prods
+    @ [
+        ("EXPR", [ Cfg.NT "TENSOR" ]);
+        ("EXPR", [ Cfg.T Cfg.Tok_const ]);
+        (* parenthesized expression: concrete syntax only *)
+        ("EXPR", [ Cfg.T Cfg.Tok_lparen; Cfg.NT "EXPR"; Cfg.T Cfg.Tok_rparen ]);
+        ("EXPR", [ Cfg.T Cfg.Tok_neg; Cfg.NT "EXPR" ]);
+      ]
+    @ binaries
+    @ List.concat_map tensor_prods_for rhs_names
+  in
+  (* locate the paren rule's id to flag it as concrete syntax *)
+  let paren_id =
+    let rec find i = function
+      | [] -> invalid_arg "Taco_grammar: no paren rule"
+      | (_, [ Cfg.T Cfg.Tok_lparen; _; _ ]) :: _ -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 prods
+  in
+  Cfg.make ~start:"PROGRAM"
+    ~categories:
+      [
+        ("PROGRAM", Cfg.Cat_program);
+        ("TENSOR1", Cfg.Cat_tensor);
+        ("EXPR", Cfg.Cat_expr);
+        ("TENSOR", Cfg.Cat_tensor);
+      ]
+    ~concrete_syntax:[ paren_id ] prods

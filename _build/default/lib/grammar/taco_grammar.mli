@@ -1,0 +1,10 @@
+(** The full TACO template grammar (paper Fig. 5), restricted — as the
+    paper's template space is — to symbolic tensor names [a, b, c, ...] and
+    the canonical index pool [i, j, k, l].
+
+    Used by the [FullGrammar] and [LLMGrammar] ablation configurations
+    (Table 3): no dimension-list refinement, every tensor name may take
+    any rank up to [max_rank] with any index tuple (repetition allowed),
+    plus parenthesized and negated expressions. *)
+
+val generate : ?n_rhs_tensors:int -> ?max_rank:int -> ?n_indices:int -> unit -> Cfg.t

@@ -1,0 +1,1 @@
+lib/minic/affine.ml: Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/minic/affine.mli: Format

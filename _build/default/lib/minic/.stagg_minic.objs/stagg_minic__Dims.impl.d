@@ -1,0 +1,1 @@
+lib/minic/dims.ml: Affine Ast Hashtbl List Option Recover String

@@ -1,0 +1,1 @@
+lib/minic/dims.mli: Ast

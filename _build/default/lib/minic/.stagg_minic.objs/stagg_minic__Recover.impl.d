@@ -1,0 +1,1 @@
+lib/minic/recover.ml: Affine Ast Format List Map Stagg_util String

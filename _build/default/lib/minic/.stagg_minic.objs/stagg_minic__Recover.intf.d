@@ -1,0 +1,1 @@
+lib/minic/recover.mli: Affine Ast Format

@@ -1,0 +1,1 @@
+lib/minic/sigspec.ml: Buffer List Printf Result Signature String

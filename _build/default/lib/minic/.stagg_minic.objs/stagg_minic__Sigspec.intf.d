@@ -1,0 +1,1 @@
+lib/minic/sigspec.mli: Signature

@@ -1,0 +1,161 @@
+(** Abstract syntax for the C subset the tensor-lifting benchmarks use.
+
+    This covers the idioms found in the C2TACO benchmark suite that the
+    paper evaluates on: single functions over scalar and pointer arguments,
+    counted [for] loops, array subscripts with affine (possibly linearized)
+    index expressions, explicit pointer arithmetic including [*p++], and
+    compound assignment. *)
+
+open Stagg_util
+
+type typ =
+  | Tint  (** [int], [float], [double] — all scalars are exact rationals *)
+  | Tptr  (** [int*], [float*], ... — a pointer into a 1-D buffer *)
+
+type param = { pname : string; ptyp : typ }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+
+type expr =
+  | Num of Rat.t  (** numeric literal *)
+  | Var of string
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Not of expr
+  | Deref of expr  (** [*e] *)
+  | Index of expr * expr  (** [e1\[e2\]] *)
+  | Addr_index of expr * expr  (** [&e1\[e2\]] *)
+  | Post_incr of string  (** [p++] as an expression: yields the old value *)
+  | Post_decr of string
+  | Ternary of expr * expr * expr
+
+type lvalue =
+  | Lvar of string
+  | Lderef of expr  (** [*e = ...] *)
+  | Lindex of expr * expr  (** [e1\[e2\] = ...] *)
+
+type stmt =
+  | Decl of typ * string * expr option
+  | Assign of lvalue * expr
+  | Op_assign of lvalue * binop * expr  (** [+=], [-=], [*=], [/=] *)
+  | Incr_stmt of lvalue  (** [x++;] *)
+  | Decr_stmt of lvalue
+  | For of for_header * stmt list
+  | If of expr * stmt list * stmt list
+  | Block of stmt list
+  | Expr_stmt of expr
+  | Return of expr option
+
+and for_header = {
+  init : stmt option;  (** e.g. [i = 0] or [int i = 0] *)
+  cond : expr option;
+  step : stmt option;  (** e.g. [i++] or [i += 1] *)
+}
+
+type func = { fname : string; params : param list; body : stmt list }
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+
+(** Arithmetic data operators occurring in the function body, mapped onto
+    the four TACO operators. Used by the C2TACO baseline's
+    operator-extraction heuristic. *)
+let arith_ops_used (f : func) : binop list =
+  let acc = ref [] in
+  let add o = if not (List.mem o !acc) then acc := o :: !acc in
+  let rec go_expr = function
+    | Num _ | Var _ | Post_incr _ | Post_decr _ -> ()
+    | Bin (o, a, b) ->
+        (match o with Add | Sub | Mul | Div -> add o | _ -> ());
+        go_expr a;
+        go_expr b
+    | Neg e -> add Sub; go_expr e
+    | Not e -> go_expr e
+    | Deref e -> go_expr e
+    | Index (a, b) | Addr_index (a, b) -> go_expr a; go_expr b
+    | Ternary (c, a, b) -> go_expr c; go_expr a; go_expr b
+  and go_lv = function
+    | Lvar _ -> ()
+    | Lderef e -> go_expr e
+    | Lindex (a, b) -> go_expr a; go_expr b
+  and go_stmt = function
+    | Decl (_, _, e) -> Option.iter go_expr e
+    | Assign (lv, e) -> go_lv lv; go_expr e
+    | Op_assign (lv, o, e) ->
+        (match o with Add | Sub | Mul | Div -> add o | _ -> ());
+        go_lv lv;
+        go_expr e
+    | Incr_stmt lv | Decr_stmt lv -> go_lv lv
+    | For (h, body) ->
+        Option.iter go_stmt h.init;
+        (* the loop condition and step are control, not data *)
+        List.iter go_stmt body
+    | If (c, t, e) -> go_expr c; List.iter go_stmt t; List.iter go_stmt e
+    | Block b -> List.iter go_stmt b
+    | Expr_stmt e -> go_expr e
+    | Return e -> Option.iter go_expr e
+  in
+  List.iter go_stmt f.body;
+  List.rev !acc
+
+(** Integer literals in data expressions (not loop headers or subscripts),
+    deduplicated in order of appearance — the constant pool used when
+    instantiating [Const] template symbols (§6). *)
+let constants (f : func) : Rat.t list =
+  let acc = ref [] in
+  let add c = if not (List.exists (Rat.equal c) !acc) then acc := c :: !acc in
+  let rec go_expr ~data = function
+    | Num c -> if data then add c
+    | Var _ | Post_incr _ | Post_decr _ -> ()
+    | Bin (_, a, b) -> go_expr ~data a; go_expr ~data b
+    | Neg e | Not e | Deref e -> go_expr ~data e
+    | Index (a, b) | Addr_index (a, b) ->
+        go_expr ~data a;
+        (* subscripts are address arithmetic, not tensor data *)
+        go_expr ~data:false b
+    | Ternary (c, a, b) -> go_expr ~data:false c; go_expr ~data a; go_expr ~data b
+  and go_lv = function
+    | Lvar _ -> ()
+    | Lderef e -> go_expr ~data:false e
+    | Lindex (a, b) -> go_expr ~data:false a; go_expr ~data:false b
+  and go_stmt = function
+    | Decl (_, _, e) -> Option.iter (go_expr ~data:true) e
+    | Assign (lv, e) -> go_lv lv; go_expr ~data:true e
+    | Op_assign (lv, _, e) -> go_lv lv; go_expr ~data:true e
+    | Incr_stmt lv | Decr_stmt lv -> go_lv lv
+    | For (h, body) ->
+        ignore h;
+        List.iter go_stmt body
+    | If (c, t, e) -> go_expr ~data:false c; List.iter go_stmt t; List.iter go_stmt e
+    | Block b -> List.iter go_stmt b
+    | Expr_stmt e -> go_expr ~data:true e
+    | Return e -> Option.iter (go_expr ~data:true) e
+  in
+  List.iter go_stmt f.body;
+  (* 0 is the additive identity and never a useful template constant *)
+  List.rev (List.filter (fun c -> not (Rat.is_zero c)) !acc)

@@ -1,0 +1,54 @@
+open Ast
+
+(* Number of distinct enclosing-loop counters in a recovered index
+   polynomial: the delinearized dimensionality of the access. *)
+let access_dim (a : Recover.access) : int option =
+  match a.index with
+  | None -> None
+  | Some p ->
+      let vs = Affine.vars p in
+      Some (List.length (List.filter (fun v -> List.mem v a.loop_vars) vs))
+
+let stores (f : func) =
+  List.filter (fun (a : Recover.access) -> a.kind = Recover.Store) (Recover.analyze f)
+
+let output_param (f : func) : string option =
+  let param_names = List.filter_map (fun p -> if p.ptyp = Tptr then Some p.pname else None) f.params in
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun (a : Recover.access) ->
+      if List.mem a.base param_names then
+        Hashtbl.replace counts a.base (1 + Option.value ~default:0 (Hashtbl.find_opt counts a.base)))
+    (stores f);
+  Hashtbl.fold
+    (fun name n best ->
+      match best with Some (_, m) when m >= n -> best | _ -> Some (name, n))
+    counts None
+  |> Option.map fst
+
+let lhs_dim (f : func) : int option =
+  match output_param f with
+  | None -> None
+  | Some out ->
+      let dims =
+        List.filter_map
+          (fun (a : Recover.access) -> if String.equal a.base out then access_dim a else None)
+          (stores f)
+      in
+      (match dims with [] -> None | ds -> Some (List.fold_left max 0 ds))
+
+let param_dims (f : func) : (string * int option) list =
+  let accesses = Recover.analyze f in
+  List.map
+    (fun p ->
+      match p.ptyp with
+      | Tint -> (p.pname, Some 0)
+      | Tptr ->
+          let dims =
+            List.filter_map
+              (fun (a : Recover.access) ->
+                if String.equal a.base p.pname then access_dim a else None)
+              accesses
+          in
+          (p.pname, match dims with [] -> None | ds -> Some (List.fold_left max 0 ds)))
+    f.params

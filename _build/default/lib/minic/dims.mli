@@ -1,0 +1,24 @@
+(** Dimensionality prediction from static analysis (paper §4.2.3).
+
+    Built on {!Recover}: the dimensionality of a tensor viewed through a
+    (possibly linearized, possibly pointer-walked) access is the number of
+    distinct enclosing-loop counters occurring in the recovered index
+    polynomial — the delinearization step of the paper. *)
+
+(** The parameter the function writes its result into: the unique pointer
+    parameter that is the target of a store. [None] if there is no store
+    or the analysis cannot attribute one to a parameter. When several
+    parameters are written, the most-written one is returned. *)
+val output_param : Ast.func -> string option
+
+(** [lhs_dim f] — predicted dimensionality of the output tensor: the
+    maximum, over recovered stores to the output parameter, of the number
+    of indexing variables; [Some 0] for an unindexed scalar store.
+    [None] when no store was recovered precisely. *)
+val lhs_dim : Ast.func -> int option
+
+(** [param_dims f] — best-effort dimensionality of every pointer parameter
+    (from loads and stores); scalars report 0. Parameters never accessed
+    precisely map to [None]. Used by the C2TACO baseline's dimension
+    heuristic. *)
+val param_dims : Ast.func -> (string * int option) list

@@ -1,0 +1,227 @@
+open Ast
+
+let max_steps = 50_000_000
+
+module Make (V : Stagg_util.Value.S) = struct
+  type arg = Scalar of V.t | Array of V.t array
+
+  type value = Num of V.t | Ptr of string * int
+
+  exception Exec_error of string
+  exception Return_exc
+
+  let errf fmt = Printf.ksprintf (fun msg -> raise (Exec_error msg)) fmt
+
+  type env = {
+    vars : (string, value) Hashtbl.t;
+    mem : (string, V.t array) Hashtbl.t;
+    mutable steps : int;
+  }
+
+  let tick env =
+    env.steps <- env.steps + 1;
+    if env.steps > max_steps then errf "iteration budget exceeded"
+
+  let lookup env v =
+    match Hashtbl.find_opt env.vars v with
+    | Some x -> x
+    | None -> errf "unbound variable %s" v
+
+  let as_int v =
+    match v with
+    | Num n -> (
+        match V.to_int n with Some i -> i | None -> errf "value used as index is not concrete")
+    | Ptr _ -> errf "pointer used where an integer is required"
+
+  let as_bool v =
+    match v with
+    | Num n -> (
+        match V.compare_concrete n V.zero with
+        | Some c -> c <> 0
+        | None -> errf "symbolic branch condition")
+    | Ptr _ -> true
+
+  let read_mem env base off =
+    match Hashtbl.find_opt env.mem base with
+    | None -> errf "dereference of non-array %s" base
+    | Some buf ->
+        if off < 0 || off >= Array.length buf then
+          errf "out-of-bounds read: %s[%d] (size %d)" base off (Array.length buf)
+        else buf.(off)
+
+  let write_mem env base off v =
+    match Hashtbl.find_opt env.mem base with
+    | None -> errf "store through non-array %s" base
+    | Some buf ->
+        if off < 0 || off >= Array.length buf then
+          errf "out-of-bounds write: %s[%d] (size %d)" base off (Array.length buf)
+        else buf.(off) <- v
+
+  let num_binop op a b =
+    match op with
+    | Add -> V.add a b
+    | Sub -> V.sub a b
+    | Mul -> V.mul a b
+    | Div -> V.div a b
+    | Mod -> (
+        match (V.to_int a, V.to_int b) with
+        | Some x, Some y when y <> 0 -> V.of_int (x mod y)
+        | Some _, Some _ -> raise Division_by_zero
+        | _ -> errf "'%%' requires concrete operands")
+    | Lt | Le | Gt | Ge | Eq | Ne -> (
+        match V.compare_concrete a b with
+        | None -> errf "symbolic comparison"
+        | Some c ->
+            let r =
+              match op with
+              | Lt -> c < 0
+              | Le -> c <= 0
+              | Gt -> c > 0
+              | Ge -> c >= 0
+              | Eq -> c = 0
+              | Ne -> c <> 0
+              | _ -> assert false
+            in
+            if r then V.one else V.zero)
+    | And | Or -> assert false (* handled with short-circuit in eval *)
+
+  let rec eval env (e : expr) : value =
+    tick env;
+    match e with
+    | Num c -> Num (V.of_rat c)
+    | Var v -> lookup env v
+    | Neg e -> (
+        match eval env e with
+        | Num n -> Num (V.neg n)
+        | Ptr _ -> errf "cannot negate a pointer")
+    | Not e -> Num (if as_bool (eval env e) then V.zero else V.one)
+    | Bin (And, a, b) ->
+        if as_bool (eval env a) then Num (if as_bool (eval env b) then V.one else V.zero)
+        else Num V.zero
+    | Bin (Or, a, b) ->
+        if as_bool (eval env a) then Num V.one
+        else Num (if as_bool (eval env b) then V.one else V.zero)
+    | Bin (op, a, b) -> (
+        let va = eval env a and vb = eval env b in
+        match (va, vb, op) with
+        | Num x, Num y, _ -> Num (num_binop op x y)
+        | Ptr (base, off), Num n, Add -> Ptr (base, off + as_int (Num n))
+        | Num n, Ptr (base, off), Add -> Ptr (base, off + as_int (Num n))
+        | Ptr (base, off), Num n, Sub -> Ptr (base, off - as_int (Num n))
+        | _ -> errf "unsupported pointer arithmetic")
+    | Deref e -> (
+        match eval env e with
+        | Ptr (base, off) -> Num (read_mem env base off)
+        | Num _ -> errf "dereference of a non-pointer")
+    | Index (a, ix) -> (
+        match eval env a with
+        | Ptr (base, off) -> Num (read_mem env base (off + as_int (eval env ix)))
+        | Num _ -> errf "subscript of a non-pointer")
+    | Addr_index (a, ix) -> (
+        match eval env a with
+        | Ptr (base, off) -> Ptr (base, off + as_int (eval env ix))
+        | Num _ -> errf "'&' subscript of a non-pointer")
+    | Post_incr v -> (
+        let old = lookup env v in
+        (match old with
+        | Num n -> Hashtbl.replace env.vars v (Num (V.add n V.one))
+        | Ptr (b, off) -> Hashtbl.replace env.vars v (Ptr (b, off + 1)));
+        old)
+    | Post_decr v -> (
+        let old = lookup env v in
+        (match old with
+        | Num n -> Hashtbl.replace env.vars v (Num (V.sub n V.one))
+        | Ptr (b, off) -> Hashtbl.replace env.vars v (Ptr (b, off - 1)));
+        old)
+    | Ternary (c, t, e) -> if as_bool (eval env c) then eval env t else eval env e
+
+
+  let read_lvalue env = function
+    | Lvar v -> lookup env v
+    | Lderef e -> (
+        match eval env e with
+        | Ptr (b, off) -> Num (read_mem env b off)
+        | Num _ -> errf "dereference of a non-pointer")
+    | Lindex (a, ix) -> (
+        match eval env a with
+        | Ptr (b, off) -> Num (read_mem env b (off + as_int (eval env ix)))
+        | Num _ -> errf "subscript of a non-pointer")
+
+  let write_lvalue env lv v =
+    match lv with
+    | Lvar x -> Hashtbl.replace env.vars x v
+    | Lderef e -> (
+        match (eval env e, v) with
+        | Ptr (b, off), Num n -> write_mem env b off n
+        | _ -> errf "invalid store")
+    | Lindex (a, ix) -> (
+        match (eval env a, v) with
+        | Ptr (b, off), Num n -> write_mem env b (off + as_int (eval env ix)) n
+        | _ -> errf "invalid store")
+
+  let rec exec env (s : stmt) : unit =
+    tick env;
+    match s with
+    | Decl (_, name, init) ->
+        let v = match init with None -> Num V.zero | Some e -> eval env e in
+        Hashtbl.replace env.vars name v
+    | Assign (lv, e) -> write_lvalue env lv (eval env e)
+    | Op_assign (lv, op, e) -> (
+        let cur = read_lvalue env lv in
+        let rhs = eval env e in
+        match (cur, rhs) with
+        | Num a, Num b -> write_lvalue env lv (Num (num_binop op a b))
+        | Ptr (b, off), Num _ when op = Add -> write_lvalue env lv (Ptr (b, off + as_int rhs))
+        | Ptr (b, off), Num _ when op = Sub -> write_lvalue env lv (Ptr (b, off - as_int rhs))
+        | _ -> errf "invalid compound assignment")
+    | Incr_stmt lv -> (
+        match read_lvalue env lv with
+        | Num n -> write_lvalue env lv (Num (V.add n V.one))
+        | Ptr (b, off) -> write_lvalue env lv (Ptr (b, off + 1)))
+    | Decr_stmt lv -> (
+        match read_lvalue env lv with
+        | Num n -> write_lvalue env lv (Num (V.sub n V.one))
+        | Ptr (b, off) -> write_lvalue env lv (Ptr (b, off - 1)))
+    | For (h, body) ->
+        Option.iter (exec env) h.init;
+        let continue_ = ref true in
+        while !continue_ do
+          let c = match h.cond with None -> true | Some e -> as_bool (eval env e) in
+          if not c then continue_ := false
+          else begin
+            List.iter (exec env) body;
+            Option.iter (exec env) h.step
+          end
+        done
+    | If (c, then_, else_) ->
+        if as_bool (eval env c) then List.iter (exec env) then_ else List.iter (exec env) else_
+    | Block b -> List.iter (exec env) b
+    | Expr_stmt e -> ignore (eval env e)
+    | Return _ -> raise Return_exc
+
+  let run (f : func) ~args =
+    if List.length args <> List.length f.params then
+      Error
+        (Printf.sprintf "arity mismatch: %s takes %d arguments, got %d" f.fname
+           (List.length f.params) (List.length args))
+    else begin
+      let env = { vars = Hashtbl.create 16; mem = Hashtbl.create 8; steps = 0 } in
+      List.iter2
+        (fun p a ->
+          match (p.ptyp, a) with
+          | Tint, Scalar v -> Hashtbl.replace env.vars p.pname (Num v)
+          | Tptr, Array buf ->
+              Hashtbl.replace env.mem p.pname buf;
+              Hashtbl.replace env.vars p.pname (Ptr (p.pname, 0))
+          | Tint, Array _ -> raise (Exec_error (p.pname ^ ": array passed for scalar parameter"))
+          | Tptr, Scalar _ -> raise (Exec_error (p.pname ^ ": scalar passed for pointer parameter")))
+        f.params args;
+      match List.iter (exec env) f.body with
+      | () -> Ok ()
+      | exception Return_exc -> Ok ()
+      | exception Exec_error msg -> Error msg
+      | exception Division_by_zero -> Error "division by zero"
+    end
+
+  let run f ~args = try run f ~args with Exec_error msg -> Error msg
+end

@@ -1,0 +1,27 @@
+(** Mini-C interpreter, functorized over the value domain.
+
+    With [V = Stagg_util.Value.Rat_value] this executes benchmarks on
+    concrete inputs (I/O example generation, §6); with the symbolic rational
+    functions of {!Stagg_verify} it performs the loop-unrolled symbolic
+    execution that underlies bounded verification (§7).
+
+    Semantics notes (both faithful to the paper's verifier):
+    - all arithmetic is exact rational arithmetic — [/] does not truncate —
+      matching the paper's rational-datatype extension of CBMC;
+    - control flow must be concrete: loop bounds and branch conditions may
+      depend only on size parameters and loop counters. A symbolic condition
+      is reported as an error. *)
+
+module Make (V : Stagg_util.Value.S) : sig
+  type arg =
+    | Scalar of V.t
+    | Array of V.t array
+        (** passed by reference; the callee mutates it in place *)
+
+  (** [run f ~args] binds [args] positionally to [f]'s parameters and
+      executes the body. Output is observed through mutated [Array] args.
+      Errors: arity mismatch, unbound variables, non-concrete control flow
+      or addressing, out-of-bounds access, division by zero, iteration
+      budget exceeded (runaway loop guard). *)
+  val run : Ast.func -> args:arg list -> (unit, string) result
+end

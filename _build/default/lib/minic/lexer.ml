@@ -1,0 +1,208 @@
+open Stagg_util
+
+type token =
+  | IDENT of string
+  | NUMBER of Rat.t
+  | KW_INT
+  | KW_FLOAT
+  | KW_VOID
+  | KW_FOR
+  | KW_IF
+  | KW_ELSE
+  | KW_RETURN
+  | KW_CONST
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | AMP
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | INCR
+  | DECR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AND
+  | OR
+  | NOT
+  | QUESTION
+  | COLON
+  | EOF
+
+exception Lex_error of string
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | NUMBER r -> Printf.sprintf "number %s" (Rat.to_string r)
+  | KW_INT -> "int"
+  | KW_FLOAT -> "float"
+  | KW_VOID -> "void"
+  | KW_FOR -> "for"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_RETURN -> "return"
+  | KW_CONST -> "const"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | INCR -> "++"
+  | DECR -> "--"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | AND -> "&&"
+  | OR -> "||"
+  | NOT -> "!"
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | EOF -> "end of input"
+
+let keyword_of = function
+  | "int" | "long" | "short" | "unsigned" | "signed" | "size_t" -> Some KW_INT
+  | "float" | "double" -> Some KW_FLOAT
+  | "void" -> Some KW_VOID
+  | "for" -> Some KW_FOR
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "return" -> Some KW_RETURN
+  | "const" | "restrict" -> Some KW_CONST
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let peek2 () = if !pos + 1 < n then Some s.[!pos + 1] else None in
+  while !pos < n do
+    let c = s.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '/' && peek2 () = Some '/' then begin
+      while !pos < n && s.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek2 () = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while !pos + 1 < n && not !closed do
+        if s.[!pos] = '*' && s.[!pos + 1] = '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then raise (Lex_error "unterminated comment")
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char s.[!pos] do
+        incr pos
+      done;
+      let word = String.sub s start (!pos - start) in
+      match keyword_of word with Some kw -> emit kw | None -> emit (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit s.[!pos] do
+        incr pos
+      done;
+      if !pos + 1 < n && s.[!pos] = '.' && is_digit s.[!pos + 1] then begin
+        incr pos;
+        let frac_start = !pos in
+        while !pos < n && is_digit s.[!pos] do
+          incr pos
+        done;
+        let int_part = String.sub s start (frac_start - 1 - start) in
+        let frac_part = String.sub s frac_start (!pos - frac_start) in
+        let num = Bigint.of_string (int_part ^ frac_part) in
+        let den = Bigint.pow (Bigint.of_int 10) (String.length frac_part) in
+        (* trailing float suffix *)
+        if !pos < n && (s.[!pos] = 'f' || s.[!pos] = 'F') then incr pos;
+        emit (NUMBER (Rat.make num den))
+      end
+      else begin
+        if !pos < n && (s.[!pos] = 'f' || s.[!pos] = 'F' || s.[!pos] = 'u' || s.[!pos] = 'U') then
+          incr pos;
+        emit (NUMBER (Rat.of_bigint (Bigint.of_string (String.sub s start (!pos - start)))))
+      end
+    end
+    else begin
+      let two target tok1 tok2 =
+        if peek2 () = Some target then begin
+          pos := !pos + 2;
+          emit tok2
+        end
+        else begin
+          incr pos;
+          emit tok1
+        end
+      in
+      match c with
+      | '(' -> incr pos; emit LPAREN
+      | ')' -> incr pos; emit RPAREN
+      | '[' -> incr pos; emit LBRACK
+      | ']' -> incr pos; emit RBRACK
+      | '{' -> incr pos; emit LBRACE
+      | '}' -> incr pos; emit RBRACE
+      | ';' -> incr pos; emit SEMI
+      | ',' -> incr pos; emit COMMA
+      | '?' -> incr pos; emit QUESTION
+      | ':' -> incr pos; emit COLON
+      | '%' -> incr pos; emit PERCENT
+      | '*' -> two '=' STAR STAR_ASSIGN
+      | '/' -> two '=' SLASH SLASH_ASSIGN
+      | '+' -> if peek2 () = Some '+' then (pos := !pos + 2; emit INCR) else two '=' PLUS PLUS_ASSIGN
+      | '-' -> if peek2 () = Some '-' then (pos := !pos + 2; emit DECR) else two '=' MINUS MINUS_ASSIGN
+      | '<' -> two '=' LT LE
+      | '>' -> two '=' GT GE
+      | '=' -> two '=' ASSIGN EQ
+      | '!' -> two '=' NOT NE
+      | '&' -> if peek2 () = Some '&' then (pos := !pos + 2; emit AND) else (incr pos; emit AMP)
+      | '|' ->
+          if peek2 () = Some '|' then (pos := !pos + 2; emit OR)
+          else raise (Lex_error "bitwise '|' is not supported")
+      | c -> raise (Lex_error (Printf.sprintf "illegal character %C" c))
+    end
+  done;
+  emit EOF;
+  List.rev !toks

@@ -1,0 +1,53 @@
+(** Lexer for the mini-C subset. Handles [//] and [/* */] comments,
+    decimal literals (read as exact rationals), and all multi-character
+    operators the benchmark idioms need ([+=], [++], [<=], [&&], ...). *)
+
+type token =
+  | IDENT of string
+  | NUMBER of Stagg_util.Rat.t
+  | KW_INT
+  | KW_FLOAT  (** [float] or [double] *)
+  | KW_VOID
+  | KW_FOR
+  | KW_IF
+  | KW_ELSE
+  | KW_RETURN
+  | KW_CONST
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | AMP
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | INCR
+  | DECR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | AND
+  | OR
+  | NOT
+  | QUESTION
+  | COLON
+  | EOF
+
+exception Lex_error of string
+
+val token_to_string : token -> string
+val tokenize : string -> token list

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the mini-C subset.
+
+    Parses a single function definition — every benchmark in the suite is
+    one function — with C expression precedence, declarations, [for]/[if],
+    compound assignment, pointer arithmetic and postfix increment. *)
+
+val parse_function : string -> (Ast.func, string) result
+val parse_function_exn : string -> Ast.func

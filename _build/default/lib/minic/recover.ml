@@ -1,0 +1,320 @@
+open Ast
+module SM = Map.Make (String)
+
+type kind = Load | Store
+
+type access = {
+  base : string;
+  index : Affine.t option;
+  loop_vars : string list;
+  kind : kind;
+}
+
+let pp_access fmt a =
+  Format.fprintf fmt "%s %s[%s] under (%s)"
+    (match a.kind with Load -> "load" | Store -> "store")
+    a.base
+    (match a.index with None -> "?" | Some p -> Affine.to_string p)
+    (String.concat "," a.loop_vars)
+
+(* Abstract values: an exact polynomial, a pointer at a polynomial offset
+   into a named buffer, or unknown. *)
+type av = Anum of Affine.t | Aptr of string * Affine.t | Atop
+
+type state = av SM.t
+
+let join_av a b =
+  match (a, b) with
+  | Anum p, Anum q when Affine.equal p q -> Anum p
+  | Aptr (x, p), Aptr (y, q) when String.equal x y && Affine.equal p q -> a
+  | _ -> Atop
+
+let join (s1 : state) (s2 : state) : state =
+  SM.merge
+    (fun _ a b ->
+      match (a, b) with Some a, Some b -> Some (join_av a b) | _ -> Some Atop)
+    s1 s2
+
+let analyze (f : func) : access list =
+  let accs = ref [] in
+  let record kind base index loops = accs := { base; index; loop_vars = loops; kind } :: !accs in
+
+  (* resolve the buffer and offset of a pointer-valued abstract value *)
+  let ptr_parts = function Aptr (b, off) -> Some (b, Some off) | _ -> None in
+
+  let rec eval ~rec_ ~loops (st : state) (e : expr) : state * av =
+    match e with
+    | Num c -> (
+        match Stagg_util.Rat.to_int c with
+        | Some k -> (st, Anum (Affine.const k))
+        | None -> (st, Atop))
+    | Var v -> (st, match SM.find_opt v st with Some a -> a | None -> Atop)
+    | Neg e ->
+        let st, a = eval ~rec_ ~loops st e in
+        (st, match a with Anum p -> Anum (Affine.neg p) | _ -> Atop)
+    | Not e ->
+        let st, _ = eval ~rec_ ~loops st e in
+        (st, Atop)
+    | Bin (op, a, b) -> (
+        let st, va = eval ~rec_ ~loops st a in
+        let st, vb = eval ~rec_ ~loops st b in
+        match (op, va, vb) with
+        | Add, Anum p, Anum q -> (st, Anum (Affine.add p q))
+        | Sub, Anum p, Anum q -> (st, Anum (Affine.sub p q))
+        | Mul, Anum p, Anum q -> (st, Anum (Affine.mul p q))
+        | Add, Aptr (base, off), Anum q | Add, Anum q, Aptr (base, off) ->
+            (st, Aptr (base, Affine.add off q))
+        | Sub, Aptr (base, off), Anum q -> (st, Aptr (base, Affine.sub off q))
+        | Div, Anum p, Anum q -> (
+            match (Affine.is_const p, Affine.is_const q) with
+            | Some x, Some y when y <> 0 && x mod y = 0 -> (st, Anum (Affine.const (x / y)))
+            | _ -> (st, Atop))
+        | _ -> (st, Atop))
+    | Deref e ->
+        let st, v = eval ~rec_ ~loops st e in
+        (match ptr_parts v with
+        | Some (base, off) -> if rec_ then record Load base off loops
+        | None -> ());
+        (st, Atop)
+    | Index (a, ix) ->
+        let st, va = eval ~rec_ ~loops st a in
+        let st, vix = eval ~rec_ ~loops st ix in
+        (match ptr_parts va with
+        | Some (base, off) ->
+            if rec_ then
+              let index =
+                match (off, vix) with
+                | Some o, Anum p -> Some (Affine.add o p)
+                | _ -> None
+              in
+              record Load base index loops
+        | None -> ());
+        (st, Atop)
+    | Addr_index (a, ix) -> (
+        let st, va = eval ~rec_ ~loops st a in
+        let st, vix = eval ~rec_ ~loops st ix in
+        match (va, vix) with
+        | Aptr (base, off), Anum p -> (st, Aptr (base, Affine.add off p))
+        | _ -> (st, Atop))
+    | Post_incr v -> (
+        let old = match SM.find_opt v st with Some a -> a | None -> Atop in
+        let st' =
+          match old with
+          | Anum p -> SM.add v (Anum (Affine.add p (Affine.const 1))) st
+          | Aptr (b, off) -> SM.add v (Aptr (b, Affine.add off (Affine.const 1))) st
+          | Atop -> st
+        in
+        (st', old))
+    | Post_decr v -> (
+        let old = match SM.find_opt v st with Some a -> a | None -> Atop in
+        let st' =
+          match old with
+          | Anum p -> SM.add v (Anum (Affine.sub p (Affine.const 1))) st
+          | Aptr (b, off) -> SM.add v (Aptr (b, Affine.sub off (Affine.const 1))) st
+          | Atop -> st
+        in
+        (st', old))
+    | Ternary (c, t, e) ->
+        let st, _ = eval ~rec_ ~loops st c in
+        let st1, _ = eval ~rec_ ~loops st t in
+        let st2, _ = eval ~rec_ ~loops st e in
+        (join st1 st2, Atop)
+  in
+
+  (* Evaluate a store target, record the store, and return the state with
+     the target's side effects (e.g. [*pr++ = ...] advances pr). *)
+  let record_store ~rec_ ~loops st lv : state =
+    match lv with
+    | Lvar _ -> st
+    | Lderef e ->
+        let st, v = eval ~rec_:false ~loops st e in
+        (match ptr_parts v with
+        | Some (base, off) -> if rec_ then record Store base off loops
+        | None -> ());
+        st
+    | Lindex (a, ix) ->
+        let st, va = eval ~rec_:false ~loops st a in
+        let st, vix = eval ~rec_:false ~loops st ix in
+        (match ptr_parts va with
+        | Some (base, off) ->
+            if rec_ then
+              let index =
+                match (off, vix) with Some o, Anum p -> Some (Affine.add o p) | _ -> None
+              in
+              record Store base index loops
+        | None -> ());
+        st
+  in
+
+  let assign_lv st lv v =
+    match lv with
+    | Lvar x -> SM.add x v st
+    | Lderef _ | Lindex _ -> st (* heap stores do not affect the variable state *)
+  in
+
+  let rec exec ~rec_ ~loops (st : state) (s : stmt) : state =
+    match s with
+    | Decl (_, name, init) -> (
+        match init with
+        | None -> SM.add name (Anum Affine.zero) st
+        | Some e ->
+            let st, v = eval ~rec_ ~loops st e in
+            SM.add name v st)
+    | Assign (lv, e) ->
+        (* evaluate the RHS first (it may advance pointers via p++), then
+           the store target in the post-RHS state: C leaves the order
+           unsequenced, and the suite's idioms never increment the
+           stored-through pointer from both sides of one statement *)
+        let st, v = eval ~rec_ ~loops st e in
+        let st = record_store ~rec_ ~loops st lv in
+        assign_lv st lv v
+    | Op_assign (lv, op, e) -> (
+        let st, rhs = eval ~rec_ ~loops st e in
+        let st = record_store ~rec_ ~loops st lv in
+        match lv with
+        | Lvar x -> (
+            (* x op= e: keep a closed form for += / -= with affine RHS
+               (index counters), otherwise the value is data-dependent *)
+            match (SM.find_opt x st, op, rhs) with
+            | Some (Anum p), Add, Anum q -> SM.add x (Anum (Affine.add p q)) st
+            | Some (Anum p), Sub, Anum q -> SM.add x (Anum (Affine.sub p q)) st
+            | Some (Aptr (b, off)), Add, Anum q -> SM.add x (Aptr (b, Affine.add off q)) st
+            | Some (Aptr (b, off)), Sub, Anum q -> SM.add x (Aptr (b, Affine.sub off q)) st
+            | _ -> SM.add x Atop st)
+        | _ -> st)
+    | Incr_stmt lv -> (
+        match lv with
+        | Lvar x -> (
+            match SM.find_opt x st with
+            | Some (Anum p) -> SM.add x (Anum (Affine.add p (Affine.const 1))) st
+            | Some (Aptr (b, off)) -> SM.add x (Aptr (b, Affine.add off (Affine.const 1))) st
+            | _ -> SM.add x Atop st)
+        | _ -> record_store ~rec_ ~loops st lv)
+    | Decr_stmt lv -> (
+        match lv with
+        | Lvar x -> (
+            match SM.find_opt x st with
+            | Some (Anum p) -> SM.add x (Anum (Affine.sub p (Affine.const 1))) st
+            | Some (Aptr (b, off)) -> SM.add x (Aptr (b, Affine.sub off (Affine.const 1))) st
+            | _ -> SM.add x Atop st)
+        | _ -> record_store ~rec_ ~loops st lv)
+    | If (c, then_, else_) ->
+        let st, _ = eval ~rec_ ~loops st c in
+        let st1 = List.fold_left (exec ~rec_ ~loops) st then_ in
+        let st2 = List.fold_left (exec ~rec_ ~loops) st else_ in
+        join st1 st2
+    | Block b -> List.fold_left (exec ~rec_ ~loops) st b
+    | Expr_stmt e -> fst (eval ~rec_ ~loops st e)
+    | Return _ -> st
+    | For (h, body) -> exec_for ~rec_ ~loops st h body
+
+  and exec_for ~rec_ ~loops st h body =
+    (* run the initializer *)
+    let st0 = match h.init with None -> st | Some s -> exec ~rec_:false ~loops st s in
+    let header =
+      (* recognize [v = lo; v < bound (or <=); v++] *)
+      let var_of_init = function
+        | Some (Decl (_, v, _)) | Some (Assign (Lvar v, _)) -> Some v
+        | _ -> None
+      in
+      let var_of_step = function
+        | Some (Incr_stmt (Lvar v)) -> Some v
+        | Some (Op_assign (Lvar v, Add, Num one)) when Stagg_util.Rat.equal one Stagg_util.Rat.one
+          ->
+            Some v
+        | Some (Expr_stmt (Post_incr v)) -> Some v
+        | _ -> None
+      in
+      let v_opt =
+        match (var_of_step h.step, var_of_init h.init) with
+        | Some v, _ -> Some v
+        | None, Some v -> Some v
+        | None, None -> None
+      in
+      match (v_opt, h.cond) with
+      | Some v, Some (Bin ((Lt | Le), Var v', bound_e)) when String.equal v v' -> (
+          let lo = match SM.find_opt v st0 with Some (Anum p) -> Some p | _ -> None in
+          let _, bv = eval ~rec_:false ~loops st0 bound_e in
+          match (lo, bv, var_of_step h.step) with
+          | Some lo, Anum bound, Some _ ->
+              let trips =
+                match h.cond with
+                | Some (Bin (Le, _, _)) -> Affine.add (Affine.sub bound lo) (Affine.const 1)
+                | _ -> Affine.sub bound lo
+              in
+              Some (v, lo, trips)
+          | _ -> None)
+      | _ -> None
+    in
+    match header with
+    | None ->
+        (* unrecognized loop (downward counter, data-dependent bound, ...):
+           havoc the whole state first so no access inside is recovered
+           with a spuriously-precise index, then walk the body only to
+           havoc what it assigns *)
+        let st1 = List.fold_left (exec ~rec_ ~loops) (SM.map (fun _ -> Atop) st0) body in
+        SM.map (fun _ -> Atop) st1
+    | Some (v, lo, trips) ->
+        (* pass 1: symbolic counter, discover per-iteration strides *)
+        let entry = st0 in
+        let st1 = SM.add v (Anum (Affine.var v)) entry in
+        let st2 = List.fold_left (exec ~rec_:false ~loops:(loops @ [ v ])) st1 body in
+        let delta_of x entry_v =
+          match (entry_v, SM.find_opt x st2) with
+          | a, Some b when a = b -> `Unchanged
+          | Anum p, Some (Anum q) ->
+              let d = Affine.sub q p in
+              if Affine.mentions d v then `Havoc else `Delta d
+          | Aptr (bx, p), Some (Aptr (by, q)) when String.equal bx by ->
+              let d = Affine.sub q p in
+              if Affine.mentions d v then `Havoc else `Delta d
+          | _ -> `Havoc
+        in
+        (* pass 2: rebind strided variables to closed form in v, record *)
+        let rel = Affine.sub (Affine.var v) lo in
+        let st_pass2 =
+          SM.mapi
+            (fun x entry_v ->
+              if String.equal x v then Anum (Affine.var v)
+              else
+                match delta_of x entry_v with
+                | `Unchanged -> entry_v
+                | `Havoc -> Atop
+                | `Delta d -> (
+                    let advance = Affine.mul rel d in
+                    match entry_v with
+                    | Anum p -> Anum (Affine.add p advance)
+                    | Aptr (b, off) -> Aptr (b, Affine.add off advance)
+                    | Atop -> Atop))
+            entry
+          |> SM.add v (Anum (Affine.var v))
+        in
+        ignore (List.fold_left (exec ~rec_ ~loops:(loops @ [ v ])) st_pass2 body);
+        (* exit state: closed form after [trips] iterations; v is dead *)
+        SM.mapi
+          (fun x entry_v ->
+            if String.equal x v then Atop
+            else
+              match delta_of x entry_v with
+              | `Unchanged -> entry_v
+              | `Havoc -> Atop
+              | `Delta d -> (
+                  let advance = Affine.mul trips d in
+                  match entry_v with
+                  | Anum p -> Anum (Affine.add p advance)
+                  | Aptr (b, off) -> Aptr (b, Affine.add off advance)
+                  | Atop -> Atop))
+          entry
+        |> SM.add v Atop
+  in
+
+  let init_state =
+    List.fold_left
+      (fun st p ->
+        match p.ptyp with
+        | Tptr -> SM.add p.pname (Aptr (p.pname, Affine.zero)) st
+        | Tint -> SM.add p.pname (Anum (Affine.var p.pname)) st)
+      SM.empty f.params
+  in
+  ignore (List.fold_left (exec ~rec_:true ~loops:[]) init_state f.body);
+  List.rev !accs

@@ -1,0 +1,29 @@
+(** Array recovery and access extraction (paper §4.2.3).
+
+    An abstract interpretation of the function body over the {!Affine}
+    polynomial domain that implements the two analyses the paper cites:
+    array recovery [Franke & O'Boyle 2003] — pointers that walk arrays via
+    [p++] / [p += k] are rewritten into explicit indexed accesses — and the
+    groundwork for delinearization [O'Boyle & Knijnenburg 2002] — every
+    access yields its exact index polynomial (e.g. [f*N + i]), from which
+    {!Dims} counts indexing variables.
+
+    Loops are analyzed in two passes: pass one runs the body once with the
+    loop counter symbolic to discover each variable's per-iteration stride;
+    pass two re-runs it with pointers rebound to [start + counter*stride]
+    to record accesses in closed form. *)
+
+type kind = Load | Store
+
+type access = {
+  base : string;  (** the parameter whose buffer is accessed *)
+  index : Affine.t option;  (** [None] when the analysis lost precision *)
+  loop_vars : string list;  (** enclosing loop counters, outermost first *)
+  kind : kind;
+}
+
+val pp_access : Format.formatter -> access -> unit
+
+(** [analyze f] returns every array access of the body, in syntactic
+    order. *)
+val analyze : Ast.func -> access list

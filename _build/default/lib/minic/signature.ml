@@ -1,0 +1,28 @@
+type arg_spec = Size of string | Scalar_data | Arr of string list
+
+type t = { args : (string * arg_spec) list; out : string }
+
+let rank_of_spec = function Size _ | Scalar_data -> 0 | Arr dims -> List.length dims
+
+let shape ~sizes = function
+  | Size _ | Scalar_data -> [||]
+  | Arr dims ->
+      Array.of_list
+        (List.map
+           (fun d ->
+             match List.assoc_opt d sizes with
+             | Some n -> n
+             | None -> failwith (Printf.sprintf "Signature.shape: unknown size %s" d))
+           dims)
+
+let n_cells ~sizes spec = Array.fold_left (fun acc d -> acc * d) 1 (shape ~sizes spec)
+
+let size_names t =
+  List.filter_map (fun (_, s) -> match s with Size n -> Some n | _ -> None) t.args
+
+let spec_of t name = List.assoc_opt name t.args
+
+let out_spec t =
+  match spec_of t t.out with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "Signature.out_spec: output %s is not a parameter" t.out)

@@ -1,0 +1,96 @@
+let ( let* ) = Result.bind
+
+let parse_dims s =
+  (* "[N,M]" -> ["N"; "M"] *)
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then Error (Printf.sprintf "expected [dims], got %s" s)
+  else begin
+    let inner = String.trim (String.sub s 1 (n - 2)) in
+    if inner = "" then Ok []
+    else
+      Ok (List.map String.trim (String.split_on_char ',' inner))
+  end
+
+let parse_entry s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "entry %S has no ':'" s)
+  | Some i ->
+      let name = String.trim (String.sub s 0 i) in
+      let kind = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+      if name = "" then Error (Printf.sprintf "entry %S has an empty name" s)
+      else if String.equal kind "size" then Ok (name, `Spec (Signature.Size name))
+      else if String.equal kind "scalar" then Ok (name, `Spec Signature.Scalar_data)
+      else if String.equal kind "out" then Ok (name, `Out [])
+      else if String.length kind > 3 && String.sub kind 0 3 = "out" then
+        let* dims = parse_dims (String.sub kind 3 (String.length kind - 3)) in
+        Ok (name, `Out dims)
+      else if String.length kind > 3 && String.sub kind 0 3 = "arr" then
+        let* dims = parse_dims (String.sub kind 3 (String.length kind - 3)) in
+        Ok (name, `Spec (Signature.Arr dims))
+      else Error (Printf.sprintf "unknown kind %S (size | scalar | arr[..] | out[..])" kind)
+
+let split_top s =
+  (* split on commas not inside brackets *)
+  let parts = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ']' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev !parts |> List.map String.trim |> List.filter (fun p -> p <> "")
+
+let parse spec =
+  let entries = split_top spec in
+  if entries = [] then Error "empty signature specification"
+  else begin
+    let* parsed =
+      List.fold_left
+        (fun acc e ->
+          let* acc = acc in
+          let* p = parse_entry e in
+          Ok (p :: acc))
+        (Ok []) entries
+    in
+    let parsed = List.rev parsed in
+    let outs = List.filter_map (fun (n, k) -> match k with `Out d -> Some (n, d) | _ -> None) parsed in
+    match outs with
+    | [ (out, _dims) ] ->
+        let args =
+          List.map
+            (fun (n, k) ->
+              match k with
+              | `Spec sp -> (n, sp)
+              | `Out d -> (n, Signature.Arr d))
+            parsed
+        in
+        (* every dimension name must be declared as a size *)
+        let sizes =
+          List.filter_map (fun (n, k) -> match k with `Spec (Signature.Size _) -> Some n | _ -> None) parsed
+        in
+        let all_dims =
+          List.concat_map
+            (fun (_, k) -> match k with `Spec (Signature.Arr d) | `Out d -> d | _ -> [])
+            parsed
+        in
+        let* () =
+          List.fold_left
+            (fun acc d ->
+              let* () = acc in
+              if List.mem d sizes then Ok ()
+              else Error (Printf.sprintf "dimension %S is not declared as a size parameter" d))
+            (Ok ()) all_dims
+        in
+        Ok { Signature.args; out }
+    | [] -> Error "no output parameter (mark one as out[...])"
+    | _ -> Error "more than one output parameter"
+  end

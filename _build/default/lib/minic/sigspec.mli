@@ -1,0 +1,15 @@
+(** Parser for command-line signature specifications.
+
+    Lifting an arbitrary C file needs the tensor view of its parameters
+    (which scalars are sizes, how arrays are shaped, which parameter is
+    the output). The CLI accepts it as a compact spec:
+
+    {v  "N:size, M:size, A:arr[N,M], X:arr[M], R:out[N]"  v}
+
+    - [name:size] — a scalar dimension-size parameter;
+    - [name:scalar] — a scalar data parameter;
+    - [name:arr\[d1,...\]] — a row-major array shaped by named sizes;
+    - [name:out\[d1,...\]] / [name:out] — the output buffer (exactly one;
+      bare [out] is a one-cell scalar result). *)
+
+val parse : string -> (Signature.t, string) result

@@ -1,0 +1,1 @@
+lib/oracle/llm_client.ml:

@@ -1,0 +1,1 @@
+lib/oracle/mock_llm.ml: Array Hashtbl List Llm_client Option Printf Prng Stagg_taco Stagg_template Stagg_util String

@@ -1,0 +1,1 @@
+lib/oracle/mock_llm.mli: Llm_client Stagg_taco Stagg_util

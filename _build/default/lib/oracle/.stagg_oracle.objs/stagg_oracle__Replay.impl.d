@@ -1,0 +1,1 @@
+lib/oracle/replay.ml: List Llm_client String

@@ -1,0 +1,1 @@
+lib/oracle/replay.mli: Llm_client

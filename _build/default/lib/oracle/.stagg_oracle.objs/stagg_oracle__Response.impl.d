@@ -1,0 +1,1 @@
+lib/oracle/response.ml: List Stagg_taco String

@@ -1,0 +1,1 @@
+lib/oracle/response.mli: Stagg_taco

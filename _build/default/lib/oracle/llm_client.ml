@@ -1,0 +1,25 @@
+(** The LLM interface STAGG queries (paper §2.1, Prompt 1).
+
+    The pipeline is written against this module type, so the deterministic
+    {!Mock_llm} used for offline reproduction and a real HTTP client are
+    interchangeable. A query returns the raw response lines; parsing and
+    syntactic filtering happen downstream in {!Response}. *)
+
+module type S = sig
+  (** [query ~prompt] returns the model's candidate expressions, one per
+      line, exactly as the model printed them (numbering, [:=], [sum(...)]
+      wrappers and occasional garbage included). *)
+  val query : prompt:string -> string list
+end
+
+(** How accurate the simulated model is on a given benchmark; used by the
+    benchmark suite to calibrate the mock against the paper's measured
+    LLM-only success rate (≈44% of benchmarks, Table 3). *)
+type quality =
+  | Exact  (** some responses are correct up to renaming *)
+  | Near  (** all responses are wrong, but the solution is in their
+               neighborhood (right structure, wrong indices/operators) *)
+  | Far  (** responses mislead even about shape: wrong arity, dropped or
+              spurious tensors *)
+
+let quality_to_string = function Exact -> "exact" | Near -> "near" | Far -> "far"

@@ -1,0 +1,405 @@
+open Stagg_util
+open Stagg_taco.Ast
+module Pretty = Stagg_taco.Pretty
+
+(* Perturbation probabilities per quality profile. *)
+type profile = {
+  p_exact : float;  (** emit the truth (up to renaming) *)
+  p_index_swap : float;  (** permute the indices of one access *)
+  p_index_replace : float;  (** replace one index variable by another *)
+  p_op_swap : float;  (** replace one operator by the confusion operator *)
+  p_lhs : float;  (** wrong LHS arity (paper Response 1's [r(f) = ...]) *)
+  p_drop : float;  (** drop one tensor from the expression *)
+  p_add : float;  (** add a spurious tensor *)
+  p_arity : float;  (** change the arity of one access *)
+  p_garbage : float;  (** emit a syntactically broken line *)
+}
+
+let profile_of = function
+  | Llm_client.Exact ->
+      (* real LLMs essentially never invent extra tensors on kernels they
+         understand (p_add = 0): inventions lengthen the candidate's
+         dimension list, and the paper's max-length filter (§4.2.3) would
+         let a single invention hijack the prediction *)
+      {
+        p_exact = 0.45;
+        p_index_swap = 0.30;
+        p_index_replace = 0.20;
+        p_op_swap = 0.08;
+        p_lhs = 0.08;
+        p_drop = 0.05;
+        p_add = 0.;
+        p_arity = 0.03;
+        p_garbage = 0.02;
+      }
+  | Llm_client.Near ->
+      {
+        p_exact = 0.;
+        p_index_swap = 0.55;
+        p_index_replace = 0.45;
+        p_op_swap = 0.30;
+        p_lhs = 0.25;
+        p_drop = 0.08;
+        p_add = 0.;
+        p_arity = 0.05;
+        p_garbage = 0.05;
+      }
+  | Llm_client.Far ->
+      {
+        p_exact = 0.;
+        p_index_swap = 0.5;
+        p_index_replace = 0.5;
+        p_op_swap = 0.30;
+        p_lhs = 0.25;
+        p_drop = 0.30;
+        p_add = 0.25;
+        p_arity = 0.35;
+        p_garbage = 0.12;
+      }
+
+(* ---- naming styles (erased by templatization, kept for realism) ---- *)
+
+let naming_styles =
+  [
+    (fun n _ -> n) (* keep the source names *);
+    (fun n _ -> String.lowercase_ascii n);
+    (fun _ k -> Printf.sprintf "t%d" k);
+    (fun n k ->
+      if String.length n >= 2 then String.lowercase_ascii (String.sub n 0 2) ^ string_of_int k
+      else n);
+  ]
+
+let index_pools = [ [ "i"; "j"; "k"; "l" ]; [ "f"; "g"; "h"; "m" ]; [ "x"; "y"; "z"; "w" ] ]
+
+let rename prng (p : program) : program =
+  let style = Prng.choose prng naming_styles in
+  let pool = Prng.choose prng index_pools in
+  let tensor_map = Hashtbl.create 8 and index_map = Hashtbl.create 8 in
+  let next_t = ref 0 and next_i = ref 0 in
+  let map_tensor n =
+    match Hashtbl.find_opt tensor_map n with
+    | Some x -> x
+    | None ->
+        let x = style n !next_t in
+        incr next_t;
+        (* avoid collisions between renamed tensors *)
+        let x = if Hashtbl.fold (fun _ v acc -> acc || v = x) tensor_map false then
+            x ^ string_of_int !next_t
+          else x
+        in
+        Hashtbl.add tensor_map n x;
+        x
+  in
+  let map_index i =
+    match Hashtbl.find_opt index_map i with
+    | Some x -> x
+    | None ->
+        let x =
+          if !next_i < List.length pool then List.nth pool !next_i else i ^ string_of_int !next_i
+        in
+        incr next_i;
+        Hashtbl.add index_map i x;
+        x
+  in
+  let rec go = function
+    | Access (n, idxs) -> Access (map_tensor n, List.map map_index idxs)
+    | Const c -> Const c
+    | Neg e -> Neg (go e)
+    | Bin (op, a, b) -> Bin (op, go a, go b)
+  in
+  let lhs_n, lhs_i = p.lhs in
+  (* map the LHS first so it gets the first tensor/index names *)
+  let lhs = (map_tensor lhs_n, List.map map_index lhs_i) in
+  { lhs; rhs = go p.rhs }
+
+(* ---- structural perturbations ---- *)
+
+let accesses_of (e : expr) =
+  let rec go acc = function
+    | Access (n, idxs) -> (n, idxs) :: acc
+    | Const _ -> acc
+    | Neg e -> go acc e
+    | Bin (_, a, b) -> go (go acc a) b
+  in
+  List.rev (go [] e)
+
+(* Apply [f] to the [target]-th access of the expression (0-based). *)
+let map_nth_access target f (e : expr) =
+  let k = ref (-1) in
+  let rec go = function
+    | Access (n, idxs) ->
+        incr k;
+        if !k = target then f n idxs else Access (n, idxs)
+    | Const c -> Const c
+    | Neg e -> Neg (go e)
+    | Bin (op, a, b) ->
+        let a' = go a in
+        let b' = go b in
+        Bin (op, a', b')
+  in
+  go e
+
+let swap_indices prng (e : expr) =
+  let multi =
+    List.mapi (fun k (_, idxs) -> (k, idxs)) (accesses_of e)
+    |> List.filter (fun (_, idxs) -> List.length idxs >= 2)
+  in
+  match multi with
+  | [] -> e
+  | _ ->
+      let target, _ = Prng.choose prng multi in
+      map_nth_access target
+        (fun n idxs ->
+          let arr = Array.of_list idxs in
+          let a = Prng.int prng (Array.length arr) in
+          let b = Prng.int prng (Array.length arr) in
+          let tmp = arr.(a) in
+          arr.(a) <- arr.(b);
+          arr.(b) <- tmp;
+          Access (n, Array.to_list arr))
+        e
+
+let replace_index prng (p : program) (e : expr) =
+  let all_indices = indices_of_program p in
+  let indexed = List.mapi (fun k (_, idxs) -> (k, idxs)) (accesses_of e) in
+  let with_idx = List.filter (fun (_, idxs) -> idxs <> []) indexed in
+  match (with_idx, all_indices) with
+  | [], _ | _, [] -> e
+  | _ ->
+      let target, _ = Prng.choose prng with_idx in
+      map_nth_access target
+        (fun n idxs ->
+          let pos = Prng.int prng (List.length idxs) in
+          let replacement = Prng.choose prng all_indices in
+          Access (n, List.mapi (fun k i -> if k = pos then replacement else i) idxs))
+        e
+
+let swap_op prng confusion (e : expr) =
+  let n_bins =
+    let rec count = function
+      | Access _ | Const _ -> 0
+      | Neg e -> count e
+      | Bin (_, a, b) -> 1 + count a + count b
+    in
+    count e
+  in
+  if n_bins = 0 then e
+  else begin
+    let target = Prng.int prng n_bins in
+    let k = ref (-1) in
+    let rec go = function
+      | Access _ as a -> a
+      | Const _ as c -> c
+      | Neg e -> Neg (go e)
+      | Bin (op, a, b) ->
+          incr k;
+          let this = !k in
+          let a' = go a in
+          let b' = go b in
+          Bin ((if this = target then confusion op else op), a', b')
+    in
+    go e
+  end
+
+let drop_tensor prng (e : expr) =
+  let rec candidates = function
+    | Access _ | Const _ | Neg _ -> []
+    | Bin (_, a, b) ->
+        (* dropping means replacing this Bin by one of its children *)
+        [ `Here ]
+        |> List.append (List.map (fun c -> `Left c) (candidates a))
+        |> List.append (List.map (fun c -> `Right c) (candidates b))
+  in
+  let rec apply path e =
+    match (path, e) with
+    | `Here, Bin (_, a, b) -> if Prng.bool prng then a else b
+    | `Left p, Bin (op, a, b) -> Bin (op, apply p a, b)
+    | `Right p, Bin (op, a, b) -> Bin (op, a, apply p b)
+    | _, e -> e
+  in
+  match candidates e with [] -> e | cs -> apply (Prng.choose prng cs) e
+
+let add_tensor prng (p : program) (e : expr) =
+  let names = List.map fst (tensors_in_order p) in
+  let name = Prng.choose prng names ^ "x" in
+  let idxs =
+    match indices_of_program p with
+    | [] -> []
+    | pool -> List.init (Prng.int_range prng 0 (min 2 (List.length pool))) (fun _ -> Prng.choose prng pool)
+  in
+  let op = Prng.choose prng [ Add; Mul; Sub ] in
+  if Prng.bool prng then Bin (op, e, Access (name, idxs)) else Bin (op, Access (name, idxs), e)
+
+let change_arity prng (e : expr) =
+  let indexed = List.mapi (fun k (_, idxs) -> (k, idxs)) (accesses_of e) in
+  match indexed with
+  | [] -> e
+  | _ ->
+      let target, idxs = Prng.choose prng indexed in
+      map_nth_access target
+        (fun n old ->
+          if old = [] || (Prng.bool prng && List.length old < 3) then
+            (* add an index *)
+            let extra = match idxs with [] -> "i" | i :: _ -> i in
+            Access (n, old @ [ extra ])
+          else Access (n, List.tl old))
+        e
+
+(* ---- rendering, with notational quirks ---- *)
+
+let render prng (p : program) =
+  let s = Pretty.program_to_string p in
+  let s =
+    if Prng.chance prng 0.2 then
+      (* := instead of = *)
+      match String.index_opt s '=' with
+      | Some i -> String.sub s 0 i ^ ":=" ^ String.sub s (i + 1) (String.length s - i - 1)
+      | None -> s
+    else s
+  in
+  if Prng.chance prng 0.15 then begin
+    (* wrap the RHS in an explicit sum over a reduction index *)
+    match (String.index_opt s '=', reduction_indices p) with
+    | Some i, r :: _ ->
+        let lhs = String.sub s 0 (i + 1) in
+        let rhs = String.sub s (i + 1) (String.length s - i - 1) in
+        Printf.sprintf "%s sum(%s,%s)" lhs r rhs
+    | _ -> s
+  end
+  else s
+
+let garbage_line prng (p : program) =
+  let s = Pretty.program_to_string p in
+  match Prng.int prng 3 with
+  | 0 -> s ^ " +" (* trailing operator *)
+  | 1 -> String.concat "" [ "taco: "; s; ")" ] (* stray paren and prose *)
+  | _ -> "I cannot translate this code."
+
+(* Rewire one index of a >=2-ary access to another of its indices — a
+   transposition-style miss that keeps every dimension-list entry. *)
+let miswire_index (e : expr) =
+  let changed = ref false in
+  let rec go = function
+    | Access (n, idxs) when (not !changed) && List.length idxs >= 2 -> (
+        match idxs with
+        | a :: b :: rest when not (String.equal a b) ->
+            changed := true;
+            Access (n, b :: a :: rest)
+        | _ -> Access (n, idxs))
+    | Access _ as a -> a
+    | Const _ as c -> c
+    | Neg e -> Neg (go e)
+    | Bin (op, a, b) ->
+        let a' = go a in
+        let b' = go b in
+        Bin (op, a', b')
+  in
+  let e' = go e in
+  if !changed then Some e' else None
+
+(* Guarantee a candidate is structurally different from the truth: a
+   "near miss" that happens to be the solution is not a near miss. Index
+   renaming alone cannot make it different (templatization normalizes
+   names), so mutate the structure. A mutation is picked at random among
+   the applicable ones so the candidate set stays diverse — in particular
+   the true operator keeps appearing, and wrong-LHS-arity answers (the
+   prototypical real-LLM error of paper Response 1, e.g. [r(f) = ...] for
+   a scalar result) are well represented. The result is a program, not
+   just an expression, because the LHS may be the part that changes. *)
+let lhs_slip prng (truth : program) =
+  let lhs_name, lhs_idxs = truth.lhs in
+  let idxs' =
+    match lhs_idxs with
+    | [] -> [ "i" ]
+    | _ :: rest -> if Prng.bool prng then rest else lhs_idxs @ [ "i" ]
+  in
+  (lhs_name, idxs')
+
+(* Structural identity up to templatization: index standardization erases
+   alpha-renamings (a full-reduction miswire like [b * c(j,i)] standardizes
+   back to [b * c(i,j)]), so the miss test must compare templates. *)
+let same_template (a : program) (b : program) =
+  match
+    (Stagg_template.Templatize.templatize a, Stagg_template.Templatize.templatize b)
+  with
+  | Some ta, Some tb -> equal_program ta tb
+  | _ -> equal_program a b
+
+let force_difference prng confusion ~(original : program) (truth : program) rhs : program =
+  let candidate = { truth with rhs } in
+  if not (same_template candidate original) then candidate
+  else begin
+    let mutate_lhs () =
+      let slipped = { truth with lhs = lhs_slip prng truth } in
+      if same_template slipped original then None else Some slipped
+    in
+    let options =
+      (* notes: swapping operands would NOT do — templatization letters
+         tensors by order of appearance, so [B/A] renames straight back to
+         the solution template [b/c]. The choice is weighted (by repeating
+         entries) toward mutations that keep the candidate set's operator
+         and dimension statistics intact: index miswiring and LHS-arity
+         errors dominate, exactly the classes paper Response 1 exhibits. *)
+      List.filter_map
+        (fun f -> f ())
+        [
+          (fun () -> Option.map (fun e -> { truth with rhs = e }) (miswire_index rhs));
+          (fun () -> Option.map (fun e -> { truth with rhs = e }) (miswire_index rhs));
+          mutate_lhs;
+          mutate_lhs;
+          mutate_lhs;
+          (fun () ->
+            let bumped = change_arity prng rhs in
+            if equal_expr bumped rhs then None else Some { truth with rhs = bumped });
+          (fun () ->
+            let swapped = swap_op prng confusion rhs in
+            if equal_expr swapped rhs then None else Some { truth with rhs = swapped });
+        ]
+    in
+    let options = List.filter (fun p -> not (same_template p original)) options in
+    match options with
+    | [] -> candidate (* inert ground truth: nothing to mutate *)
+    | opts -> Prng.choose prng opts
+  end
+
+let candidate prng profile truth =
+  if Prng.chance prng profile.p_garbage then garbage_line prng truth
+  else begin
+    let confusion =
+      (* one fixed confusion operator per query keeps the candidate
+         operator set small, as observed in real LLM responses *)
+      match truth.rhs with
+      | Bin (Mul, _, _) -> fun _ -> Add
+      | _ -> fun _ -> Mul
+    in
+    let rhs = truth.rhs in
+    let rhs = if Prng.chance prng profile.p_index_swap then swap_indices prng rhs else rhs in
+    let rhs =
+      if Prng.chance prng profile.p_index_replace then replace_index prng truth rhs else rhs
+    in
+    let rhs = if Prng.chance prng profile.p_op_swap then swap_op prng confusion rhs else rhs in
+    let rhs = if Prng.chance prng profile.p_drop then drop_tensor prng rhs else rhs in
+    let rhs = if Prng.chance prng profile.p_add then add_tensor prng truth rhs else rhs in
+    let rhs = if Prng.chance prng profile.p_arity then change_arity prng rhs else rhs in
+    let lhs = if Prng.chance prng profile.p_lhs then lhs_slip prng truth else truth.lhs in
+    let prog =
+      if profile.p_exact = 0. then
+        force_difference prng confusion ~original:truth { truth with lhs } rhs
+      else { lhs; rhs }
+    in
+    render prng (rename prng prog)
+  end
+
+let query ~prng ~ground_truth ~quality () =
+  let profile = profile_of quality in
+  let n = Prng.int_range prng 10 12 in
+  List.init n (fun _ ->
+      if Prng.chance prng profile.p_exact then render prng (rename prng ground_truth)
+      else candidate prng profile ground_truth)
+
+let client ~prng ~ground_truth ~quality =
+  (module struct
+    let query ~prompt =
+      ignore prompt;
+      query ~prng ~ground_truth ~quality ()
+  end : Llm_client.S)

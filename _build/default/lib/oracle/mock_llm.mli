@@ -1,0 +1,28 @@
+(** A deterministic simulated GPT-4 for sealed-environment reproduction.
+
+    Real LLM candidates for tensor lifting are near-misses: right overall
+    shape, wrong index wiring, occasionally a wrong operator, sometimes a
+    dropped or invented tensor, idiosyncratic naming, [:=], [sum(...)]
+    wrappers and the odd syntax error (paper Response 1). This generator
+    reproduces that distribution around a benchmark's ground truth,
+    controlled by a per-benchmark {!Llm_client.quality} profile and a
+    seeded PRNG, so whole-suite runs are reproducible. See DESIGN.md §2
+    for why this substitution preserves the behaviour under study. *)
+
+(** [query ~prng ~ground_truth ~quality ()] produces 10–12 raw response
+    lines, as {!Llm_client.S} would. *)
+val query :
+  prng:Stagg_util.Prng.t ->
+  ground_truth:Stagg_taco.Ast.program ->
+  quality:Llm_client.quality ->
+  unit ->
+  string list
+
+(** [client ~prng ~ground_truth ~quality] packages {!query} as a
+    first-class {!Llm_client.S} (the prompt is accepted and ignored: the
+    mock conditions on the ground truth instead of reading C). *)
+val client :
+  prng:Stagg_util.Prng.t ->
+  ground_truth:Stagg_taco.Ast.program ->
+  quality:Llm_client.quality ->
+  (module Llm_client.S)

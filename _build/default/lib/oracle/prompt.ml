@@ -1,0 +1,14 @@
+(** Prompt construction (paper Prompt 1, used verbatim). *)
+
+let role = "You are a scientific assistant that knows a lot about transpilation."
+
+let temperature = 1.0
+
+let n_requested = 10
+
+let build ~c_source =
+  Printf.sprintf
+    "Translate the following C code to an expression in the TACO tensor index notation. The \
+     expression must be valid as input to the taco compiler. Return a list with %d possible \
+     expressions. Return the list and only the list, no explanations.\n\n%s"
+    n_requested c_source

@@ -1,0 +1,21 @@
+let keep line =
+  let t = String.trim line in
+  String.length t > 0 && t.[0] <> '#'
+
+let of_lines lines =
+  let lines = List.filter keep lines in
+  (module struct
+    let query ~prompt =
+      ignore prompt;
+      lines
+  end : Llm_client.S)
+
+let of_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  of_lines (List.rev !lines)

@@ -1,0 +1,16 @@
+(** A replay {!Llm_client.S}: serve candidate lists recorded from a real
+    LLM session.
+
+    The sealed reproduction environment has no network, but the pipeline
+    is written against {!Llm_client.S}; this client closes the loop with
+    reality — run the paper's Prompt 1 against a real model once, save the
+    raw response, and replay it here. A transcript file holds one response
+    line per line; blank lines and [#]-comments are skipped (the usual
+    cleanup when cutting responses out of a chat log). *)
+
+(** [of_lines lines] — an in-memory replay client. *)
+val of_lines : string list -> (module Llm_client.S)
+
+(** [of_file path] — replay a transcript file.
+    @raise Sys_error if the file cannot be read. *)
+val of_file : string -> (module Llm_client.S)

@@ -1,0 +1,28 @@
+let strip_prefixes s =
+  let s = String.trim s in
+  (* leading list numbering: "3." / "3)" / "-" / "*" *)
+  let n = String.length s in
+  let rec skip_digits i = if i < n && s.[i] >= '0' && s.[i] <= '9' then skip_digits (i + 1) else i in
+  let i = skip_digits 0 in
+  let s =
+    if i > 0 && i < n && (s.[i] = '.' || s.[i] = ')') then String.sub s (i + 1) (n - i - 1)
+    else if n > 1 && (s.[0] = '-' || s.[0] = '*') && s.[1] = ' ' then String.sub s 2 (n - 2)
+    else s
+  in
+  let s = String.trim s in
+  (* surrounding quotes / backticks / brackets *)
+  let strip_pair l r s =
+    let n = String.length s in
+    if n >= 2 && s.[0] = l && s.[n - 1] = r then String.sub s 1 (n - 2) else s
+  in
+  s |> strip_pair '`' '`' |> strip_pair '"' '"' |> strip_pair '[' ']' |> String.trim
+
+let parse_line s =
+  let s = strip_prefixes s in
+  if String.length s = 0 then None
+  else
+    match Stagg_taco.Parser.parse_program s with
+    | Ok p -> Some p
+    | Error _ -> None
+
+let parse_all lines = List.filter_map parse_line lines

@@ -1,0 +1,13 @@
+(** Parsing of raw LLM response lines into TACO candidate programs
+    (paper §4: "we parse in as many solutions as the LLM gives us ... and
+    discard any syntactically incorrect solutions").
+
+    Handles list numbering and bullets, surrounding code fences and
+    brackets, [:=] and [sum(...)] (both handled by the TACO parser), and
+    silently drops lines that still fail to parse. *)
+
+(** [parse_line s] — one candidate, if the line contains one. *)
+val parse_line : string -> Stagg_taco.Ast.program option
+
+(** [parse_all lines] — every syntactically valid candidate, in order. *)
+val parse_all : string list -> Stagg_taco.Ast.program list

@@ -1,0 +1,1 @@
+lib/report/cactus.ml: Array Buffer Char List Printf Stagg String

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Buffer Cactus List Method_ Pipeline Printf Result_ Stagg Stagg_baselines Stagg_benchsuite Stagg_search String Table Unix

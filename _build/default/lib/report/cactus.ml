@@ -1,0 +1,66 @@
+type series = { label : string; times : float list }
+
+let series_of_results ~label results =
+  let times =
+    List.filter_map
+      (fun (r : Stagg.Result_.t) -> if r.solved then Some r.time_s else None)
+      results
+    |> List.sort compare
+  in
+  { label; times }
+
+let to_data series =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# method\tsolved\ttime_s (cumulative rank vs per-query time)\n";
+  List.iter
+    (fun s ->
+      List.iteri
+        (fun k t -> Buffer.add_string buf (Printf.sprintf "%s\t%d\t%.6f\n" s.label (k + 1) t))
+        s.times)
+    series;
+  Buffer.contents buf
+
+let to_ascii ?(width = 72) ?(height = 16) series =
+  let max_solved = List.fold_left (fun acc s -> max acc (List.length s.times)) 0 series in
+  if max_solved = 0 then "(no solved instances)\n"
+  else begin
+    let all_times = List.concat_map (fun s -> s.times) series in
+    let tmin = List.fold_left min infinity all_times in
+    let tmax = List.fold_left max 0.000_001 all_times in
+    let tmin = max 0.000_01 tmin in
+    let log_lo = log tmin and log_hi = log (tmax *. 1.1) in
+    let row_of t =
+      if log_hi <= log_lo then 0
+      else
+        let f = (log (max t tmin) -. log_lo) /. (log_hi -. log_lo) in
+        min (height - 1) (int_of_float (f *. float_of_int (height - 1)))
+    in
+    let col_of k = min (width - 1) (k * (width - 1) / max 1 (max_solved - 1)) in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let mark = Char.chr (Char.code 'A' + (si mod 26)) in
+        List.iteri
+          (fun k t ->
+            let r = row_of t and c = col_of k in
+            grid.(height - 1 - r).(c) <- mark)
+          s.times)
+      series;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "time (log scale, %.3gs .. %.3gs) vs instances solved (1 .. %d)\n" tmin tmax
+         max_solved);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf (String.init width (fun i -> row.(i)));
+        Buffer.add_char buf '\n')
+      grid;
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c = %s (%d solved)\n"
+             (Char.chr (Char.code 'A' + (si mod 26)))
+             s.label (List.length s.times)))
+      series;
+    Buffer.contents buf
+  end

@@ -1,0 +1,13 @@
+(** Cactus-plot data and ASCII rendering (paper Fig. 9): for each method,
+    the per-query solving times of its solved benchmarks sorted
+    ascending — point k is (k, time of the k-th easiest query). *)
+
+type series = { label : string; times : float list (* sorted ascending *) }
+
+val series_of_results : label:string -> Stagg.Result_.t list -> series
+
+(** Tab-separated data block, one line per point, ready for plotting. *)
+val to_data : series list -> string
+
+(** Log-scale ASCII rendering (solved count on x, time on y). *)
+val to_ascii : ?width:int -> ?height:int -> series list -> string

@@ -1,0 +1,316 @@
+open Stagg
+module Penalty = Stagg_search.Penalty
+module Suite = Stagg_benchsuite.Suite
+
+type runs = {
+  seed : int;
+  td : Result_.t list;
+  bu : Result_.t list;
+  llm : Result_.t list;
+  c2taco : Result_.t list;
+  c2taco_noh : Result_.t list;
+  tenspiler : Result_.t list;
+  td_drop_all : Result_.t list;
+  td_drops : (Penalty.criterion * Result_.t list) list;
+  bu_drop_all : Result_.t list;
+  bu_drops : (Penalty.criterion * Result_.t list) list;
+  td_equal : Result_.t list;
+  td_llm_grammar : Result_.t list;
+  td_full_grammar : Result_.t list;
+  bu_equal : Result_.t list;
+  bu_llm_grammar : Result_.t list;
+  bu_full_grammar : Result_.t list;
+}
+
+let default_seed = 20250604
+
+let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) () =
+  let all = Suite.all and rw = Suite.real_world in
+  let sweep label f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    progress
+      (Printf.sprintf "%-28s %2d solved  (%.1fs)" label
+         (List.length (List.filter (fun (x : Result_.t) -> x.solved) r))
+         (Unix.gettimeofday () -. t0));
+    r
+  in
+  let with_seed m = { m with Method_.seed } in
+  let td = sweep "STAGG^TD" (fun () -> Pipeline.run_suite (with_seed Method_.stagg_td) all) in
+  let bu = sweep "STAGG^BU" (fun () -> Pipeline.run_suite (with_seed Method_.stagg_bu) all) in
+  let llm = sweep "LLM" (fun () -> Stagg_baselines.Llm_only.run_suite ~seed all) in
+  let c2taco =
+    sweep "C2TACO" (fun () -> Stagg_baselines.C2taco.run_suite ~seed ~heuristics:true all)
+  in
+  let c2taco_noh =
+    sweep "C2TACO.NoHeuristics" (fun () ->
+        Stagg_baselines.C2taco.run_suite ~seed ~heuristics:false all)
+  in
+  let tenspiler = sweep "Tenspiler" (fun () -> Stagg_baselines.Tenspiler.run_suite ~seed rw) in
+  {
+    seed;
+    td;
+    bu;
+    llm;
+    c2taco;
+    c2taco_noh;
+    tenspiler;
+    td_drop_all = [];
+    td_drops = [];
+    bu_drop_all = [];
+    bu_drops = [];
+    td_equal = [];
+    td_llm_grammar = [];
+    td_full_grammar = [];
+    bu_equal = [];
+    bu_llm_grammar = [];
+    bu_full_grammar = [];
+  }
+
+let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) () =
+  let core = run_core ~seed ~progress () in
+  let all = Suite.all in
+  let with_seed m = { m with Method_.seed } in
+  let sweep m =
+    let t0 = Unix.gettimeofday () in
+    let r = Pipeline.run_suite (with_seed m) all in
+    progress
+      (Printf.sprintf "%-28s %2d solved  (%.1fs)" m.Method_.label
+         (List.length (List.filter (fun (x : Result_.t) -> x.solved) r))
+         (Unix.gettimeofday () -. t0));
+    r
+  in
+  let drop base c = sweep (Method_.drop_penalty base c) in
+  {
+    core with
+    td_drop_all = sweep (Method_.drop_all_penalties Method_.stagg_td "A");
+    td_drops =
+      List.map (fun c -> (c, drop Method_.stagg_td c)) Penalty.all_topdown;
+    bu_drop_all = sweep (Method_.drop_all_penalties Method_.stagg_bu "B");
+    bu_drops =
+      List.map (fun c -> (c, drop Method_.stagg_bu c)) Penalty.all_bottomup;
+    td_equal = sweep Method_.td_equal_probability;
+    td_llm_grammar = sweep Method_.td_llm_grammar;
+    td_full_grammar = sweep Method_.td_full_grammar;
+    bu_equal = sweep Method_.bu_equal_probability;
+    bu_llm_grammar = sweep Method_.bu_llm_grammar;
+    bu_full_grammar = sweep Method_.bu_full_grammar;
+  }
+
+(* ---- statistics ---- *)
+
+let solved (rs : Result_.t list) = List.filter (fun r -> r.Result_.solved) rs
+let n_solved rs = List.length (solved rs)
+
+let avg f = function [] -> 0. | xs -> List.fold_left (fun a x -> a +. f x) 0. xs /. float_of_int (List.length xs)
+
+(* averages over solved queries, as the paper reports *)
+let avg_time rs = avg (fun (r : Result_.t) -> r.time_s) (solved rs)
+let avg_attempts rs = avg (fun (r : Result_.t) -> float_of_int r.attempts) (solved rs)
+
+let restrict names (rs : Result_.t list) = List.filter (fun r -> List.mem r.Result_.bench names) rs
+
+let real_world_names = List.map (fun (b : Stagg_benchsuite.Bench.t) -> b.name) Suite.real_world
+
+let fmt_t t = Printf.sprintf "%.3f" t
+let fmt_n = string_of_int
+let fmt_pct n total = Printf.sprintf "%.2f%%" (100. *. float_of_int n /. float_of_int total)
+
+(* ---- Table 1 ---- *)
+
+let table1 runs =
+  let solved_by_c2taco = Result_.solved_names runs.c2taco in
+  let solved_by_tenspiler = Result_.solved_names runs.tenspiler in
+  let row label rs ~full =
+    let rw = restrict real_world_names rs in
+    let c2 = restrict solved_by_c2taco rs in
+    let ts = restrict solved_by_tenspiler rs in
+    [
+      label;
+      fmt_n (n_solved rw);
+      fmt_t (avg_time rw);
+      (if full then fmt_n (n_solved rs) else "");
+      (if full then fmt_t (avg_time rs) else "");
+      (if full then Printf.sprintf "%.2f" (avg_attempts rs) else "");
+      fmt_n (n_solved c2);
+      fmt_t (avg_time c2);
+      fmt_n (n_solved ts);
+      fmt_t (avg_time ts);
+    ]
+  in
+  "Table 1: benchmark-solving performance across methods\n"
+  ^ Table.render
+      ~headers:
+        [
+          "Method"; "RW(67) #"; "time"; "RW+Art(77) #"; "time"; "attempts"; "C2TACO-set #";
+          "time"; "Tenspiler-set #"; "time";
+        ]
+      ~aligns:[ Left; Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+      [
+        row "STAGG^TD" runs.td ~full:true;
+        row "STAGG^BU" runs.bu ~full:true;
+        row "LLM" runs.llm ~full:true;
+        row "C2TACO" runs.c2taco ~full:true;
+        row "C2TACO.NoHeuristics" runs.c2taco_noh ~full:true;
+        row "Tenspiler" runs.tenspiler ~full:false;
+      ]
+
+(* ---- Table 2 ---- *)
+
+let table2 runs =
+  let total = 77 in
+  let row label rs = [ label; fmt_n (n_solved rs); fmt_pct (n_solved rs) total; fmt_t (avg_time rs) ] in
+  let drop_rows prefix drops =
+    List.map
+      (fun (c, rs) -> row (Printf.sprintf "%s.Drop(%s)" prefix (Penalty.criterion_to_string c)) rs)
+      drops
+  in
+  "Table 2: impact of the penalty rules (77 queries)\n"
+  ^ Table.render
+      ~headers:[ "Method"; "#"; "%"; "time" ]
+      ~aligns:[ Left; Right; Right; Right ]
+      ((row "STAGG^TD" runs.td :: row "STAGG^TD.Drop(A)" runs.td_drop_all
+        :: drop_rows "STAGG^TD" runs.td_drops)
+      @ (row "STAGG^BU" runs.bu :: row "STAGG^BU.Drop(B)" runs.bu_drop_all
+         :: drop_rows "STAGG^BU" runs.bu_drops))
+
+(* ---- Table 3 ---- *)
+
+let table3 runs =
+  let total = 77 in
+  let row label rs =
+    [
+      label;
+      fmt_n (n_solved rs);
+      fmt_pct (n_solved rs) total;
+      fmt_t (avg_time rs);
+      Printf.sprintf "%.2f" (avg_attempts rs);
+    ]
+  in
+  "Table 3: grammar configurations (77 queries)\n"
+  ^ Table.render
+      ~headers:[ "Method"; "#"; "%"; "time"; "attempts" ]
+      ~aligns:[ Left; Right; Right; Right; Right ]
+      [
+        row "STAGG^TD" runs.td;
+        row "STAGG^TD.Drop(A)" runs.td_drop_all;
+        row "STAGG^TD.EqualProbability" runs.td_equal;
+        row "STAGG^TD.LLMGrammar" runs.td_llm_grammar;
+        row "STAGG^TD.FullGrammar" runs.td_full_grammar;
+        row "STAGG^BU" runs.bu;
+        row "STAGG^BU.Drop(B)" runs.bu_drop_all;
+        row "STAGG^BU.EqualProbability" runs.bu_equal;
+        row "STAGG^BU.LLMGrammar" runs.bu_llm_grammar;
+        row "STAGG^BU.FullGrammar" runs.bu_full_grammar;
+        row "LLM" runs.llm;
+        row "C2TACO" runs.c2taco;
+        row "C2TACO.NoHeuristics" runs.c2taco_noh;
+      ]
+
+(* ---- figures ---- *)
+
+let fig9 runs =
+  let series =
+    List.map
+      (fun (label, rs) -> Cactus.series_of_results ~label (restrict real_world_names rs))
+      [
+        ("STAGG^TD", runs.td);
+        ("STAGG^BU", runs.bu);
+        ("LLM", runs.llm);
+        ("C2TACO", runs.c2taco);
+        ("C2TACO.NoHeuristics", runs.c2taco_noh);
+        ("Tenspiler", runs.tenspiler);
+      ]
+  in
+  "Figure 9: cactus plot, 67 real-world benchmarks\n" ^ Cactus.to_ascii series ^ "\ndata:\n"
+  ^ Cactus.to_data series
+
+let bar_chart rows total =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, n) ->
+      let pct = 100. *. float_of_int n /. float_of_int total in
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %s %5.1f%% (%d/%d)\n" label
+           (String.make (int_of_float (pct /. 2.)) '#')
+           pct n total))
+    rows;
+  Buffer.contents buf
+
+let fig10 runs =
+  let rw rs = n_solved (restrict real_world_names rs) in
+  "Figure 10: success rates, 67 real-world benchmarks\n"
+  ^ bar_chart
+      [
+        ("STAGG^TD", rw runs.td);
+        ("STAGG^BU", rw runs.bu);
+        ("LLM", rw runs.llm);
+        ("C2TACO", rw runs.c2taco);
+        ("C2TACO.NoHeuristics", rw runs.c2taco_noh);
+        ("Tenspiler", n_solved runs.tenspiler);
+      ]
+      67
+
+let fig11 runs =
+  "Figure 11: grammar configurations, success rates on all 77\n"
+  ^ bar_chart
+      [
+        ("STAGG^TD", n_solved runs.td);
+        ("STAGG^TD.EqualProbability", n_solved runs.td_equal);
+        ("STAGG^TD.LLMGrammar", n_solved runs.td_llm_grammar);
+        ("STAGG^TD.FullGrammar", n_solved runs.td_full_grammar);
+        ("STAGG^BU", n_solved runs.bu);
+        ("STAGG^BU.EqualProbability", n_solved runs.bu_equal);
+        ("STAGG^BU.LLMGrammar", n_solved runs.bu_llm_grammar);
+        ("STAGG^BU.FullGrammar", n_solved runs.bu_full_grammar);
+      ]
+      77
+
+let fig12 runs =
+  let configs =
+    [
+      ("STAGG^TD", runs.td);
+      ("STAGG^TD.EqualProbability", runs.td_equal);
+      ("STAGG^TD.LLMGrammar", runs.td_llm_grammar);
+      ("STAGG^TD.FullGrammar", runs.td_full_grammar);
+      ("STAGG^BU", runs.bu);
+      ("STAGG^BU.EqualProbability", runs.bu_equal);
+      ("STAGG^BU.LLMGrammar", runs.bu_llm_grammar);
+      ("STAGG^BU.FullGrammar", runs.bu_full_grammar);
+    ]
+  in
+  "Figure 12: per-configuration solved count vs average time/attempts (77 queries)\n"
+  ^ Table.render
+      ~headers:[ "Configuration"; "#"; "avg time (s)"; "avg attempts" ]
+      ~aligns:[ Left; Right; Right; Right ]
+      (List.map
+         (fun (label, rs) ->
+           [ label; fmt_n (n_solved rs); fmt_t (avg_time rs); Printf.sprintf "%.2f" (avg_attempts rs) ])
+         configs)
+
+let summary runs =
+  let line label rs =
+    Printf.sprintf "%s\t%d\t%.3f\t%.2f" label (n_solved rs) (avg_time rs) (avg_attempts rs)
+  in
+  String.concat "\n"
+    ([
+       line "STAGG_TD" runs.td;
+       line "STAGG_BU" runs.bu;
+       line "LLM" runs.llm;
+       line "C2TACO" runs.c2taco;
+       line "C2TACO_NoH" runs.c2taco_noh;
+       line "Tenspiler" runs.tenspiler;
+     ]
+    @ (if runs.td_drops = [] then []
+       else
+         [
+           line "TD_DropA" runs.td_drop_all;
+           line "BU_DropB" runs.bu_drop_all;
+           line "TD_Equal" runs.td_equal;
+           line "TD_LLMGrammar" runs.td_llm_grammar;
+           line "TD_FullGrammar" runs.td_full_grammar;
+           line "BU_Equal" runs.bu_equal;
+           line "BU_LLMGrammar" runs.bu_llm_grammar;
+           line "BU_FullGrammar" runs.bu_full_grammar;
+         ])
+    @ [ "" ])

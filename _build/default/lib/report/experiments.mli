@@ -1,0 +1,46 @@
+(** Experiment drivers regenerating every table and figure of paper §8.
+
+    [run_all] executes every method/configuration over the suite once;
+    the [table*] / [fig*] renderers then slice that single set of runs,
+    exactly as the paper's tables slice one evaluation campaign. *)
+
+open Stagg
+
+type runs = {
+  seed : int;
+  td : Result_.t list;  (** STAGG^TD on all 77 *)
+  bu : Result_.t list;
+  llm : Result_.t list;
+  c2taco : Result_.t list;
+  c2taco_noh : Result_.t list;
+  tenspiler : Result_.t list;  (** 67 real-world only, as in the paper *)
+  td_drop_all : Result_.t list;
+  td_drops : (Stagg_search.Penalty.criterion * Result_.t list) list;
+  bu_drop_all : Result_.t list;
+  bu_drops : (Stagg_search.Penalty.criterion * Result_.t list) list;
+  td_equal : Result_.t list;
+  td_llm_grammar : Result_.t list;
+  td_full_grammar : Result_.t list;
+  bu_equal : Result_.t list;
+  bu_llm_grammar : Result_.t list;
+  bu_full_grammar : Result_.t list;
+}
+
+(** [run_all ()] — the full campaign (≈20 suite sweeps). [progress] is
+    called with a short message as each sweep finishes. *)
+val run_all : ?seed:int -> ?progress:(string -> unit) -> unit -> runs
+
+(** Core methods only (Table 1 / Figs. 9–10), without the ablations. *)
+val run_core : ?seed:int -> ?progress:(string -> unit) -> unit -> runs
+
+val table1 : runs -> string
+val table2 : runs -> string
+val table3 : runs -> string
+val fig9 : runs -> string
+val fig10 : runs -> string
+val fig11 : runs -> string
+val fig12 : runs -> string
+
+(** Machine-readable summary (one line per method row of each table) for
+    EXPERIMENTS.md bookkeeping. *)
+val summary : runs -> string

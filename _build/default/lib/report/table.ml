@@ -1,0 +1,27 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ~headers ?(aligns = []) rows =
+  let ncols = List.length headers in
+  let align_of k = match List.nth_opt aligns k with Some a -> a | None -> Left in
+  let width_of k =
+    List.fold_left
+      (fun acc row -> max acc (String.length (Option.value ~default:"" (List.nth_opt row k))))
+      (String.length (List.nth headers k))
+      rows
+  in
+  let widths = List.init ncols width_of in
+  let line cells =
+    String.concat "  "
+      (List.mapi
+         (fun k w -> pad (align_of k) w (Option.value ~default:"" (List.nth_opt cells k)))
+         widths)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" ((line headers :: rule :: List.map line rows) @ [ "" ])

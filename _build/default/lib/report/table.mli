@@ -1,0 +1,7 @@
+(** Minimal ASCII table rendering for the experiment harness. *)
+
+type align = Left | Right
+
+(** [render ~headers ~aligns rows] lays out the table with padded columns
+    and a header rule. [aligns] defaults to left for missing columns. *)
+val render : headers:string list -> ?aligns:align list -> string list list -> string

@@ -1,0 +1,1 @@
+lib/search/astar.ml: Cfg Hashtbl List Node Pcfg Penalty Pqueue Stagg_grammar Stagg_taco Stagg_util Unix

@@ -1,0 +1,1 @@
+lib/search/astar.mli: Penalty Stagg_grammar Stagg_taco

@@ -1,0 +1,1 @@
+lib/search/node.ml: Cfg List Option Pcfg Stagg_grammar Stagg_taco String

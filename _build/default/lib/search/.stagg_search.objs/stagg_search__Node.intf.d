@@ -1,0 +1,1 @@
+lib/search/node.mli: Cfg Pcfg Stagg_grammar Stagg_taco

@@ -1,0 +1,1 @@
+lib/search/penalty.ml: Ast List Node Stagg_taco String

@@ -1,0 +1,1 @@
+lib/search/penalty.mli: Node Stagg_taco

@@ -1,0 +1,137 @@
+open Stagg_util
+open Stagg_grammar
+module Pretty = Stagg_taco.Pretty
+
+type budget = { max_attempts : int; max_expansions : int; timeout_s : float }
+
+let default_budget = { max_attempts = 2_000; max_expansions = 200_000; timeout_s = 10. }
+
+type stats = { attempts : int; expansions : int; elapsed_s : float }
+
+type 'sol outcome = Solved of 'sol * stats | Exhausted of stats | Budget_exceeded of stats
+
+let stats_of = function Solved (_, s) | Exhausted s | Budget_exceeded s -> s
+
+type 'sol engine = {
+  pcfg : Pcfg.t;
+  penalty_ctx : Penalty.ctx;
+  budget : budget;
+  validate : Stagg_taco.Ast.program -> 'sol option;
+  queue : (float * Node.t) Pqueue.t;  (** priority f(x); payload carries c(x) *)
+  seen : (string, unit) Hashtbl.t;  (** validated templates, printed form *)
+  started : float;
+  mutable attempts : int;
+  mutable expansions : int;
+}
+
+let make_engine ~pcfg ~penalty_ctx ~budget ~validate =
+  let queue = Pqueue.create () in
+  Pqueue.push queue 0. (0., Node.initial (Pcfg.cfg pcfg));
+  {
+    pcfg;
+    penalty_ctx;
+    budget;
+    validate;
+    queue;
+    seen = Hashtbl.create 64;
+    started = Unix.gettimeofday ();
+    attempts = 0;
+    expansions = 0;
+  }
+
+let elapsed e = Unix.gettimeofday () -. e.started
+
+let stats e = { attempts = e.attempts; expansions = e.expansions; elapsed_s = elapsed e }
+
+(* The frontier is also capped: a queue of this size means the heuristic
+   has stopped discriminating and memory would grow without bound. *)
+let max_frontier = 1_500_000
+
+let over_budget e =
+  e.attempts >= e.budget.max_attempts
+  || e.expansions >= e.budget.max_expansions
+  || Pqueue.length e.queue > max_frontier
+  || elapsed e > e.budget.timeout_s
+
+(* Validate a complete tree (already RemoveTail'd for the bottom-up case).
+   Returns [Some sol] on success. Duplicate templates — the EXPR OP EXPR
+   rule makes the grammar ambiguous, and associative duplicates print
+   identically — are validated once. *)
+let try_validate e (g : Cfg.t) (x : Node.t) : 'sol option =
+  match Node.to_program g x with
+  | None -> None
+  | Some p ->
+      let key = Pretty.program_to_string p in
+      if Hashtbl.mem e.seen key then None
+      else begin
+        Hashtbl.add e.seen key ();
+        e.attempts <- e.attempts + 1;
+        e.validate p
+      end
+
+(* Push every legal one-step expansion of [x]. *)
+let push_expansions e (g : Cfg.t) c_x (x : Node.t) =
+  List.iter
+    (fun ((r : Cfg.rule), x') ->
+      let rc = Pcfg.cost e.pcfg r in
+      if rc < infinity then begin
+        let c' = c_x +. rc in
+        let m = Node.metrics g x' in
+        let program = if m.complete then Node.to_program g x' else None in
+        let pen = Penalty.score e.penalty_ctx m ~program in
+        if pen < infinity then begin
+          let f = c' +. Node.g_cost e.pcfg x' +. pen in
+          Pqueue.push e.queue f (c', x')
+        end
+      end)
+    (Node.expansions g x)
+
+let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ~budget ~validate () =
+  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate in
+  let g = Pcfg.cfg pcfg in
+  let rec loop () =
+    if over_budget e then Budget_exceeded (stats e)
+    else
+      match Pqueue.pop e.queue with
+      | None -> Exhausted (stats e)
+      | Some (_f, (c, x)) ->
+          e.expansions <- e.expansions + 1;
+          if Node.depth g x > max_depth then loop ()
+          else if Node.is_complete x then begin
+            match try_validate e g x with
+            | Some sol -> Solved (sol, stats e)
+            | None -> loop ()
+          end
+          else begin
+            push_expansions e g c x;
+            loop ()
+          end
+  in
+  loop ()
+
+let search_bottomup ~pcfg ~penalty_ctx ~dim_list ~budget ~validate () =
+  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate in
+  let g = Pcfg.cfg pcfg in
+  let n_predicted = List.length dim_list in
+  let rec loop () =
+    if over_budget e then Budget_exceeded (stats e)
+    else
+      match Pqueue.pop e.queue with
+      | None -> Exhausted (stats e)
+      | Some (_f, (c, x)) ->
+          e.expansions <- e.expansions + 1;
+          let m = Node.metrics g x in
+          let solved =
+            if m.n_tensors = n_predicted then
+              match Node.remove_tail g x with
+              | Some complete -> try_validate e g complete
+              | None -> None
+            else None
+          in
+          (match solved with
+          | Some sol -> Solved (sol, stats e)
+          | None ->
+              push_expansions e g c x;
+              loop ())
+  in
+  loop ()

@@ -1,0 +1,50 @@
+(** The two weighted-A* template enumerators (paper Algorithms 1 and 2).
+
+    Both maintain a priority queue of partial derivation trees ordered by
+    f(x) = c(x) + g(x) + X(x), expand the leftmost nonterminal of the
+    cheapest tree, and hand complete templates to a caller-supplied
+    validator. Rules with probability 0 (cost ∞) and expressions with
+    infinite penalty are never enqueued. *)
+
+type budget = {
+  max_attempts : int;  (** validator calls before giving up *)
+  max_expansions : int;  (** queue pops before giving up *)
+  timeout_s : float;  (** wall-clock limit *)
+}
+
+val default_budget : budget
+
+type stats = { attempts : int; expansions : int; elapsed_s : float }
+
+type 'sol outcome =
+  | Solved of 'sol * stats
+  | Exhausted of stats  (** queue ran dry *)
+  | Budget_exceeded of stats
+
+val stats_of : 'sol outcome -> stats
+
+(** Top-down search (Algorithm 1): validates templates when a complete
+    tree is dequeued; trees deeper than [max_depth] (default 6, §5.1) are
+    discarded. The [validate] callback receives the template AST and
+    returns a solution to stop the search. *)
+val search_topdown :
+  pcfg:Stagg_grammar.Pcfg.t ->
+  penalty_ctx:Penalty.ctx ->
+  ?max_depth:int ->
+  budget:budget ->
+  validate:(Stagg_taco.Ast.program -> 'sol option) ->
+  unit ->
+  'sol outcome
+
+(** Bottom-up search (Algorithm 2): when a dequeued tree has exactly the
+    predicted number of tensors, its trailing TAIL nonterminals are erased
+    (RemoveTail) and the completed template is validated; expansion then
+    continues regardless. *)
+val search_bottomup :
+  pcfg:Stagg_grammar.Pcfg.t ->
+  penalty_ctx:Penalty.ctx ->
+  dim_list:int list ->
+  budget:budget ->
+  validate:(Stagg_taco.Ast.program -> 'sol option) ->
+  unit ->
+  'sol outcome

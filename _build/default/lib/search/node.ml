@@ -1,0 +1,187 @@
+open Stagg_grammar
+module Ast = Stagg_taco.Ast
+
+type t = Leaf of Cfg.term | Open of string | Node of int * t list
+
+let initial g = Open (Cfg.start g)
+
+let rec leftmost_open = function
+  | Open nt -> Some nt
+  | Leaf _ -> None
+  | Node (_, ch) -> List.find_map leftmost_open ch
+
+let is_complete x = leftmost_open x = None
+
+let apply_rule (r : Cfg.rule) =
+  Node (r.id, List.map (function Cfg.NT n -> Open n | Cfg.T t -> Leaf t) r.rhs)
+
+(* Substitute the leftmost Open leaf with [repl]; returns the new tree and
+   whether a substitution happened. *)
+let rec subst_leftmost x repl =
+  match x with
+  | Open _ -> (repl, true)
+  | Leaf _ -> (x, false)
+  | Node (id, ch) ->
+      let rec go acc done_ = function
+        | [] -> (List.rev acc, done_)
+        | c :: rest ->
+            if done_ then go (c :: acc) true rest
+            else
+              let c', d = subst_leftmost c repl in
+              go (c' :: acc) d rest
+      in
+      let ch', d = go [] false ch in
+      (Node (id, ch'), d)
+
+let expansions g x =
+  match leftmost_open x with
+  | None -> []
+  | Some nt ->
+      List.map
+        (fun (r : Cfg.rule) ->
+          let x', ok = subst_leftmost x (apply_rule r) in
+          assert ok;
+          (r, x'))
+        (Cfg.rules_for g nt)
+
+let rec g_cost p = function
+  | Leaf _ -> 0.
+  | Open nt -> Pcfg.h_cost p nt
+  | Node (_, ch) -> List.fold_left (fun acc c -> acc +. g_cost p c) 0. ch
+
+let rec depth g = function
+  | Leaf (Cfg.Tok_tensor _ | Cfg.Tok_const) -> 1
+  | Leaf _ -> 0
+  | Open nt -> (
+      match Cfg.category g nt with
+      | Cfg.Cat_expr | Cfg.Cat_tensor -> 1
+      | Cfg.Cat_program | Cfg.Cat_op | Cfg.Cat_tail -> 0)
+  | Node (rid, ch) ->
+      let ds = List.map (depth g) ch in
+      let m = List.fold_left max 0 ds in
+      let expr_children = List.length (List.filter (fun d -> d >= 1) ds) in
+      let lhs_cat = Cfg.category g (Cfg.rule g rid).lhs in
+      if lhs_cat = Cfg.Cat_expr && expr_children >= 2 then 1 + m else m
+
+type metrics = {
+  tensor_leaves : (string * string list) list;
+  n_tensors : int;
+  n_unique : int;
+  has_const_leaf : bool;
+  distinct_ops : Ast.op list;
+  complete : bool;
+  depth : int;
+}
+
+let metrics g x =
+  (* single left-to-right scan over the frontier *)
+  let tensors = ref [] in
+  let ops = ref [] in
+  let has_const = ref false in
+  let complete = ref true in
+  let rec scan = function
+    | Open _ -> complete := false
+    | Leaf (Cfg.Tok_tensor (n, idxs)) -> tensors := (n, idxs) :: !tensors
+    | Leaf Cfg.Tok_const ->
+        tensors := ("Const", []) :: !tensors;
+        has_const := true
+    | Leaf (Cfg.Tok_op op) -> if not (List.mem op !ops) then ops := op :: !ops
+    | Leaf Cfg.Tok_neg -> if not (List.mem Ast.Sub !ops) then ops := Ast.Sub :: !ops
+    | Leaf (Cfg.Tok_assign | Cfg.Tok_lparen | Cfg.Tok_rparen) -> ()
+    | Node (_, ch) -> List.iter scan ch
+  in
+  scan x;
+  let tensor_leaves = List.rev !tensors in
+  let n_unique =
+    List.length
+      (List.sort_uniq String.compare (List.map fst tensor_leaves))
+  in
+  {
+    tensor_leaves;
+    n_tensors = List.length tensor_leaves;
+    n_unique;
+    has_const_leaf = !has_const;
+    distinct_ops = List.rev !ops;
+    complete = !complete;
+    depth = depth g x;
+  }
+
+(* ---- rebuilding the template AST from a complete tree ---- *)
+
+let rec to_expr g (x : t) : Ast.expr option =
+  let ( let* ) = Option.bind in
+  match x with
+  | Leaf (Cfg.Tok_tensor (n, idxs)) -> Some (Ast.Access (n, idxs))
+  | Leaf Cfg.Tok_const -> Some (Ast.Access ("Const", []))
+  | Leaf _ | Open _ -> None
+  | Node (_, ch) -> (
+      match ch with
+      | [ sub ] -> to_expr g sub
+      | [ Leaf Cfg.Tok_neg; sub ] ->
+          let* e = to_expr g sub in
+          Some (Ast.Neg e)
+      | [ Leaf Cfg.Tok_lparen; sub; Leaf Cfg.Tok_rparen ] -> to_expr g sub
+      | [ l; mid; r ] -> (
+          let* op = op_of g mid in
+          let* le = to_expr g l in
+          let* re = to_expr g r in
+          Some (Ast.Bin (op, le, re)))
+      | [ hd; tail ] ->
+          (* right-linear chain: TENSOR TAIL *)
+          let* hd_e = to_expr g hd in
+          fold_tail g hd_e tail
+      | _ -> None)
+
+and op_of g (x : t) : Ast.op option =
+  match x with
+  | Leaf (Cfg.Tok_op op) -> Some op
+  | Node (_, [ sub ]) -> op_of g sub
+  | _ -> None
+
+and fold_tail g acc (x : t) : Ast.expr option =
+  let ( let* ) = Option.bind in
+  match x with
+  | Node (_, []) -> Some acc (* ε *)
+  | Node (_, [ opn; tn ]) ->
+      let* op = op_of g opn in
+      let* te = to_expr g tn in
+      Some (Ast.Bin (op, acc, te))
+  | Node (_, [ opn; tn; tail ]) ->
+      let* op = op_of g opn in
+      let* te = to_expr g tn in
+      fold_tail g (Ast.Bin (op, acc, te)) tail
+  | _ -> None
+
+let to_program g (x : t) : Ast.program option =
+  let ( let* ) = Option.bind in
+  match x with
+  | Node (_, [ lhs; Leaf Cfg.Tok_assign; rhs ]) ->
+      let* lhs_e =
+        match lhs with
+        | Leaf (Cfg.Tok_tensor (n, idxs)) -> Some (n, idxs)
+        | Node (_, [ Leaf (Cfg.Tok_tensor (n, idxs)) ]) -> Some (n, idxs)
+        | _ -> None
+      in
+      let* rhs_e = to_expr g rhs in
+      Some { Ast.lhs = lhs_e; rhs = rhs_e }
+  | _ -> None
+
+let remove_tail g (x : t) : t option =
+  let rec go x =
+    match x with
+    | Leaf _ -> Some x
+    | Open nt ->
+        if Cfg.category g nt = Cfg.Cat_tail then
+          List.find_map
+            (fun (r : Cfg.rule) -> if r.rhs = [] then Some (Node (r.id, [])) else None)
+            (Cfg.rules_for g nt)
+        else None
+    | Node (id, ch) ->
+        let rec map_all acc = function
+          | [] -> Some (List.rev acc)
+          | c :: rest -> (
+              match go c with Some c' -> map_all (c' :: acc) rest | None -> None)
+        in
+        Option.map (fun ch' -> Node (id, ch')) (map_all [] ch)
+  in
+  if is_complete x then Some x else go x

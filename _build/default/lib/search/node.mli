@@ -1,0 +1,59 @@
+(** Partial derivation trees: the states of both A* searches.
+
+    A node is a parse tree whose frontier may contain unexpanded
+    nonterminals ([Open]). Expansion rewrites the leftmost [Open] leaf by
+    one grammar rule, exactly as in Algorithms 1 and 2. *)
+
+open Stagg_grammar
+
+type t =
+  | Leaf of Cfg.term
+  | Open of string  (** unexpanded nonterminal *)
+  | Node of int * t list  (** applied rule id, children *)
+
+val initial : Cfg.t -> t
+
+(** Name of the leftmost unexpanded nonterminal, if any. *)
+val leftmost_open : t -> string option
+
+val is_complete : t -> bool
+
+(** [expansions g x] — all single-step leftmost expansions, with the rule
+    applied. Empty when [x] is complete. *)
+val expansions : Cfg.t -> t -> (Cfg.rule * t) list
+
+(** [g_cost p x] — the heuristic g(x): Σ over open leaves of −log₂ h(nt)
+    (§5.1). 0 when complete. *)
+val g_cost : Pcfg.t -> t -> float
+
+(** Expression depth as defined in §5.1: tensor/constant leaves (and open
+    expression-valued leaves) have depth 1; a node of an expression-valued
+    rule with ≥2 expression children adds 1; everything else is
+    transparent. *)
+val depth : Cfg.t -> t -> int
+
+(** Facts the penalty functions need, computable on partial trees. *)
+type metrics = {
+  tensor_leaves : (string * string list) list;
+      (** tensor/const terminals in left-to-right order; [Const] appears as
+          [("Const", \[\])] *)
+  n_tensors : int;  (** length of [tensor_leaves] *)
+  n_unique : int;
+      (** distinct tensor symbols (Const counts once) — the quantity a
+          dimension list has one entry per, hence the paper's "length" *)
+  has_const_leaf : bool;
+  distinct_ops : Stagg_taco.Ast.op list;
+  complete : bool;
+  depth : int;
+}
+
+val metrics : Cfg.t -> t -> metrics
+
+(** [to_program g x] rebuilds the TACO template AST from a complete tree.
+    [None] if [x] has open leaves or an unrecognized rule shape. *)
+val to_program : Cfg.t -> t -> Stagg_taco.Ast.program option
+
+(** [remove_tail g x] — Algorithm 2's RemoveTail: if every open leaf is a
+    [Cat_tail] nonterminal with an ε rule, close them all and return the
+    completed tree. [None] otherwise. *)
+val remove_tail : Cfg.t -> t -> t option

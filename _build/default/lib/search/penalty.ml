@@ -1,0 +1,91 @@
+open Stagg_taco
+
+type criterion = A1 | A2 | A3 | A4 | A5 | B1 | B2
+
+let all_topdown = [ A1; A2; A3; A4; A5 ]
+let all_bottomup = [ B1; B2 ]
+
+let criterion_to_string = function
+  | A1 -> "a1"
+  | A2 -> "a2"
+  | A3 -> "a3"
+  | A4 -> "a4"
+  | A5 -> "a5"
+  | B1 -> "b1"
+  | B2 -> "b2"
+
+type ctx = {
+  dim_list : int list;
+  ops_available : Ast.op list;
+  grammar_has_const : bool;
+  enabled : criterion list;
+}
+
+(* a3/b1: tensor symbols in alphabetical order by first appearance — i.e.
+   the first-appearance sequence is sorted. "Sorted", not "consecutive":
+   when a Const occupies a dimension-list slot the solution may legally
+   skip that slot's letter (a(i) = Const - c(i)). Const itself does not
+   participate. The point of the rule is to avoid enumerating templates
+   that differ only by symbol permutation (§5.1). *)
+let alphabetical_order (m : Node.metrics) =
+  let firsts =
+    List.fold_left
+      (fun acc (n, _) ->
+        if String.equal n "Const" || List.mem n acc then acc else n :: acc)
+      [] m.tensor_leaves
+    |> List.rev
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> String.compare a b < 0 && sorted rest
+    | _ -> true
+  in
+  sorted firsts
+
+(* a4: some +, − or / applied to two syntactically identical operands. *)
+let rec same_operand_addsubdiv (e : Ast.expr) =
+  match e with
+  | Ast.Access _ | Ast.Const _ -> false
+  | Ast.Neg e -> same_operand_addsubdiv e
+  | Ast.Bin (op, l, r) ->
+      (match op with
+      | Ast.Add | Ast.Sub | Ast.Div -> Ast.equal_expr l r
+      | Ast.Mul -> false)
+      || same_operand_addsubdiv l || same_operand_addsubdiv r
+
+(* a5/b2: uses fewer than half of the operations available. *)
+let too_few_ops ctx (m : Node.metrics) =
+  2 * List.length m.distinct_ops < List.length ctx.ops_available
+
+let count_with_index_i (m : Node.metrics) =
+  List.length (List.filter (fun (_, idxs) -> List.mem "i" idxs) m.tensor_leaves)
+
+let score ctx (m : Node.metrics) ~program =
+  let len_l = List.length ctx.dim_list in
+  let on c v = if List.mem c ctx.enabled then v else 0. in
+  let a1 =
+    (* grammar includes a constant expression, length exceeds 3, and the
+       expression has poor index variety or lacks the constant *)
+    if
+      ctx.grammar_has_const && m.n_tensors > 3
+      && (count_with_index_i m < 2 || not m.has_const_leaf)
+    then 10.
+    else 0.
+  in
+  let a2 =
+    (* the number of unique tensor symbols differs from the dimension-list
+       length (a symbol may be used several times: (b-c)*(b-c) has three
+       unique symbols). A partial template can still grow, so it is only
+       penalized once it is already too long. *)
+    if (m.complete && m.n_unique <> len_l) || ((not m.complete) && m.n_unique > len_l) then 100.
+    else 0.
+  in
+  let a3 = if alphabetical_order m then 0. else infinity in
+  let a4 =
+    match program with
+    | Some p when m.complete && same_operand_addsubdiv p.Ast.rhs -> infinity
+    | _ -> 0.
+  in
+  let a5 = if m.complete && too_few_ops ctx m then infinity else 0. in
+  let b1 = if alphabetical_order m then 0. else 100. in
+  let b2 = if m.n_tensors >= len_l && too_few_ops ctx m then infinity else 0. in
+  on A1 a1 +. on A2 a2 +. on A3 a3 +. on A4 a4 +. on A5 a5 +. on B1 b1 +. on B2 b2

@@ -1,0 +1,1 @@
+lib/taco/ast.ml: Hashtbl List Rat Stagg_util String

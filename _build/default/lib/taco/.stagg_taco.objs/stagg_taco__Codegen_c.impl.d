@@ -1,0 +1,1 @@
+lib/taco/codegen_c.ml: Ast Buffer Ir List Lower Printf Rat Result Stagg_util String

@@ -1,0 +1,1 @@
+lib/taco/codegen_c.mli: Ast Ir

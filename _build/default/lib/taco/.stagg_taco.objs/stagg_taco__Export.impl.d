@@ -1,0 +1,1 @@
+lib/taco/export.ml: Ast Bigint Buffer List Pretty Printf Rat Result Stagg_util String

@@ -1,0 +1,1 @@
+lib/taco/export.mli: Ast

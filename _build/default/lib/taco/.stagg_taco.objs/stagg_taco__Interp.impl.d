@@ -1,0 +1,1 @@
+lib/taco/interp.ml: Array Ast List Printf Reduction Shape Stagg_util Tensor

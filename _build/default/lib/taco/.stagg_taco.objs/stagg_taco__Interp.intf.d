@@ -1,0 +1,1 @@
+lib/taco/interp.mli: Ast Stagg_util Tensor

@@ -1,0 +1,1 @@
+lib/taco/ir.ml: Array Ast Buffer Format Hashtbl List Printf Rat Stagg_util String Tensor

@@ -1,0 +1,1 @@
+lib/taco/ir.mli: Ast Format Stagg_util Tensor

@@ -1,0 +1,1 @@
+lib/taco/lexer.ml: Bigint List Printf Rat Stagg_util String

@@ -1,0 +1,1 @@
+lib/taco/lexer.mli: Stagg_util

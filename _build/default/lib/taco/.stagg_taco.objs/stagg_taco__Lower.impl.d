@@ -1,0 +1,1 @@
+lib/taco/lower.ml: Ast Ir List Printf Reduction Result Stagg_util

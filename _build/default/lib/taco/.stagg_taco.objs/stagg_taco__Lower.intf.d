@@ -1,0 +1,1 @@
+lib/taco/lower.mli: Ast Ir

@@ -1,0 +1,1 @@
+lib/taco/parser.ml: Ast Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/taco/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/taco/pretty.ml: Ast Buffer Format Printf Rat Stagg_util String

@@ -1,0 +1,1 @@
+lib/taco/pretty.mli: Ast Format

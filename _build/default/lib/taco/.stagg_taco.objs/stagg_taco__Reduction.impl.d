@@ -1,0 +1,1 @@
+lib/taco/reduction.ml: Ast List Stagg_util

@@ -1,0 +1,1 @@
+lib/taco/reduction.mli: Ast Stagg_util

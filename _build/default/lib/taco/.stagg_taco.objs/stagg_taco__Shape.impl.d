@@ -1,0 +1,1 @@
+lib/taco/shape.ml: Array Ast List Printf Result

@@ -1,0 +1,1 @@
+lib/taco/shape.mli: Ast

@@ -1,0 +1,1 @@
+lib/taco/tensor.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/taco/tensor.mli: Format

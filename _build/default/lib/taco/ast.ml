@@ -1,0 +1,147 @@
+(** Abstract syntax of TACO index-notation programs (paper Fig. 5).
+
+    A program is a single assignment [lhs = rhs] where the left-hand side is
+    a tensor access and the right-hand side is an arithmetic expression over
+    tensor accesses and constants. Index variables drive Einstein-summation
+    semantics: indices appearing on the right but not on the left are
+    reduction (summation) indices. *)
+
+open Stagg_util
+
+type index = string
+
+type op = Add | Sub | Mul | Div
+
+type expr =
+  | Access of string * index list
+      (** [Access (t, idxs)]: tensor access [t(i,j,...)]; a scalar variable
+          is an access with an empty index list. *)
+  | Const of Rat.t  (** numeric literal *)
+  | Neg of expr  (** unary minus *)
+  | Bin of op * expr * expr
+
+type program = { lhs : string * index list; rhs : expr }
+
+let op_to_string = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let op_of_char = function
+  | '+' -> Some Add
+  | '-' -> Some Sub
+  | '*' -> Some Mul
+  | '/' -> Some Div
+  | _ -> None
+
+let all_ops = [ Add; Sub; Mul; Div ]
+
+let equal_op (a : op) (b : op) = a = b
+
+let rec equal_expr e1 e2 =
+  match (e1, e2) with
+  | Access (t1, i1), Access (t2, i2) -> String.equal t1 t2 && List.equal String.equal i1 i2
+  | Const c1, Const c2 -> Rat.equal c1 c2
+  | Neg a, Neg b -> equal_expr a b
+  | Bin (o1, a1, b1), Bin (o2, a2, b2) -> equal_op o1 o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | _ -> false
+
+let equal_program p1 p2 =
+  let t1, i1 = p1.lhs and t2, i2 = p2.lhs in
+  String.equal t1 t2 && List.equal String.equal i1 i2 && equal_expr p1.rhs p2.rhs
+
+(** Tensor names in order of first appearance, RHS scanned left-to-right.
+    The LHS tensor comes first (it "necessarily appears first", §4.2.3). *)
+let tensors_in_order (p : program) : (string * int) list =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let visit name arity =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      acc := (name, arity) :: !acc
+    end
+  in
+  let rec go = function
+    | Access (t, idxs) -> visit t (List.length idxs)
+    | Const _ -> ()
+    | Neg e -> go e
+    | Bin (_, a, b) ->
+        go a;
+        go b
+  in
+  let lt, li = p.lhs in
+  visit lt (List.length li);
+  go p.rhs;
+  List.rev !acc
+
+(** All index variables of an expression, in order of first appearance. *)
+let indices_of_expr (e : expr) : index list =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Access (_, idxs) ->
+        List.iter
+          (fun i ->
+            if not (Hashtbl.mem seen i) then begin
+              Hashtbl.add seen i ();
+              acc := i :: !acc
+            end)
+          idxs
+    | Const _ -> ()
+    | Neg e -> go e
+    | Bin (_, a, b) ->
+        go a;
+        go b
+  in
+  go e;
+  List.rev !acc
+
+let indices_of_program (p : program) : index list =
+  let _, li = p.lhs in
+  let rhs = indices_of_expr p.rhs in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun i ->
+      if Hashtbl.mem seen i then false
+      else begin
+        Hashtbl.add seen i ();
+        true
+      end)
+    (li @ rhs)
+
+(** Reduction indices: on the RHS but not the LHS. *)
+let reduction_indices (p : program) : index list =
+  let _, li = p.lhs in
+  List.filter (fun i -> not (List.mem i li)) (indices_of_expr p.rhs)
+
+(** Number of tensor/constant leaves of the RHS ("length" in the paper's
+    penalty definitions: a dot product [b(i,j)*c(j)] has length 2). *)
+let rec rhs_length = function
+  | Access _ | Const _ -> 1
+  | Neg e -> rhs_length e
+  | Bin (_, a, b) -> rhs_length a + rhs_length b
+
+(** Expression depth as defined in §5.1: tensors and constants have depth 1,
+    index expressions are not counted, unary minus is transparent. *)
+let rec depth = function
+  | Access _ | Const _ -> 1
+  | Neg e -> depth e
+  | Bin (_, a, b) -> 1 + max (depth a) (depth b)
+
+(** Operators used in the RHS, without duplicates. *)
+let ops_used (e : expr) : op list =
+  let rec go acc = function
+    | Access _ | Const _ -> acc
+    | Neg e -> go acc e
+    | Bin (o, a, b) ->
+        let acc = if List.mem o acc then acc else o :: acc in
+        go (go acc a) b
+  in
+  List.rev (go [] e)
+
+(** Constants appearing in the RHS, in order of first appearance. *)
+let consts_of_expr (e : expr) : Rat.t list =
+  let rec go acc = function
+    | Access _ -> acc
+    | Const c -> c :: acc
+    | Neg e -> go acc e
+    | Bin (_, a, b) -> go (go acc a) b
+  in
+  List.rev (go [] e)

@@ -1,0 +1,139 @@
+open Stagg_util
+
+type tensor_param = { tname : string; dims : string list }
+
+let ( let* ) = Result.bind
+
+(* row-major linearization: t[i][j] over dims [N; M] becomes t[i * M + j] *)
+let linearize (p : tensor_param) idxs =
+  match (p.dims, idxs) with
+  | [], [] -> Ok "0"
+  | dims, idxs when List.length dims = List.length idxs ->
+      let terms =
+        List.mapi
+          (fun k i ->
+            match List.filteri (fun k' _ -> k' > k) dims with
+            | [] -> i
+            | rest -> Printf.sprintf "%s * %s" i (String.concat " * " rest))
+          idxs
+      in
+      Ok (String.concat " + " terms)
+  | _ ->
+      Error
+        (Printf.sprintf "tensor %s has rank %d but is accessed with %d indices" p.tname
+           (List.length p.dims) (List.length idxs))
+
+let rec emit_exp ~lookup (e : Ir.exp) : (string, string) result =
+  match e with
+  | Ir.Const c ->
+      if Rat.is_integer c then Ok (Rat.to_string c)
+      else Error (Printf.sprintf "non-integer constant %s has no C literal" (Rat.to_string c))
+  | Ir.Temp t -> Ok t
+  | Ir.Load (t, idxs) ->
+      let* p = lookup t in
+      let* off = linearize p idxs in
+      Ok (if p.dims = [] && idxs = [] then
+            (* a scalar parameter is passed by value *)
+            p.tname
+          else Printf.sprintf "%s[%s]" p.tname off)
+  | Ir.Neg e ->
+      let* s = emit_exp ~lookup e in
+      Ok (Printf.sprintf "(-%s)" s)
+  | Ir.Bin (op, a, b) ->
+      let* sa = emit_exp ~lookup a in
+      let* sb = emit_exp ~lookup b in
+      Ok (Printf.sprintf "(%s %s %s)" sa (Ast.op_to_string op) sb)
+
+let emit ~name ~params ~out (kernel : Ir.kernel) : (string, string) result =
+  let lookup t =
+    match List.find_opt (fun p -> String.equal p.tname t) params with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "kernel reads unknown tensor %s" t)
+  in
+  let bound_name = function
+    | Ir.Dim_of (t, k) ->
+        let* p = lookup t in
+        if k < List.length p.dims then Ok (List.nth p.dims k)
+        else Error (Printf.sprintf "tensor %s has no axis %d" t k)
+    | Ir.Out_dim k ->
+        if k < List.length out.dims then Ok (List.nth out.dims k)
+        else Error (Printf.sprintf "output has no axis %d" k)
+  in
+  let buf = Buffer.create 512 in
+  let indent n = String.make (2 * n) ' ' in
+  let temps = ref [] in
+  let rec collect_temps = function
+    | Ir.Set_temp (t, _) -> if not (List.mem t !temps) then temps := t :: !temps
+    | Ir.Accum_temp _ | Ir.Store _ -> ()
+    | Ir.For (_, _, body) -> List.iter collect_temps body
+  in
+  List.iter collect_temps kernel.body;
+  let loop_vars = ref [] in
+  let rec collect_vars = function
+    | Ir.For (v, _, body) ->
+        if not (List.mem v !loop_vars) then loop_vars := v :: !loop_vars;
+        List.iter collect_vars body
+    | _ -> ()
+  in
+  List.iter collect_vars kernel.body;
+  let rec emit_stmt depth (s : Ir.stmt) : (unit, string) result =
+    match s with
+    | Ir.Set_temp (t, e) ->
+        let* se = emit_exp ~lookup e in
+        Buffer.add_string buf (Printf.sprintf "%s%s = %s;\n" (indent depth) t se);
+        Ok ()
+    | Ir.Accum_temp (t, e) ->
+        let* se = emit_exp ~lookup e in
+        Buffer.add_string buf (Printf.sprintf "%s%s += %s;\n" (indent depth) t se);
+        Ok ()
+    | Ir.Store (idxs, e) ->
+        let* off = linearize out idxs in
+        let* se = emit_exp ~lookup e in
+        Buffer.add_string buf (Printf.sprintf "%s%s[%s] = %s;\n" (indent depth) out.tname off se);
+        Ok ()
+    | Ir.For (v, b, body) ->
+        let* bn = bound_name b in
+        Buffer.add_string buf
+          (Printf.sprintf "%sfor (%s = 0; %s < %s; %s++) {\n" (indent depth) v v bn v);
+        let* () =
+          List.fold_left
+            (fun acc st ->
+              let* () = acc in
+              emit_stmt (depth + 1) st)
+            (Ok ()) body
+        in
+        Buffer.add_string buf (Printf.sprintf "%s}\n" (indent depth));
+        Ok ()
+  in
+  (* signature: sizes, input tensors, output buffer *)
+  let sizes =
+    List.sort_uniq String.compare (List.concat_map (fun p -> p.dims) (out :: params))
+  in
+  let param_decl p =
+    if p.dims = [] then Printf.sprintf "int %s" p.tname else Printf.sprintf "int* %s" p.tname
+  in
+  let all_params =
+    List.map (Printf.sprintf "int %s") sizes
+    @ List.map param_decl (List.filter (fun p -> p.tname <> out.tname) params)
+    @ [ Printf.sprintf "int* %s" out.tname ]
+  in
+  Buffer.add_string buf (Printf.sprintf "void %s(%s) {\n" name (String.concat ", " all_params));
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "  int %s;\n" v))
+    (List.rev !loop_vars);
+  List.iter
+    (fun t -> Buffer.add_string buf (Printf.sprintf "  int %s;\n" t))
+    (List.rev !temps);
+  let* () =
+    List.fold_left
+      (fun acc st ->
+        let* () = acc in
+        emit_stmt 1 st)
+      (Ok ()) kernel.body
+  in
+  Buffer.add_string buf "}\n";
+  Ok (Buffer.contents buf)
+
+let emit_program ~name ~params ~out p =
+  let* kernel = Lower.lower p in
+  emit ~name ~params ~out kernel

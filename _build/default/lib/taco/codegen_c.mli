@@ -1,0 +1,35 @@
+(** The TACO compiler's C backend: render a lowered kernel ({!Ir.kernel})
+    as a complete, compilable mini-C function.
+
+    This closes the loop the real system has — TACO emits C — and enables
+    the round-trip property the integration tests rely on: generate a
+    random TACO program, compile it to C with this backend, and the lifter
+    must raise it back to an equivalent TACO program. *)
+
+(** How each tensor parameter is shaped, so subscripts can be linearized:
+    dimension sizes become leading [int] parameters. *)
+type tensor_param = {
+  tname : string;
+  dims : string list;  (** size-parameter names, row-major; [\[\]] = scalar *)
+}
+
+(** [emit ~name ~params ~out kernel] renders a [void] C function whose
+    parameters are the (deduplicated) size names, then each tensor of
+    [params] as [int*] (scalars as [int]), then the output buffer [out].
+    Accesses are linearized row-major. Fails if the kernel reads a tensor
+    absent from [params] or uses a loop bound over an unknown axis. *)
+val emit :
+  name:string ->
+  params:tensor_param list ->
+  out:tensor_param ->
+  Ir.kernel ->
+  (string, string) result
+
+(** [emit_program ~name p ~params ~out] — compile a TACO program with
+    {!Lower} and render it. *)
+val emit_program :
+  name:string ->
+  params:tensor_param list ->
+  out:tensor_param ->
+  Ast.program ->
+  (string, string) result

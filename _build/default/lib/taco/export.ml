@@ -1,0 +1,163 @@
+open Ast
+open Stagg_util
+
+let ( let* ) = Result.bind
+
+(* ---- the Python-family backends (NumPy / PyTorch) ---- *)
+
+type py_backend = { module_ : string; tensor_word : string }
+
+let numpy = { module_ = "np"; tensor_word = "ndarray" }
+let torch = { module_ = "torch"; tensor_word = "Tensor" }
+
+(* Flatten a product into its factors (for einsum detection). *)
+let rec factors = function
+  | Bin (Mul, a, b) -> factors a @ factors b
+  | e -> [ e ]
+
+let is_access = function Access (_, _ :: _) -> true | _ -> false
+
+(* Render an expression as Python code whose array value is aligned to the
+   axis list [axes] (broadcast dimensions inserted as None-axes). *)
+let rec py_aligned be ~axes (e : expr) : (string, string) result =
+  match e with
+  | Const c -> Ok (py_const c)
+  | Access (t, []) -> Ok t
+  | Access (t, idxs) ->
+      (* permute with einsum if needed, then insert missing axes *)
+      let present = List.filter (fun a -> List.mem a idxs) axes in
+      let* base =
+        if present = idxs then Ok t
+        else if List.sort compare present = List.sort compare idxs then
+          Ok
+            (Printf.sprintf "%s.einsum(\"%s->%s\", %s)" be.module_ (String.concat "" idxs)
+               (String.concat "" present) t)
+        else Error (Printf.sprintf "access %s uses a repeated index; not exportable" t)
+      in
+      let subscript =
+        List.map (fun a -> if List.mem a idxs then ":" else "None") axes |> String.concat ", "
+      in
+      if List.for_all (fun a -> List.mem a idxs) axes then Ok base
+      else Ok (Printf.sprintf "%s[%s]" base subscript)
+  | Neg e ->
+      let* s = py_aligned be ~axes e in
+      Ok (Printf.sprintf "(-%s)" s)
+  | Bin (op, a, b) -> (
+      match op with
+      | Mul -> py_term be ~axes e
+      | Add | Sub | Div ->
+          let* sa = py_aligned be ~axes a in
+          let* sb = py_aligned be ~axes b in
+          Ok (Printf.sprintf "(%s %s %s)" sa (op_to_string op) sb))
+
+and py_const c =
+  if Rat.is_integer c then Rat.to_string c
+  else Printf.sprintf "(%s / %s)" (Bigint.to_string (c : Rat.t).num) (Bigint.to_string c.den)
+
+(* A multiplicative term: contract its reduction indices. Pure products of
+   multi-dimensional accesses become a single einsum; anything else is
+   aligned to (axes @ reduction) space, multiplied pointwise, and summed. *)
+and py_term be ~axes (e : expr) : (string, string) result =
+  let fs = factors e in
+  let term_idxs = indices_of_expr e in
+  let reds = List.filter (fun i -> not (List.mem i axes)) term_idxs in
+  let out_spec = List.filter (fun a -> List.mem a term_idxs) axes in
+  if reds = [] then begin
+    (* no contraction: pointwise product of aligned factors *)
+    let* parts = all_aligned be ~axes fs in
+    Ok (String.concat " * " parts)
+  end
+  else if List.for_all is_access fs then begin
+    (* pure contraction: einsum *)
+    let specs =
+      List.map (function Access (_, idxs) -> String.concat "" idxs | _ -> assert false) fs
+    in
+    let args = List.map (function Access (t, _) -> t | _ -> assert false) fs in
+    Ok
+      (Printf.sprintf "%s.einsum(\"%s->%s\", %s)" be.module_ (String.concat "," specs)
+         (String.concat "" out_spec) (String.concat ", " args))
+  end
+  else begin
+    (* general composite contraction: align everything over axes @ reds,
+       multiply, then sum the trailing reduction axes *)
+    let full = axes @ reds in
+    let* parts = all_aligned be ~axes:full fs in
+    let red_axes =
+      List.mapi (fun k _ -> string_of_int (List.length axes + k)) reds |> String.concat ", "
+    in
+    let body = String.concat " * " parts in
+    let* body =
+      if List.exists (fun a -> not (List.mem a term_idxs)) out_spec then Error "unreachable"
+      else Ok body
+    in
+    Ok (Printf.sprintf "(%s).sum(axis=(%s))" body red_axes)
+  end
+
+and all_aligned be ~axes fs =
+  List.fold_left
+    (fun acc f ->
+      let* acc = acc in
+      let* s = py_aligned be ~axes f in
+      Ok (acc @ [ Printf.sprintf "(%s)" s ]))
+    (Ok []) fs
+
+let py_function be ?(name = "lifted") (p : program) =
+  let out, out_idxs = p.lhs in
+  let inputs =
+    List.filter_map (fun (t, _) -> if String.equal t out then None else Some t) (tensors_in_order p)
+  in
+  let* body = py_aligned be ~axes:out_idxs p.rhs in
+  let ones =
+    (* broadcast-only result (e.g. a(i) = c): materialize the shape *)
+    if
+      out_idxs <> []
+      && List.exists (fun i -> not (List.mem i (indices_of_expr p.rhs))) out_idxs
+    then Error "output has an extent no input determines; not exportable"
+    else Ok ()
+  in
+  let* () = ones in
+  Ok
+    (Printf.sprintf "def %s(%s):\n    \"\"\"%s (lifted; %s backend)\"\"\"\n    return %s\n" name
+       (String.concat ", " inputs)
+       (Pretty.program_to_string p)
+       be.tensor_word body)
+
+let to_numpy ?name p = py_function numpy ?name p
+let to_pytorch ?name p = py_function torch ?name p
+
+(* ---- the TACO C++ API backend ---- *)
+
+let to_taco_cpp ?(name = "lifted") (p : program) =
+  let tensors = tensors_in_order p in
+  let idxs = indices_of_program p in
+  if List.length idxs > 26 then Error "too many index variables"
+  else begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf (Printf.sprintf "// %s\n" (Pretty.program_to_string p));
+    Buffer.add_string buf (Printf.sprintf "void %s() {\n" name);
+    Buffer.add_string buf "  Format dense_fmt({Dense});\n";
+    List.iter
+      (fun (t, rank) ->
+        if rank = 0 then Buffer.add_string buf (Printf.sprintf "  Tensor<double> %s;\n" t)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "  Tensor<double> %s({%s}, Format(std::vector<ModeFormatPack>(%d, Dense)));\n" t
+               (String.concat ", " (List.init rank (fun _ -> "dim")))
+               rank))
+      tensors;
+    if idxs <> [] then
+      Buffer.add_string buf (Printf.sprintf "  IndexVar %s;\n" (String.concat ", " idxs));
+    let lhs_t, lhs_i = p.lhs in
+    let access t = function [] -> t | is -> Printf.sprintf "%s(%s)" t (String.concat ", " is) in
+    let rec expr_str = function
+      | Access (t, is) -> access t is
+      | Const c -> Rat.to_string c
+      | Neg e -> Printf.sprintf "(-%s)" (expr_str e)
+      | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (expr_str a) (op_to_string op) (expr_str b)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %s = %s;\n" (access lhs_t lhs_i) (expr_str p.rhs));
+    Buffer.add_string buf
+      (Printf.sprintf "  %s.compile();\n  %s.assemble();\n  %s.compute();\n}\n" lhs_t lhs_t lhs_t);
+    Ok (Buffer.contents buf)
+  end

@@ -1,0 +1,19 @@
+(** Multi-backend exporters for lifted programs.
+
+    Once a kernel is lifted to TACO index notation, the point of the
+    exercise (paper §1) is access to high-performance tensor DSLs. This
+    module renders a lifted program for three of the backends the
+    Tenspiler line of work targets:
+
+    - {!to_numpy}: a NumPy function over [ndarray]s ([np.einsum] for pure
+      contractions, broadcast-aligned arithmetic otherwise);
+    - {!to_pytorch}: the same over [torch] tensors;
+    - {!to_taco_cpp}: the C++ TACO API (tensor declarations, index
+      variables and the assignment the TACO compiler consumes).
+
+    Exporters fail (with a message) on programs outside their fragment —
+    e.g. more than 26 index variables, or shapes NumPy cannot broadcast. *)
+
+val to_numpy : ?name:string -> Ast.program -> (string, string) result
+val to_pytorch : ?name:string -> Ast.program -> (string, string) result
+val to_taco_cpp : ?name:string -> Ast.program -> (string, string) result

@@ -1,0 +1,74 @@
+open Ast
+
+module Make (V : Stagg_util.Value.S) = struct
+  exception Eval_error of string
+
+  let eval ~tensor_env ~sizes (root : Reduction.t) idx_env0 =
+    let rec ev idx_env (node : Reduction.t) =
+      match node.reds with
+      | [] -> ev_inner idx_env node
+      | reds ->
+          (* sum over all assignments of the reduction indices inserted
+             here; [ev_inner] then evaluates the node itself *)
+          let rec loop idx_env = function
+            | [] -> ev_inner idx_env node
+            | r :: rest ->
+                let size =
+                  match List.assoc_opt r sizes with
+                  | Some s -> s
+                  | None ->
+                      raise (Eval_error (Printf.sprintf "no extent for reduction index %s" r))
+                in
+                let acc = ref V.zero in
+                for v = 0 to size - 1 do
+                  acc := V.add !acc (loop ((r, v) :: idx_env) rest)
+                done;
+                !acc
+          in
+          loop idx_env reds
+    and ev_inner idx_env (node : Reduction.t) =
+      match node.node with
+      | Reduction.Const c -> V.of_rat c
+      | Reduction.Access (t, idxs) -> (
+          match List.assoc_opt t tensor_env with
+          | None -> raise (Eval_error (Printf.sprintf "unbound tensor %s" t))
+          | Some (tensor : V.t Tensor.t) ->
+              let ix =
+                Array.of_list
+                  (List.map
+                     (fun i ->
+                       match List.assoc_opt i idx_env with
+                       | Some v -> v
+                       | None -> raise (Eval_error (Printf.sprintf "unbound index %s" i)))
+                     idxs)
+              in
+              Tensor.get tensor ix)
+      | Reduction.Neg e -> V.neg (ev idx_env e)
+      | Reduction.Bin (op, l, r) -> (
+          let lv = ev idx_env l and rv = ev idx_env r in
+          match op with
+          | Add -> V.add lv rv
+          | Sub -> V.sub lv rv
+          | Mul -> V.mul lv rv
+          | Div -> V.div lv rv)
+    in
+    ev idx_env0 root
+
+  let run ~env ?lhs_shape (p : program) =
+    let tensor_env = env in
+    let shapes = List.map (fun (name, t) -> (name, Tensor.shape t)) tensor_env in
+    match Shape.infer_index_sizes ?lhs_shape ~shapes p with
+    | Error e -> Error (Shape.error_to_string e)
+    | Ok sizes -> (
+        let _, lhs_idxs = p.lhs in
+        let out_shape = Array.of_list (List.map (fun i -> List.assoc i sizes) lhs_idxs) in
+        let root = Reduction.annotate p in
+        try
+          Ok
+            (Tensor.init out_shape (fun ix ->
+                 let idx_env = List.mapi (fun k i -> (i, ix.(k))) lhs_idxs in
+                 eval ~tensor_env ~sizes root idx_env))
+        with
+        | Eval_error msg -> Error msg
+        | Division_by_zero -> Error "division by zero")
+end

@@ -1,0 +1,22 @@
+(** Reference interpreter for TACO programs (Einstein-summation semantics),
+    functorized over the value domain.
+
+    Reduction semantics: every index variable that appears on the RHS but
+    not on the LHS is a reduction index; its summation is inserted around
+    the {e smallest enclosing subexpression} that contains all of its
+    occurrences — so in [a(i) = b(i,j)*c(j) + d(i)] the sum over [j] wraps
+    only the product, matching TACO's behaviour on dense expressions
+    (see DESIGN.md §4). *)
+
+module Make (V : Stagg_util.Value.S) : sig
+  (** [run ~env ?lhs_shape p] evaluates [p] with the RHS tensors bound by
+      [env]. [lhs_shape] is required only when some LHS index appears
+      nowhere on the RHS (pure broadcast). Returns the output tensor or a
+      descriptive error (unknown tensor, rank mismatch, inconsistent index
+      sizes, division by zero). *)
+  val run :
+    env:(string * V.t Tensor.t) list ->
+    ?lhs_shape:int array ->
+    Ast.program ->
+    (V.t Tensor.t, string) result
+end

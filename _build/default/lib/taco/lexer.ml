@@ -1,0 +1,91 @@
+open Stagg_util
+
+type token =
+  | IDENT of string
+  | NUMBER of Rat.t
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+exception Lex_error of string
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "IDENT %s" s
+  | NUMBER r -> Printf.sprintf "NUMBER %s" (Rat.to_string r)
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EOF -> "EOF"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  while !pos < n do
+    let c = s.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char s.[!pos] do
+        incr pos
+      done;
+      emit (IDENT (String.sub s start (!pos - start)))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit s.[!pos] do
+        incr pos
+      done;
+      if !pos + 1 < n && s.[!pos] = '.' && is_digit s.[!pos + 1] then begin
+        (* decimal literal: read fractional digits, build an exact rational *)
+        incr pos;
+        let frac_start = !pos in
+        while !pos < n && is_digit s.[!pos] do
+          incr pos
+        done;
+        let int_part = String.sub s start (frac_start - 1 - start) in
+        let frac_part = String.sub s frac_start (!pos - frac_start) in
+        let num = Bigint.of_string (int_part ^ frac_part) in
+        let den = Bigint.pow (Bigint.of_int 10) (String.length frac_part) in
+        emit (NUMBER (Rat.make num den))
+      end
+      else emit (NUMBER (Rat.of_bigint (Bigint.of_string (String.sub s start (!pos - start)))))
+    end
+    else begin
+      incr pos;
+      match c with
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | ',' -> emit COMMA
+      | '=' -> emit ASSIGN
+      | ':' ->
+          if !pos < n && s.[!pos] = '=' then begin
+            incr pos;
+            emit ASSIGN
+          end
+          else raise (Lex_error "expected '=' after ':'")
+      | '+' -> emit PLUS
+      | '-' -> emit MINUS
+      | '*' -> emit STAR
+      | '/' -> emit SLASH
+      | c -> raise (Lex_error (Printf.sprintf "illegal character %C" c))
+    end
+  done;
+  emit EOF;
+  List.rev !toks

@@ -1,0 +1,26 @@
+(** Hand-written lexer for TACO index notation (paper Fig. 5).
+
+    Tolerant of the notational quirks seen in LLM responses: [:=] is lexed
+    as a single assignment token, decimal literals are accepted and read as
+    exact rationals. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of Stagg_util.Rat.t
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | ASSIGN  (** [=] or [:=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EOF
+
+exception Lex_error of string
+
+val token_to_string : token -> string
+
+(** [tokenize s] lexes the whole string. @raise Lex_error on an illegal
+    character. *)
+val tokenize : string -> token list

@@ -1,0 +1,83 @@
+open Ast
+
+(* For each index variable, find a bound: the first RHS access that uses it
+   gives [Dim_of (tensor, axis)]; an LHS-only index is bounded by the
+   corresponding output axis. *)
+let index_bounds (p : program) : (string * Ir.bound) list =
+  let bounds = ref [] in
+  let add idx b = if not (List.mem_assoc idx !bounds) then bounds := (idx, b) :: !bounds in
+  let rec scan = function
+    | Access (t, idxs) -> List.iteri (fun k i -> add i (Ir.Dim_of (t, k))) idxs
+    | Const _ -> ()
+    | Neg e -> scan e
+    | Bin (_, a, b) ->
+        scan a;
+        scan b
+  in
+  scan p.rhs;
+  let _, lhs_idxs = p.lhs in
+  List.iteri (fun k i -> add i (Ir.Out_dim k)) lhs_idxs;
+  List.rev !bounds
+
+let lower (p : program) : (Ir.kernel, string) result =
+  let bounds = index_bounds p in
+  let bound_of idx =
+    match List.assoc_opt idx bounds with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "index %s has no determinable extent" idx)
+  in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "t%d" !counter
+  in
+  let ( let* ) = Result.bind in
+  let rec nest_loops reds inner =
+    match reds with
+    | [] -> Ok inner
+    | r :: rest ->
+        let* b = bound_of r in
+        let* body = nest_loops rest inner in
+        Ok [ Ir.For (r, b, body) ]
+  in
+  (* [go node] returns the statements that must run before [node]'s value
+     can be read, together with the expression for that value. *)
+  let rec go (node : Reduction.t) : (Ir.stmt list * Ir.exp, string) result =
+    match node.reds with
+    | [] -> go_inner node
+    | reds ->
+        let* inner_stmts, inner_exp = go_inner node in
+        let t = fresh () in
+        let* loops = nest_loops reds (inner_stmts @ [ Ir.Accum_temp (t, inner_exp) ]) in
+        Ok ([ Ir.Set_temp (t, Ir.Const Stagg_util.Rat.zero) ] @ loops, Ir.Temp t)
+  and go_inner (node : Reduction.t) =
+    match node.node with
+    | Reduction.Access (t, idxs) -> Ok ([], Ir.Load (t, idxs))
+    | Reduction.Const c -> Ok ([], Ir.Const c)
+    | Reduction.Neg e ->
+        let* s, x = go e in
+        Ok (s, Ir.Neg x)
+    | Reduction.Bin (op, a, b) ->
+        let* sa, xa = go a in
+        let* sb, xb = go b in
+        Ok (sa @ sb, Ir.Bin (op, xa, xb))
+  in
+  let root = Reduction.annotate p in
+  let* stmts, exp = go root in
+  let _, lhs_idxs = p.lhs in
+  let inner = stmts @ [ Ir.Store (lhs_idxs, exp) ] in
+  let rec out_loops idxs k =
+    match idxs with
+    | [] -> Ok inner
+    | i :: rest ->
+        let* body = out_loops rest (k + 1) in
+        (* prefer an RHS-derived bound so the kernel does not depend on a
+           pre-sized output; fall back to the output axis *)
+        let b = match List.assoc_opt i bounds with Some b -> b | None -> Ir.Out_dim k in
+        Ok [ Ir.For (i, b, body) ]
+  in
+  let* body = out_loops lhs_idxs 0 in
+  Ok { Ir.out_indices = lhs_idxs; body }
+
+let lower_exn p =
+  match lower p with Ok k -> k | Error msg -> failwith ("Lower: " ^ msg)

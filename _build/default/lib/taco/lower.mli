@@ -1,0 +1,16 @@
+(** The "TACO compiler": lowers a TACO index-notation program to an
+    imperative loop-nest kernel ({!Ir.kernel}).
+
+    Mirrors what the real TACO compiler does for dense tensors: one loop
+    per output index; each implicit reduction becomes a
+    zero-init/accumulate loop nest around a scalar temporary, placed
+    exactly where {!Reduction} inserts the summation. The lowered kernel
+    is what the paper's verifier compares against the original C program
+    (§7). *)
+
+(** [lower p] compiles [p]. Fails (with a message) if some index variable
+    has no determinable extent, i.e. an LHS-only index when the output rank
+    cannot anchor it. *)
+val lower : Ast.program -> (Ir.kernel, string) result
+
+val lower_exn : Ast.program -> Ir.kernel

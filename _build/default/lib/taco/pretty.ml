@@ -1,0 +1,45 @@
+open Ast
+open Stagg_util
+
+(* Precedence levels: additive = 1, multiplicative = 2, atoms = 3. *)
+let prec_of = function Add | Sub -> 1 | Mul | Div -> 2
+
+let access_to_string name idxs =
+  match idxs with [] -> name | _ -> Printf.sprintf "%s(%s)" name (String.concat ", " idxs)
+
+let rec go buf parent_prec right_side e =
+  match e with
+  | Access (t, idxs) -> Buffer.add_string buf (access_to_string t idxs)
+  | Const c ->
+      if Rat.sign c < 0 then begin
+        (* negative literal: parenthesize so "a - -1" never prints *)
+        Buffer.add_char buf '(';
+        Buffer.add_string buf (Rat.to_string c);
+        Buffer.add_char buf ')'
+      end
+      else Buffer.add_string buf (Rat.to_string c)
+  | Neg inner ->
+      Buffer.add_string buf "-";
+      go buf 3 false inner
+  | Bin (op, l, r) ->
+      let p = prec_of op in
+      (* Operators parse left-associatively, so a right operand of equal
+         precedence must be parenthesized to round-trip the AST exactly. *)
+      let needs = p < parent_prec || (p = parent_prec && right_side) in
+      if needs then Buffer.add_char buf '(';
+      go buf p false l;
+      Buffer.add_string buf (Printf.sprintf " %s " (op_to_string op));
+      go buf p true r;
+      if needs then Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 32 in
+  go buf 0 false e;
+  Buffer.contents buf
+
+let program_to_string (p : program) =
+  let name, idxs = p.lhs in
+  Printf.sprintf "%s = %s" (access_to_string name idxs) (expr_to_string p.rhs)
+
+let pp_expr fmt e = Format.pp_print_string fmt (expr_to_string e)
+let pp_program fmt p = Format.pp_print_string fmt (program_to_string p)

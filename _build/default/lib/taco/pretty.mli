@@ -1,0 +1,10 @@
+(** Pretty-printing of TACO programs back to index-notation syntax.
+
+    Parentheses are inserted only where required by precedence, so
+    [parse (print p)] is the identity on ASTs (tested by round-trip
+    properties). *)
+
+val expr_to_string : Ast.expr -> string
+val program_to_string : Ast.program -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_program : Format.formatter -> Ast.program -> unit

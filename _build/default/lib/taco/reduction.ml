@@ -1,0 +1,54 @@
+type t = { node : node; occ : (string * int) list; mutable reds : string list }
+
+and node =
+  | Access of string * string list
+  | Const of Stagg_util.Rat.t
+  | Neg of t
+  | Bin of Ast.op * t * t
+
+let occ_merge a b =
+  List.fold_left
+    (fun acc (i, n) ->
+      match List.assoc_opt i acc with
+      | None -> (i, n) :: acc
+      | Some m -> (i, n + m) :: List.remove_assoc i acc)
+    a b
+
+let occ_count occ i = match List.assoc_opt i occ with None -> 0 | Some n -> n
+
+let rec build (e : Ast.expr) : t =
+  match e with
+  | Ast.Access (tname, idxs) ->
+      let occ = List.fold_left (fun acc i -> occ_merge acc [ (i, 1) ]) [] idxs in
+      { node = Access (tname, idxs); occ; reds = [] }
+  | Ast.Const c -> { node = Const c; occ = []; reds = [] }
+  | Ast.Neg e ->
+      let a = build e in
+      { node = Neg a; occ = a.occ; reds = [] }
+  | Ast.Bin (op, l, r) ->
+      let la = build l and ra = build r in
+      { node = Bin (op, la, ra); occ = occ_merge la.occ ra.occ; reds = [] }
+
+(* Insert the summation for reduction index [r] at the deepest node whose
+   subtree contains all occurrences of [r]. *)
+let insert root r =
+  let total = occ_count root.occ r in
+  if total = 0 then ()
+  else begin
+    let rec descend node =
+      match node.node with
+      | Access _ | Const _ -> node
+      | Neg child -> if occ_count child.occ r = total then descend child else node
+      | Bin (_, l, ri) ->
+          if occ_count l.occ r = total then descend l
+          else if occ_count ri.occ r = total then descend ri
+          else node
+    in
+    let target = descend root in
+    target.reds <- target.reds @ [ r ]
+  end
+
+let annotate (p : Ast.program) : t =
+  let root = build p.rhs in
+  List.iter (insert root) (Ast.reduction_indices p);
+  root

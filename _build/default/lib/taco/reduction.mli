@@ -1,0 +1,17 @@
+(** Reduction-placement analysis shared by the interpreter and the compiler.
+
+    Annotates a TACO RHS with, at each node, the list of reduction indices
+    whose implicit summation is inserted there: the deepest node whose
+    subtree contains every occurrence of the index (see DESIGN.md §4). *)
+
+type t = { node : node; occ : (string * int) list; mutable reds : string list }
+
+and node =
+  | Access of string * string list
+  | Const of Stagg_util.Rat.t
+  | Neg of t
+  | Bin of Ast.op * t * t
+
+(** [annotate p] builds the annotated RHS of [p] with all reduction
+    summations placed. *)
+val annotate : Ast.program -> t

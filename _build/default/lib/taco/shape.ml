@@ -1,0 +1,91 @@
+open Ast
+
+type error =
+  | Unknown_tensor of string
+  | Arity_mismatch of { tensor : string; expected : int; found : int }
+  | Index_size_conflict of { index : string; size1 : int; size2 : int }
+  | Unbound_output_index of string
+
+let error_to_string = function
+  | Unknown_tensor t -> Printf.sprintf "unknown tensor %s" t
+  | Arity_mismatch { tensor; expected; found } ->
+      Printf.sprintf "tensor %s has rank %d but is accessed with %d indices" tensor expected found
+  | Index_size_conflict { index; size1; size2 } ->
+      Printf.sprintf "index %s used with conflicting sizes %d and %d" index size1 size2
+  | Unbound_output_index i -> Printf.sprintf "output index %s has no determined extent" i
+
+let ( let* ) r f = Result.bind r f
+
+let check_access ranks tensor idxs =
+  match List.assoc_opt tensor ranks with
+  | None -> Error (Unknown_tensor tensor)
+  | Some rank ->
+      let found = List.length idxs in
+      if found = rank then Ok () else Error (Arity_mismatch { tensor; expected = rank; found })
+
+let check_arities ~ranks (p : program) =
+  let rec go = function
+    | Access (t, idxs) -> check_access ranks t idxs
+    | Const _ -> Ok ()
+    | Neg e -> go e
+    | Bin (_, a, b) ->
+        let* () = go a in
+        go b
+  in
+  let lt, li = p.lhs in
+  let* () = check_access ranks lt li in
+  go p.rhs
+
+let bind_sizes sizes index size =
+  match List.assoc_opt index !sizes with
+  | None ->
+      sizes := (index, size) :: !sizes;
+      Ok ()
+  | Some s when s = size -> Ok ()
+  | Some s -> Error (Index_size_conflict { index; size1 = s; size2 = size })
+
+let infer_index_sizes ?lhs_shape ~shapes (p : program) =
+  let sizes = ref [] in
+  let bind_access tensor idxs shape =
+    if Array.length shape <> List.length idxs then
+      Error (Arity_mismatch { tensor; expected = Array.length shape; found = List.length idxs })
+    else
+      List.fold_left
+        (fun acc (k, idx) ->
+          let* () = acc in
+          bind_sizes sizes idx shape.(k))
+        (Ok ())
+        (List.mapi (fun k i -> (k, i)) idxs)
+  in
+  let rec go = function
+    | Access (t, idxs) -> (
+        match List.assoc_opt t shapes with
+        | None -> Error (Unknown_tensor t)
+        | Some shape -> bind_access t idxs shape)
+    | Const _ -> Ok ()
+    | Neg e -> go e
+    | Bin (_, a, b) ->
+        let* () = go a in
+        go b
+  in
+  let* () = go p.rhs in
+  let lt, li = p.lhs in
+  let* () =
+    match lhs_shape with
+    | None -> Ok ()
+    | Some shape -> bind_access lt li shape
+  in
+  (* every LHS index must now have a size *)
+  let* () =
+    List.fold_left
+      (fun acc i ->
+        let* () = acc in
+        if List.mem_assoc i !sizes then Ok () else Error (Unbound_output_index i))
+      (Ok ()) li
+  in
+  Ok (List.rev !sizes)
+
+let output_shape ?lhs_shape ~shapes (p : program) =
+  let* sizes = infer_index_sizes ?lhs_shape ~shapes p in
+  let _, li = p.lhs in
+  Ok (Array.of_list (List.map (fun i -> List.assoc i sizes) li))

@@ -1,0 +1,36 @@
+(** Static well-formedness and shape inference for TACO programs.
+
+    Given the ranks (and optionally concrete dimension sizes) of the tensors
+    a program refers to, checks that every access uses the declared arity,
+    that index variables are used with consistent sizes, and computes the
+    sizes of all index variables and of the output tensor. *)
+
+type error =
+  | Unknown_tensor of string
+  | Arity_mismatch of { tensor : string; expected : int; found : int }
+  | Index_size_conflict of { index : string; size1 : int; size2 : int }
+  | Unbound_output_index of string
+      (** an LHS index that appears nowhere on the RHS and has no declared
+          size (nothing determines its extent) *)
+
+val error_to_string : error -> string
+
+(** [check_arities ~ranks p] verifies every access against [ranks]
+    (a [tensor name -> rank] association); tensors absent from [ranks] are
+    reported. *)
+val check_arities : ranks:(string * int) list -> Ast.program -> (unit, error) result
+
+(** [infer_index_sizes ~shapes p] computes the size of every index variable
+    from the concrete shapes of the RHS tensors ([tensor name -> dimension
+    sizes]). [lhs_shape], if given, also binds the LHS indices (needed for
+    broadcast indices that only occur on the left). *)
+val infer_index_sizes :
+  ?lhs_shape:int array ->
+  shapes:(string * int array) list ->
+  Ast.program ->
+  ((string * int) list, error) result
+
+(** [output_shape ~shapes p] is the shape of the LHS tensor implied by the
+    RHS tensor shapes. *)
+val output_shape :
+  ?lhs_shape:int array -> shapes:(string * int array) list -> Ast.program -> (int array, error) result

@@ -1,0 +1,1 @@
+lib/template/dimlist.ml: Ast Hashtbl List Option Stagg_taco String

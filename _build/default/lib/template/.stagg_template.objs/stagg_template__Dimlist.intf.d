@@ -1,0 +1,1 @@
+lib/template/dimlist.mli: Stagg_taco

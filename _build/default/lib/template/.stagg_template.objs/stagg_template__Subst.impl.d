@@ -1,0 +1,1 @@
+lib/template/subst.ml: Format List Option Printf Rat Stagg_util String Templatize

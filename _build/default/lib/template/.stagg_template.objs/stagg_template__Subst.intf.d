@@ -1,0 +1,1 @@
+lib/template/subst.mli: Format Rat Stagg_taco Stagg_util

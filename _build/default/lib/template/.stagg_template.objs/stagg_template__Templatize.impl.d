@@ -1,0 +1,1 @@
+lib/template/templatize.ml: Char Hashtbl List Option Printf Stagg_taco String

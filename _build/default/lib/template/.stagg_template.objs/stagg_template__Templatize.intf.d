@@ -1,0 +1,1 @@
+lib/template/templatize.mli: Stagg_taco Stagg_util

@@ -1,0 +1,32 @@
+open Stagg_taco
+
+let of_template (t : Ast.program) : int list =
+  (* tensors_in_order includes the Const symbol as a 0-ary access, which is
+     exactly the paper's "dimensions of constants and variables are 0" *)
+  List.map snd (Ast.tensors_in_order t)
+
+let predict (templates : Ast.program list) : int list option =
+  match templates with
+  | [] -> None
+  | _ ->
+      let lists = List.map of_template templates in
+      let max_len = List.fold_left (fun m l -> max m (List.length l)) 0 lists in
+      let longest = List.filter (fun l -> List.length l = max_len) lists in
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun l -> Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+        longest;
+      (* most frequent; ties broken by first appearance in [longest] *)
+      let best = ref None in
+      List.iter
+        (fun l ->
+          let c = Hashtbl.find counts l in
+          match !best with
+          | Some (_, bc) when bc >= c -> ()
+          | _ -> best := Some (l, c))
+        longest;
+      Option.map fst !best
+
+let override_lhs l d = match l with [] -> [ d ] | _ :: rest -> d :: rest
+
+let to_string l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]"

@@ -1,0 +1,22 @@
+(** Dimension lists and RHS dimension prediction (paper Def. 4.5, §4.2.3).
+
+    A dimension list [(d1, d2, ...)] gives the dimensionality of each
+    unique tensor symbol of a template, in first-appearance order; the
+    first element is the LHS. Constants and scalar variables count as
+    dimension 0. *)
+
+(** [of_template t] — the dimension list of a templatized candidate. The
+    [Const] symbol contributes a 0 entry, like any scalar. *)
+val of_template : Stagg_taco.Ast.program -> int list
+
+(** [predict ts] — the paper's RHS prediction: compute the dimension list
+    of every candidate, keep only those of maximal length, return the most
+    frequent (first encountered on a tie). [None] on an empty candidate
+    set. *)
+val predict : Stagg_taco.Ast.program list -> int list option
+
+(** [override_lhs l d] replaces the first element (the LHS dimension
+    determined by static analysis, which takes precedence over the LLM). *)
+val override_lhs : int list -> int -> int list
+
+val to_string : int list -> string

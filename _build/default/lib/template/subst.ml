@@ -1,0 +1,55 @@
+open Stagg_util
+
+type arg_info = { name : string; rank : int option; is_size : bool }
+
+type t = { tensor_binding : (string * string) list; const_binding : Rat.t option }
+
+let pp fmt s =
+  Format.fprintf fmt "⟨%s%s⟩"
+    (String.concat ", " (List.map (fun (a, b) -> Printf.sprintf "%s ↦ %s" a b) s.tensor_binding))
+    (match s.const_binding with
+    | None -> ""
+    | Some c -> Printf.sprintf ", Const ↦ %s" (Rat.to_string c))
+
+let max_substitutions = 50_000
+
+let enumerate ~template ~out ~out_rank ~args ~consts =
+  match Templatize.symbols template with
+  | [] -> []
+  | (lhs_sym, lhs_arity) :: rhs_syms ->
+      if lhs_arity <> out_rank then []
+      else if not (Templatize.arity_consistent template) then []
+      else begin
+        let candidates_for arity =
+          List.filter
+            (fun a ->
+              match a.rank with
+              | Some r -> r = arity
+              | None -> (* unknown rank: only a safe guess for tensors *) arity > 0 || a.is_size)
+            args
+        in
+        let needs_const = Templatize.has_const template in
+        let const_choices = if needs_const then List.map Option.some consts else [ None ] in
+        if needs_const && consts = [] then []
+        else begin
+          let rec go syms acc =
+            match syms with
+            | [] ->
+                List.map
+                  (fun c -> { tensor_binding = (lhs_sym, out) :: List.rev acc; const_binding = c })
+                  const_choices
+            | (sym, arity) :: rest ->
+                List.concat_map
+                  (fun a -> go rest ((sym, a.name) :: acc))
+                  (candidates_for arity)
+          in
+          let all = go rhs_syms [] in
+          if List.length all > max_substitutions then
+            (* pathological templates: keep a deterministic prefix *)
+            List.filteri (fun i _ -> i < max_substitutions) all
+          else all
+        end
+      end
+
+let instantiate template (s : t) =
+  Templatize.rename template ~mapping:s.tensor_binding ~const:s.const_binding

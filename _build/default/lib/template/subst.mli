@@ -1,0 +1,38 @@
+(** Substitution enumeration for template validation (paper §6, Fig. 8).
+
+    A substitution maps the template's symbolic tensors to the legacy
+    program's arguments and [Const] to a constant from the source. Unsound
+    bindings — a k-dimensional symbol bound to an argument of a different
+    known rank — are discarded before execution, exactly as in Fig. 8. *)
+
+open Stagg_util
+
+type arg_info = {
+  name : string;
+  rank : int option;  (** [None] when static analysis could not tell *)
+  is_size : bool;  (** scalar parameter that carries a dimension size *)
+}
+
+type t = {
+  tensor_binding : (string * string) list;  (** template symbol → argument name *)
+  const_binding : Rat.t option;  (** value for [Const], when the template has one *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** [enumerate ~template ~out ~out_rank ~args ~consts] lists every sound
+    substitution, LHS bound to [out]. Empty when the template's LHS arity
+    differs from [out_rank], when some symbol has no rank-compatible
+    argument, or when the template mentions [Const] but [consts] is empty.
+    The order is deterministic (argument-list order, constants last-varying). *)
+val enumerate :
+  template:Stagg_taco.Ast.program ->
+  out:string ->
+  out_rank:int ->
+  args:arg_info list ->
+  consts:Rat.t list ->
+  t list
+
+(** [instantiate template s] produces the concrete TACO program: symbols
+    renamed to argument names, [Const] replaced by its bound literal. *)
+val instantiate : Stagg_taco.Ast.program -> t -> Stagg_taco.Ast.program

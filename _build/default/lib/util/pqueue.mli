@@ -1,0 +1,23 @@
+(** Imperative min-priority queue (binary heap) keyed by [float].
+
+    Used as the frontier of both A* searches (paper Algorithms 1 and 2).
+    Ties are broken by insertion order (FIFO), which makes the searches
+    deterministic and keeps them faithful to the paper's "queue" phrasing. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** [push q priority v] inserts [v] with the given priority. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop q] removes and returns a minimum-priority element, with its
+    priority. [None] on an empty queue. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek q] returns a minimum element without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

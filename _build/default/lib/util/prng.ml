@@ -1,0 +1,49 @@
+(* splitmix64 (Steele, Lea & Flood 2014), on boxed int64 state. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let split t = { state = mix (next t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  r mod bound
+
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  r /. 9007199254740992. (* 2^53 *)
+
+let chance t p = float t < p
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

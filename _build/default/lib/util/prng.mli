@@ -1,0 +1,33 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the reproduction (the mock LLM's noise,
+    I/O example generation) draws from an explicitly-seeded [Prng.t], so
+    whole-suite experiment runs are bit-for-bit reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t] derives an independent generator; [t] advances. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+val int_range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [float t] is uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** [chance t p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+(** [choose t xs] picks a uniform element. @raise Invalid_argument on []. *)
+val choose : t -> 'a list -> 'a
+
+(** [shuffle t xs] is a uniform permutation of [xs]. *)
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,71 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den = if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    let g = Bigint.gcd num den in
+    { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+      make
+        (Bigint.of_string (String.sub s 0 i))
+        (Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+
+let to_string t =
+  if Bigint.equal t.den Bigint.one then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let is_integer t = Bigint.equal t.den Bigint.one
+
+let to_int t = if is_integer t then Bigint.to_int t.num else None
+
+let to_float t =
+  (* good enough for display / heuristics; not used in exact paths *)
+  match (Bigint.to_int t.num, Bigint.to_int t.den) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ -> float_of_string (Bigint.to_string t.num) /. float_of_string (Bigint.to_string t.den)
+
+let neg t = { t with num = Bigint.neg t.num }
+let abs t = { t with num = Bigint.abs t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let inv t = make t.den t.num
+let div a b = mul a (inv b)
+let sign t = Bigint.sign t.num
+let is_zero t = Bigint.is_zero t.num
+let compare a b = Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let hash t = Hashtbl.hash (Bigint.hash t.num, Bigint.hash t.den)
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+end

@@ -1,0 +1,62 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is strictly positive
+    and [gcd num den = 1]. This is the value domain used for all tensor
+    contents, interpreter states and verification, mirroring the paper's
+    rational-datatype extension of CBMC (§7). *)
+
+type t = private { num : Bigint.t; den : Bigint.t }
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [make num den] normalizes the fraction. @raise Division_by_zero if
+    [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+val of_bigint : Bigint.t -> t
+
+(** [of_string s] parses ["n"], ["-n"], or ["n/d"]. *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+(** [to_int t] is [Some n] when [t] is an integer that fits in [int]. *)
+val to_int : t -> int option
+
+val to_float : t -> float
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero if the divisor is zero. *)
+val div : t -> t -> t
+
+val inv : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Infix operators, for readable arithmetic-heavy code. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+end

@@ -1,0 +1,63 @@
+(** The value-domain signature shared by every interpreter in the project.
+
+    Both the mini-C interpreter ({!Stagg_minic.Interp}) and the TACO
+    interpreters ({!Stagg_taco.Interp}, {!Stagg_taco.Ir}) are functors over
+    [Value.S]. Instantiating them at {!Rat} gives concrete execution (used
+    for I/O example generation and template validation); instantiating them
+    at symbolic rational functions ({!Stagg_verify.Ratfunc}) gives the
+    bounded model checker of the paper's §7.
+
+    Control flow must stay concrete even under symbolic execution: loop
+    bounds and comparisons are only ever computed from size parameters and
+    loop counters, which are always bound to constants. [to_int] and
+    [compare_concrete] expose that partial concreteness. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_rat : Rat.t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+
+  (** Exact division. @raise Division_by_zero when the divisor is the
+      constant zero (symbolic domains treat a non-constant divisor as a
+      formally-nonzero rational function). *)
+  val div : t -> t -> t
+
+  val neg : t -> t
+
+  (** Semantic equality (used to compare program outputs). *)
+  val equal : t -> t -> bool
+
+  (** [to_int v] is [Some n] when [v] is the concrete integer [n]. *)
+  val to_int : t -> int option
+
+  (** [compare_concrete a b] is [Some c] when both values are concrete
+      rationals; [None] when either is symbolic. *)
+  val compare_concrete : t -> t -> int option
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The concrete instance: exact rationals. *)
+module Rat_value : S with type t = Rat.t = struct
+  type t = Rat.t
+
+  let zero = Rat.zero
+  let one = Rat.one
+  let of_int = Rat.of_int
+  let of_rat r = r
+  let add = Rat.add
+  let sub = Rat.sub
+  let mul = Rat.mul
+  let div = Rat.div
+  let neg = Rat.neg
+  let equal = Rat.equal
+  let to_int = Rat.to_int
+  let compare_concrete a b = Some (Rat.compare a b)
+  let pp = Rat.pp
+end

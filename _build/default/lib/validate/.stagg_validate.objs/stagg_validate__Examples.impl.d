@@ -1,0 +1,1 @@
+lib/validate/examples.ml: Array Interp List Printf Prng Rat Signature Stagg_minic Stagg_util Value

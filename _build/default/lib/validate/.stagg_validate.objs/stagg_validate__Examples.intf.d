@@ -1,0 +1,1 @@
+lib/validate/examples.mli: Prng Rat Stagg_minic Stagg_util

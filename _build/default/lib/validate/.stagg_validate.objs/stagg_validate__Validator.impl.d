@@ -1,0 +1,1 @@
+lib/validate/validator.ml: Array Examples Format List Rat Stagg_minic Stagg_taco Stagg_template Stagg_util Subst Value

@@ -1,0 +1,1 @@
+lib/validate/validator.mli: Examples Format Rat Stagg_minic Stagg_taco Stagg_template Stagg_util

@@ -1,0 +1,71 @@
+open Stagg_util
+open Stagg_minic
+module Cinterp = Interp.Make (Value.Rat_value)
+
+type example = {
+  sizes : (string * int) list;
+  inputs : (string * Rat.t array) list;
+  output : Rat.t array;
+}
+
+(* small nonzero values: exact, division-safe, and adversarial enough to
+   kill index permutations and wrong operators *)
+let random_value prng =
+  let v = Prng.int_range prng 1 7 in
+  Rat.of_int (if Prng.chance prng 0.3 then -v else v)
+
+let generate_one ~func ~(signature : Signature.t) ~prng ~size =
+  (* distinct extents per dimension variable, so transposed or re-wired
+     candidates cannot hide behind square shapes *)
+  let base = [| 0; 1; -1; 2 |] in
+  let sizes =
+    List.mapi
+      (fun k n -> (n, max 2 (size + base.(k mod Array.length base))))
+      (Signature.size_names signature)
+  in
+  let inputs =
+    List.map
+      (fun (name, spec) ->
+        match spec with
+        | Signature.Size s -> (name, [| Rat.of_int (List.assoc s sizes) |])
+        | Signature.Scalar_data -> (name, [| random_value prng |])
+        | Signature.Arr _ ->
+            (name, Array.init (Signature.n_cells ~sizes spec) (fun _ -> random_value prng)))
+      signature.args
+  in
+  (* run on copies so [inputs] keeps the pre-call contents *)
+  let buffers =
+    List.map
+      (fun (name, spec) ->
+        match spec with
+        | Signature.Arr _ -> (name, Array.copy (List.assoc name inputs))
+        | _ -> (name, [||]))
+      signature.args
+  in
+  let args =
+    List.map
+      (fun (name, spec) ->
+        match spec with
+        | Signature.Size _ | Signature.Scalar_data ->
+            Cinterp.Scalar (List.assoc name inputs).(0)
+        | Signature.Arr _ -> Cinterp.Array (List.assoc name buffers))
+      signature.args
+  in
+  match Cinterp.run func ~args with
+  | Error msg -> Error (Printf.sprintf "example generation failed (size %d): %s" size msg)
+  | Ok () -> Ok { sizes; inputs; output = Array.copy (List.assoc signature.out buffers) }
+
+let generate ~func ~signature ~prng ?(n = 4) () =
+  (* a couple of distinct sizes to rule out size-coincidental matches *)
+  let size_for k = if k mod 2 = 0 then 3 else 4 in
+  let rec go k retries acc =
+    if k = n then Ok (List.rev acc)
+    else
+      match generate_one ~func ~signature ~prng ~size:(size_for k) with
+      | Error _ when retries > 0 ->
+          (* e.g. a random scalar made a divisor zero: redraw *)
+          go k (retries - 1) acc
+      | Error _ as e -> e
+      | Ok ex -> go (k + 1) retries (ex :: acc)
+  in
+  go 0 20 []

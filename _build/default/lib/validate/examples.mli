@@ -1,0 +1,27 @@
+(** Input–output example generation (paper §6).
+
+    Examples are produced by running the legacy mini-C program on randomly
+    generated inputs. Values are small nonzero integers (as rationals), so
+    candidate programs with division never fail spuriously on a zero
+    divisor, and arithmetic stays exact. *)
+
+open Stagg_util
+
+type example = {
+  sizes : (string * int) list;  (** concrete value of each dimension *)
+  inputs : (string * Rat.t array) list;
+      (** initial contents of every parameter: arrays have their cells,
+          scalars (sizes included) a single cell *)
+  output : Rat.t array;  (** contents of the output buffer after the run *)
+}
+
+(** [generate ~func ~signature ~prng ?n ()] runs the program on [n]
+    (default 4) random inputs over a couple of different sizes. Fails if
+    the program itself fails (a benchmark bug). *)
+val generate :
+  func:Stagg_minic.Ast.func ->
+  signature:Stagg_minic.Signature.t ->
+  prng:Prng.t ->
+  ?n:int ->
+  unit ->
+  (example list, string) result

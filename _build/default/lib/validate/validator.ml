@@ -1,0 +1,67 @@
+open Stagg_util
+open Stagg_template
+module Sig = Stagg_minic.Signature
+module Tensor = Stagg_taco.Tensor
+module Tinterp = Stagg_taco.Interp.Make (Value.Rat_value)
+
+type solution = {
+  template : Stagg_taco.Ast.program;
+  subst : Subst.t;
+  concrete : Stagg_taco.Ast.program;
+}
+
+let pp_solution fmt s =
+  Format.fprintf fmt "%s via %a"
+    (Stagg_taco.Pretty.program_to_string s.concrete)
+    Subst.pp s.subst
+
+let instantiation_counter = ref 0
+let last_instantiations () = !instantiation_counter
+
+(* Does [concrete] reproduce one example? *)
+let satisfies_example ~(signature : Sig.t) (ex : Examples.example) concrete =
+  let env =
+    List.map
+      (fun (name, spec) ->
+        let flat = List.assoc name ex.Examples.inputs in
+        match spec with
+        | Sig.Size _ | Sig.Scalar_data -> (name, Tensor.scalar flat.(0))
+        | Sig.Arr _ -> (name, Tensor.of_flat_array (Sig.shape ~sizes:ex.sizes spec) flat))
+      signature.args
+  in
+  let out_shape = Sig.shape ~sizes:ex.sizes (Sig.out_spec signature) in
+  match Tinterp.run ~env ~lhs_shape:out_shape concrete with
+  | Error _ -> false
+  | Ok out ->
+      let flat = Tensor.to_flat_array out in
+      Array.length flat = Array.length ex.output
+      && Tensor.shape out = out_shape
+      && Array.for_all2 Rat.equal flat ex.output
+
+let check_concrete ~signature ~examples p =
+  List.for_all (fun ex -> satisfies_example ~signature ex p) examples
+
+let validate ~signature ~examples ~consts ?(verify = fun _ -> true) template =
+  instantiation_counter := 0;
+  let args =
+    List.map
+      (fun (name, spec) ->
+        {
+          Subst.name;
+          rank = Some (Sig.rank_of_spec spec);
+          is_size = (match spec with Sig.Size _ -> true | _ -> false);
+        })
+      signature.Sig.args
+  in
+  let out_rank = Sig.rank_of_spec (Sig.out_spec signature) in
+  let substs =
+    Subst.enumerate ~template ~out:signature.out ~out_rank ~args ~consts
+  in
+  List.find_map
+    (fun subst ->
+      let concrete = Subst.instantiate template subst in
+      incr instantiation_counter;
+      if List.for_all (fun ex -> satisfies_example ~signature ex concrete) examples then
+        if verify concrete then Some { template; subst; concrete } else None
+      else None)
+    substs

@@ -1,0 +1,41 @@
+(** The template validator (paper §6, Fig. 8).
+
+    Given a complete template from the search, enumerates every sound
+    substitution of the legacy program's arguments (and source constants)
+    for the template's symbols, instantiates, and executes the resulting
+    concrete TACO program on the I/O examples. The first instantiation
+    that satisfies every example — and, when a [verify] hook is supplied,
+    passes bounded verification (§7: on verification failure the validator
+    keeps exploring substitutions) — is returned. *)
+
+open Stagg_util
+
+type solution = {
+  template : Stagg_taco.Ast.program;
+  subst : Stagg_template.Subst.t;
+  concrete : Stagg_taco.Ast.program;  (** over the C parameter names *)
+}
+
+val pp_solution : Format.formatter -> solution -> unit
+
+(** Number of instantiations executed by the last [validate] call
+    (observability for the experiment harness). *)
+val last_instantiations : unit -> int
+
+val validate :
+  signature:Stagg_minic.Signature.t ->
+  examples:Examples.example list ->
+  consts:Rat.t list ->
+  ?verify:(Stagg_taco.Ast.program -> bool) ->
+  Stagg_taco.Ast.program ->
+  solution option
+
+(** [check_concrete ~signature ~examples p] — does the {e concrete} TACO
+    program [p] (over the C parameter names) reproduce every example?
+    Used by baselines that enumerate concrete programs directly
+    (C2TACO-style I/O testing). *)
+val check_concrete :
+  signature:Stagg_minic.Signature.t ->
+  examples:Examples.example list ->
+  Stagg_taco.Ast.program ->
+  bool

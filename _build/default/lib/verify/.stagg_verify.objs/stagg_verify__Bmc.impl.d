@@ -1,0 +1,1 @@
+lib/verify/bmc.ml: Array Interp List Option Printf Ratfunc Signature Stagg_minic Stagg_taco

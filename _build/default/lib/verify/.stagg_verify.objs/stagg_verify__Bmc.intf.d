@@ -1,0 +1,1 @@
+lib/verify/bmc.mli: Stagg_minic Stagg_taco

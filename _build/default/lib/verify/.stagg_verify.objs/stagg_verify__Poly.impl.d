@@ -1,0 +1,1 @@
+lib/verify/poly.ml: Format Hashtbl List Option Rat Stagg_util String

@@ -1,0 +1,1 @@
+lib/verify/poly.mli: Format Rat Stagg_util

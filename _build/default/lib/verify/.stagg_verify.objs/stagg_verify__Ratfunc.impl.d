@@ -1,0 +1,1 @@
+lib/verify/ratfunc.ml: Format Poly Printf Rat Stagg_util

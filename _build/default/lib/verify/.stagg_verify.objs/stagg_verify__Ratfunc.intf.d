@@ -1,0 +1,1 @@
+lib/verify/ratfunc.mli: Poly Rat Stagg_util Value

@@ -1,0 +1,91 @@
+open Stagg_minic
+module Tensor = Stagg_taco.Tensor
+module Cinterp = Interp.Make (Ratfunc)
+module Kexec = Stagg_taco.Ir.Exec (Ratfunc)
+
+type result = Equivalent | Not_equivalent of string | Inconclusive of string
+
+let result_to_string = function
+  | Equivalent -> "equivalent"
+  | Not_equivalent msg -> "not equivalent: " ^ msg
+  | Inconclusive msg -> "inconclusive: " ^ msg
+
+let cell_var name k = Printf.sprintf "%s!%d" name k
+
+(* Symbolic contents for one parameter at the given sizes. *)
+let symbolic_cells ~sizes name spec =
+  Array.init (Signature.n_cells ~sizes spec) (fun k -> Ratfunc.var (cell_var name k))
+
+let check_at_bound ~func ~(signature : Signature.t) ~candidate b : result =
+  let sizes = List.map (fun n -> (n, b)) (Signature.size_names signature) in
+  (* fresh symbolic buffers for the C run (mutated in place) *)
+  let buffers =
+    List.map
+      (fun (name, spec) ->
+        match spec with
+        | Signature.Size _ | Signature.Scalar_data -> (name, None)
+        | Signature.Arr _ -> (name, Some (symbolic_cells ~sizes name spec)))
+      signature.args
+  in
+  let c_args =
+    List.map
+      (fun (name, spec) ->
+        match spec with
+        | Signature.Size s -> Cinterp.Scalar (Ratfunc.of_int (List.assoc s sizes))
+        | Signature.Scalar_data -> Cinterp.Scalar (Ratfunc.var (cell_var name 0))
+        | Signature.Arr _ -> Cinterp.Array (Option.get (List.assoc name buffers)))
+      signature.args
+  in
+  match Cinterp.run func ~args:c_args with
+  | Error msg -> Inconclusive (Printf.sprintf "C side failed at bound %d: %s" b msg)
+  | Ok () -> (
+      let c_out = Option.get (List.assoc signature.out buffers) in
+      (* TACO side: the same symbolic inputs, shaped; kernel from the
+         lowering compiler *)
+      let env =
+        List.filter_map
+          (fun (name, spec) ->
+            match spec with
+            | Signature.Size s ->
+                Some (name, Tensor.scalar (Ratfunc.of_int (List.assoc s sizes)))
+            | Signature.Scalar_data -> Some (name, Tensor.scalar (Ratfunc.var (cell_var name 0)))
+            | Signature.Arr _ ->
+                Some (name, Tensor.of_flat_array (Signature.shape ~sizes spec)
+                              (symbolic_cells ~sizes name spec)))
+          signature.args
+      in
+      let out_shape = Signature.shape ~sizes (Signature.out_spec signature) in
+      match Stagg_taco.Lower.lower candidate with
+      | Error msg -> Inconclusive ("lowering failed: " ^ msg)
+      | Ok kernel -> (
+          match Kexec.run ~env ~out_shape kernel with
+          | Error msg -> Inconclusive (Printf.sprintf "kernel failed at bound %d: %s" b msg)
+          | Ok out ->
+              let t_flat = Tensor.to_flat_array out in
+              if Array.length t_flat <> Array.length c_out then
+                Not_equivalent
+                  (Printf.sprintf "output sizes differ at bound %d (%d vs %d)" b
+                     (Array.length c_out) (Array.length t_flat))
+              else begin
+                let bad = ref None in
+                Array.iteri
+                  (fun k v ->
+                    if !bad = None && not (Ratfunc.equal v c_out.(k)) then bad := Some k)
+                  t_flat;
+                match !bad with
+                | None -> Equivalent
+                | Some k ->
+                    Not_equivalent
+                      (Printf.sprintf "cell %d differs at bound %d: C gives %s, TACO gives %s" k b
+                         (Ratfunc.to_string c_out.(k)) (Ratfunc.to_string t_flat.(k)))
+              end))
+
+let check ~func ~signature ~candidate ?(bounds = [ 1; 2; 3 ]) () =
+  let rec go = function
+    | [] -> Equivalent
+    | b :: rest -> (
+        match check_at_bound ~func ~signature ~candidate b with
+        | Equivalent -> go rest
+        | (Not_equivalent _ | Inconclusive _) as r -> r)
+  in
+  go bounds

@@ -1,0 +1,28 @@
+(** Bounded equivalence checking of a mini-C function against a candidate
+    TACO program (the paper's CBMC-based verifier, §7).
+
+    For each size bound b, every dimension is fixed at b, every input cell
+    becomes a fresh symbolic variable, and both programs are executed by
+    the {e same} interpreters used for concrete runs — instantiated at
+    {!Ratfunc} — which unrolls all loops and yields each output cell as an
+    exact rational function of the inputs. The candidate side runs the
+    kernel produced by the {!Stagg_taco.Lower} compiler, mirroring the
+    paper's "compile the TACO program, then compare" pipeline. Outputs are
+    compared by cross-multiplication, i.e. for {e all} rational inputs at
+    once — precisely CBMC-with-rationals' guarantee up to the bound. *)
+
+type result = Equivalent | Not_equivalent of string | Inconclusive of string
+
+val result_to_string : result -> string
+
+(** [check ~func ~signature ~candidate ()] — [candidate] is a concrete
+    TACO program over the function's parameter names. [bounds] are the
+    dimension sizes to verify at (default [\[1; 2; 3\]]; every size
+    parameter is set to each bound in turn). *)
+val check :
+  func:Stagg_minic.Ast.func ->
+  signature:Stagg_minic.Signature.t ->
+  candidate:Stagg_taco.Ast.program ->
+  ?bounds:int list ->
+  unit ->
+  result

@@ -1,0 +1,70 @@
+open Stagg_util
+
+(* Sorted association list from monomials (sorted variable lists, with
+   repetition for powers) to nonzero rational coefficients. *)
+type monomial = string list
+
+type t = (monomial * Rat.t) list
+
+let zero : t = []
+let const c : t = if Rat.is_zero c then [] else [ ([], c) ]
+let one = const Rat.one
+let of_int n = const (Rat.of_int n)
+let var v : t = [ ([ v ], Rat.one) ]
+
+let normalize (terms : (monomial * Rat.t) list) : t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (m, c) ->
+      let m = List.sort String.compare m in
+      let cur = Option.value ~default:Rat.zero (Hashtbl.find_opt tbl m) in
+      Hashtbl.replace tbl m (Rat.add cur c))
+    terms;
+  Hashtbl.fold (fun m c acc -> if Rat.is_zero c then acc else (m, c) :: acc) tbl []
+  |> List.sort (fun (m1, _) (m2, _) -> compare m1 m2)
+
+let add a b = normalize (a @ b)
+let neg a = List.map (fun (m, c) -> (m, Rat.neg c)) a
+let sub a b = add a (neg b)
+
+let mul (a : t) (b : t) =
+  normalize
+    (List.concat_map (fun (ma, ca) -> List.map (fun (mb, cb) -> (ma @ mb, Rat.mul ca cb)) b) a)
+
+let equal (a : t) (b : t) =
+  List.length a = List.length b
+  && List.for_all2 (fun (m1, c1) (m2, c2) -> m1 = m2 && Rat.equal c1 c2) a b
+
+let is_const = function
+  | [] -> Some Rat.zero
+  | [ ([], c) ] -> Some c
+  | _ -> None
+
+let is_zero p = p = []
+
+let n_terms = List.length
+
+let vars (p : t) =
+  let seen = Hashtbl.create 8 in
+  List.iter (fun (m, _) -> List.iter (fun v -> Hashtbl.replace seen v ()) m) p;
+  Hashtbl.fold (fun v () acc -> v :: acc) seen [] |> List.sort String.compare
+
+let to_string (p : t) =
+  if p = [] then "0"
+  else
+    String.concat " + "
+      (List.map
+         (fun (m, c) ->
+           match m with
+           | [] -> Rat.to_string c
+           | _ when Rat.equal c Rat.one -> String.concat "*" m
+           | _ -> Rat.to_string c ^ "*" ^ String.concat "*" m)
+         p)
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+let eval (p : t) lookup =
+  List.fold_left
+    (fun acc (m, c) ->
+      Rat.add acc (List.fold_left (fun v x -> Rat.mul v (lookup x)) c m))
+    Rat.zero p

@@ -1,0 +1,55 @@
+open Stagg_util
+
+type t = { num : Poly.t; den : Poly.t }
+
+let num t = t.num
+let den t = t.den
+
+let make num den =
+  if Poly.is_zero den then raise Division_by_zero
+  else if Poly.is_zero num then { num = Poly.zero; den = Poly.one }
+  else
+    (* cheap normalization: a constant denominator is folded into the
+       numerator's coefficients *)
+    match Poly.is_const den with
+    | Some c -> { num = Poly.mul num (Poly.const (Rat.inv c)); den = Poly.one }
+    | None -> { num; den }
+
+let of_poly p = { num = p; den = Poly.one }
+let var v = of_poly (Poly.var v)
+
+let zero = of_poly Poly.zero
+let one = of_poly Poly.one
+let of_int n = of_poly (Poly.of_int n)
+let of_rat c = of_poly (Poly.const c)
+
+let add a b =
+  if Poly.equal a.den b.den then make (Poly.add a.num b.num) a.den
+  else make (Poly.add (Poly.mul a.num b.den) (Poly.mul b.num a.den)) (Poly.mul a.den b.den)
+
+let neg a = { a with num = Poly.neg a.num }
+let sub a b = add a (neg b)
+let mul a b = make (Poly.mul a.num b.num) (Poly.mul a.den b.den)
+let div a b = make (Poly.mul a.num b.den) (Poly.mul a.den b.num)
+
+(* p1/q1 = p2/q2  ⟺  p1·q2 = p2·q1 (denominators formally nonzero) *)
+let equal a b = Poly.equal (Poly.mul a.num b.den) (Poly.mul b.num a.den)
+
+let is_const t =
+  match (Poly.is_const t.num, Poly.is_const t.den) with
+  | Some n, Some d when not (Rat.is_zero d) -> Some (Rat.div n d)
+  | _ -> None
+
+let to_int t =
+  match is_const t with Some c -> Rat.to_int c | None -> None
+
+let compare_concrete a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y -> Some (Rat.compare x y)
+  | _ -> None
+
+let to_string t =
+  if Poly.is_const t.den = Some Rat.one then Poly.to_string t.num
+  else Printf.sprintf "(%s) / (%s)" (Poly.to_string t.num) (Poly.to_string t.den)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Option Stagg Stagg_baselines Stagg_benchsuite Stagg_taco Stagg_verify

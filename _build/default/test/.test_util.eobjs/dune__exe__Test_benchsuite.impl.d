@@ -1,0 +1,1 @@
+test/test_benchsuite.ml: Alcotest List Option Prng Stagg_benchsuite Stagg_minic Stagg_oracle Stagg_taco Stagg_util Stagg_validate Stagg_verify String

@@ -1,0 +1,1 @@
+test/test_cli_units.ml: Alcotest List Option Result Stagg Stagg_benchsuite Stagg_minic Stagg_oracle Stagg_taco

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Codegen_c Export Filename List Parser Result Stagg Stagg_benchsuite Stagg_minic Stagg_oracle Stagg_taco Stagg_verify String Sys

@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Array Cfg Derive Float Gen_bottomup Gen_topdown List Pcfg Stagg_grammar Stagg_taco Taco_grammar

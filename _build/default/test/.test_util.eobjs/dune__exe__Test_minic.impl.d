@@ -1,0 +1,1 @@
+test/test_minic.ml: Affine Alcotest Array Ast Dims Interp List Option Parser QCheck QCheck_alcotest Rat Recover Result Signature Sigspec Stagg_minic Stagg_util String Value

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest List Llm_client Mock_llm Option Prng Prompt Response Stagg_oracle Stagg_taco Stagg_template Stagg_util String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest List Option Stagg Stagg_benchsuite Stagg_taco Stagg_validate Stagg_verify

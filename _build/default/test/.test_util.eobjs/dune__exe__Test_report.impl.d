@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest List Stagg Stagg_benchsuite Stagg_oracle Stagg_report String

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Astar Cfg Derive Gen_bottomup Gen_topdown Hashtbl List Node Option Pcfg Penalty Stagg_grammar Stagg_search Stagg_taco String

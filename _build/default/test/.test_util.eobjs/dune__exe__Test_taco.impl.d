@@ -1,0 +1,1 @@
+test/test_taco.ml: Alcotest Array Ast Interp Ir List Lower Parser Pretty QCheck QCheck_alcotest Rat Result Shape Stagg_taco Stagg_util String Tensor Value

@@ -1,0 +1,1 @@
+test/test_template.ml: Alcotest Dimlist List Option Rat Stagg_taco Stagg_template Stagg_util String Subst Templatize

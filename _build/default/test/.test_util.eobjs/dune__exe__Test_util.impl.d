@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bigint List Pqueue Prng QCheck QCheck_alcotest Rat Stagg_util String

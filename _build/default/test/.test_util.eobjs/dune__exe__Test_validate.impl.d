@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Array Examples List Option Prng Rat Result Stagg_minic Stagg_taco Stagg_template Stagg_util Stagg_validate Validator

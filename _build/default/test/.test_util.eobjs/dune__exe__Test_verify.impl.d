@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Bmc Poly QCheck QCheck_alcotest Rat Ratfunc Stagg_minic Stagg_taco Stagg_util Stagg_verify

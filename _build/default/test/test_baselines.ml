@@ -1,0 +1,125 @@
+(* Tests for the three baselines: LLM-only, C2TACO (± heuristics) and
+   Tenspiler. *)
+
+module Suite = Stagg_benchsuite.Suite
+module Bench = Stagg_benchsuite.Bench
+
+let check_bool = Alcotest.(check bool)
+
+let seed = 20250604
+let bench name = Option.get (Suite.find name)
+
+(* ---- LLM-only ---- *)
+
+let test_llm_solves_exact () =
+  List.iter
+    (fun name ->
+      let r = Stagg_baselines.Llm_only.run ~seed (bench name) in
+      check_bool (name ^ " solved by the raw LLM") true r.Stagg.Result_.solved;
+      check_bool "few attempts" true (r.attempts <= 12))
+    [ "art_copy"; "art_gemv"; "mf_vec_dot" ]
+
+let test_llm_fails_near () =
+  (* near-miss benchmarks are what the raw LLM cannot do — and the reason
+     STAGG exists *)
+  List.iter
+    (fun name ->
+      check_bool (name ^ " unsolved by the raw LLM") false
+        (Stagg_baselines.Llm_only.run ~seed (bench name)).Stagg.Result_.solved)
+    [ "art_gemm"; "blas_sgemm"; "mf_vec_lerp"; "dk_conv1x1" ]
+
+let test_llm_verifies_its_answers () =
+  let r = Stagg_baselines.Llm_only.run ~seed (bench "art_gemv") in
+  match r.solution with
+  | Some sol ->
+      let b = bench "art_gemv" in
+      check_bool "LLM answer verified" true
+        (Stagg_verify.Bmc.check ~func:(Bench.func b) ~signature:b.signature
+           ~candidate:sol.concrete ()
+        = Stagg_verify.Bmc.Equivalent)
+  | None -> Alcotest.fail "expected a solution"
+
+(* ---- C2TACO ---- *)
+
+let c2 ?(heuristics = true) name = Stagg_baselines.C2taco.run ~seed ~heuristics (bench name)
+
+let test_c2taco_solves_core () =
+  List.iter
+    (fun name -> check_bool (name ^ " solved by C2TACO") true (c2 name).Stagg.Result_.solved)
+    [ "art_copy"; "art_dot"; "art_gemv"; "art_gemm"; "blas_syrk_lt"; "dsp_energy"; "sa_add_one" ]
+
+let test_c2taco_structural_limits () =
+  (* non-chain solutions are outside its bottom-up enumeration *)
+  List.iter
+    (fun name -> check_bool (name ^ " unsolved by C2TACO") false (c2 name).Stagg.Result_.solved)
+    [ "dk_mse"; "blas_axpby"; "dk_conv1x1"; "mf_transform_pair" ]
+
+let test_c2taco_scalability_limit () =
+  (* mttkrp explodes the unguided enumeration (paper: exponential growth) *)
+  let r = c2 "art_mttkrp" in
+  check_bool "mttkrp exhausts the C2TACO budget" false r.Stagg.Result_.solved
+
+let test_c2taco_noh_slower () =
+  let w = c2 "art_gemv" in
+  let wo = c2 ~heuristics:false "art_gemv" in
+  check_bool "both solve" true (w.Stagg.Result_.solved && wo.Stagg.Result_.solved);
+  check_bool "no heuristics needs more attempts" true (wo.attempts >= w.attempts)
+
+let test_c2taco_constants () =
+  let r = c2 "sa_fma_const" in
+  check_bool "constant benchmark solved via literal pool" true r.Stagg.Result_.solved
+
+(* ---- Tenspiler ---- *)
+
+let ts name = Stagg_baselines.Tenspiler.run ~seed (bench name)
+
+let test_tenspiler_library_parses () =
+  List.iter
+    (fun src ->
+      match Stagg_taco.Parser.parse_program src with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (src ^ ": " ^ e))
+    Stagg_baselines.Tenspiler.library;
+  check_bool "non-trivial library" true (List.length Stagg_baselines.Tenspiler.library >= 30)
+
+let test_tenspiler_solves_patterns () =
+  List.iter
+    (fun name -> check_bool (name ^ " in Tenspiler's space") true (ts name).Stagg.Result_.solved)
+    [ "blas_sgemv"; "mf_vec_add"; "dk_normalize"; "ll_matmul"; "blas_sger" ]
+
+let test_tenspiler_misses_constants () =
+  (* literal-constant kernels are outside the fixed template library *)
+  List.iter
+    (fun name -> check_bool (name ^ " outside the library") false (ts name).Stagg.Result_.solved)
+    [ "sa_add_one"; "dsp_mat_scale"; "dsp_mean8" ]
+
+let test_tenspiler_attempt_count () =
+  let r = ts "mf_vec_add" in
+  check_bool "bounded by the library size" true
+    (r.attempts <= List.length Stagg_baselines.Tenspiler.library)
+
+let () =
+  Alcotest.run "stagg_baselines"
+    [
+      ( "llm_only",
+        [
+          Alcotest.test_case "solves exact-quality queries" `Slow test_llm_solves_exact;
+          Alcotest.test_case "fails near-miss queries" `Slow test_llm_fails_near;
+          Alcotest.test_case "answers verified" `Quick test_llm_verifies_its_answers;
+        ] );
+      ( "c2taco",
+        [
+          Alcotest.test_case "solves core kernels" `Slow test_c2taco_solves_core;
+          Alcotest.test_case "chain-only enumeration" `Slow test_c2taco_structural_limits;
+          Alcotest.test_case "scalability limit" `Slow test_c2taco_scalability_limit;
+          Alcotest.test_case "heuristics reduce attempts" `Quick test_c2taco_noh_slower;
+          Alcotest.test_case "constants from source" `Quick test_c2taco_constants;
+        ] );
+      ( "tenspiler",
+        [
+          Alcotest.test_case "library parses" `Quick test_tenspiler_library_parses;
+          Alcotest.test_case "solves library patterns" `Slow test_tenspiler_solves_patterns;
+          Alcotest.test_case "misses constants" `Quick test_tenspiler_misses_constants;
+          Alcotest.test_case "attempts bounded" `Quick test_tenspiler_attempt_count;
+        ] );
+    ]

@@ -1,0 +1,91 @@
+(* Suite integrity tests: the 77 benchmarks parse, their signatures are
+   coherent, and — the strong property — every stated ground truth
+   validates on I/O examples and passes bounded verification against its
+   own C program. *)
+
+open Stagg_util
+module Suite = Stagg_benchsuite.Suite
+module Bench = Stagg_benchsuite.Bench
+module Sig = Stagg_minic.Signature
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_self_check () =
+  match Suite.self_check () with
+  | [] -> ()
+  | fails ->
+      Alcotest.fail
+        (String.concat "; " (List.map (fun (n, m) -> n ^ ": " ^ m) fails))
+
+let test_counts () =
+  check_int "77 total" 77 (List.length Suite.all);
+  check_int "67 real-world" 67 (List.length Suite.real_world);
+  check_int "10 artificial" 10 (List.length Suite.artificial);
+  check_int "6 llama" 6 (List.length (Suite.by_category Bench.Llama));
+  check_int "12 blas" 12 (List.length (Suite.by_category Bench.Blas))
+
+let test_signatures_cover_params () =
+  List.iter
+    (fun (b : Bench.t) ->
+      let f = Bench.func b in
+      let param_names = List.map (fun p -> p.Stagg_minic.Ast.pname) f.params in
+      let sig_names = List.map fst b.signature.args in
+      check_bool (b.name ^ ": signature matches parameter list") true (param_names = sig_names);
+      check_bool (b.name ^ ": output is a parameter") true (List.mem b.signature.out param_names))
+    Suite.all
+
+let test_ground_truths_hold () =
+  (* each stated truth is validated on I/O examples and then verified by
+     the bounded model checker — the suite's liftings are real *)
+  List.iter
+    (fun (b : Bench.t) ->
+      match Bench.truth b with
+      | None -> ()
+      | Some truth -> (
+          let func = Bench.func b in
+          let prng = Prng.create ~seed:99 in
+          match Stagg_validate.Examples.generate ~func ~signature:b.signature ~prng () with
+          | Error msg -> Alcotest.fail (b.name ^ ": examples failed: " ^ msg)
+          | Ok examples ->
+              check_bool
+                (b.name ^ ": ground truth reproduces the examples")
+                true
+                (Stagg_validate.Validator.check_concrete ~signature:b.signature ~examples truth);
+              let r = Stagg_verify.Bmc.check ~func ~signature:b.signature ~candidate:truth () in
+              check_bool
+                (b.name ^ ": ground truth verifies (" ^ Stagg_verify.Bmc.result_to_string r ^ ")")
+                true
+                (r = Stagg_verify.Bmc.Equivalent)))
+    Suite.all
+
+let test_quality_distribution () =
+  (* the calibration that reproduces the paper's LLM-only rate (~44%) *)
+  let count q =
+    List.length (List.filter (fun (b : Bench.t) -> b.llm_quality = q) Suite.all)
+  in
+  check_int "Exact benchmarks" 34 (count Stagg_oracle.Llm_client.Exact);
+  (* exactly one Far benchmark: the five-index query below *)
+  check_int "Far benchmarks" 1 (count Stagg_oracle.Llm_client.Far)
+
+let test_unliftable_is_stated () =
+  (* dk_conv1x1 requires a 5th index variable: its truth must use one *)
+  let b = Option.get (Suite.find "dk_conv1x1") in
+  let t = Option.get (Bench.truth b) in
+  check_int "five distinct indices" 5
+    (List.length (Stagg_taco.Ast.indices_of_program t))
+
+let () =
+  Alcotest.run "stagg_benchsuite"
+    [
+      ( "integrity",
+        [
+          Alcotest.test_case "self check" `Quick test_self_check;
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "signatures" `Quick test_signatures_cover_params;
+          Alcotest.test_case "quality calibration" `Quick test_quality_distribution;
+          Alcotest.test_case "five-index benchmark" `Quick test_unliftable_is_stated;
+        ] );
+      ( "ground truths",
+        [ Alcotest.test_case "validate and verify" `Slow test_ground_truths_hold ] );
+    ]

@@ -1,0 +1,155 @@
+(* Tests for stagg_oracle: the mock LLM's candidate distribution and the
+   response parser. *)
+
+open Stagg_util
+open Stagg_oracle
+module Ast = Stagg_taco.Ast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let parse = Stagg_taco.Parser.parse_program_exn
+
+(* ---- response parsing ---- *)
+
+let test_response_formats () =
+  let ok s expected =
+    match Response.parse_line s with
+    | Some p -> check_string s expected (Stagg_taco.Pretty.program_to_string p)
+    | None -> Alcotest.fail ("failed to parse: " ^ s)
+  in
+  ok "a(i) = b(i,j) * c(j)" "a(i) = b(i, j) * c(j)";
+  ok "1. r(f) = m1(i, f) * m2(f)" "r(f) = m1(i, f) * m2(f)";
+  ok "3) Result(i) := Mat1(f,i) * Mat2(i)" "Result(i) = Mat1(f, i) * Mat2(i)";
+  ok "- a = b(i) + 2" "a = b(i) + 2";
+  ok "`x(i) = y(i)`" "x(i) = y(i)";
+  ok "Result(f) = sum(f, mat1(f, i) * mat2(i))" "Result(f) = mat1(f, i) * mat2(i)"
+
+let test_response_garbage_dropped () =
+  check_bool "prose dropped" true (Response.parse_line "I cannot translate this code." = None);
+  check_bool "trailing op dropped" true (Response.parse_line "a(i) = b(i) +" = None);
+  check_bool "empty dropped" true (Response.parse_line "   " = None)
+
+let test_response_parse_all () =
+  let lines =
+    [ "1. a(i) = b(i)"; "garbage here!"; "2. a(i) = b(i) * 2"; ""; "3. a = b +" ]
+  in
+  check_int "two valid candidates" 2 (List.length (Response.parse_all lines))
+
+(* ---- prompt ---- *)
+
+let contains_sub sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_prompt () =
+  let p = Prompt.build ~c_source:"void f() {}" in
+  check_bool "asks for 10" true (contains_sub "10" p);
+  check_bool "contains the C source" true (contains_sub "void f() {}" p)
+
+(* ---- mock LLM ---- *)
+
+let truth = parse "Result(i) = Mat1(i,j) * Mat2(j)"
+
+let query quality seed =
+  let prng = Prng.create ~seed in
+  Mock_llm.query ~prng ~ground_truth:truth ~quality ()
+
+let test_mock_determinism () =
+  Alcotest.(check (list string)) "same seed, same responses" (query Llm_client.Near 1)
+    (query Llm_client.Near 1);
+  check_bool "different seeds differ" true (query Llm_client.Near 1 <> query Llm_client.Near 2)
+
+let test_mock_count () =
+  List.iter
+    (fun q ->
+      let n = List.length (query q 7) in
+      check_bool "10 to 12 responses" true (n >= 10 && n <= 12))
+    [ Llm_client.Exact; Llm_client.Near; Llm_client.Far ]
+
+let templatized quality seed =
+  query quality seed |> Response.parse_all
+  |> List.filter_map Stagg_template.Templatize.templatize
+
+let truth_template =
+  Option.get (Stagg_template.Templatize.templatize truth)
+
+let test_mock_exact_contains_solution () =
+  (* over a few seeds, Exact queries nearly always contain the solution
+     template *)
+  let hits =
+    List.length
+      (List.filter
+         (fun seed ->
+           List.exists (Ast.equal_program truth_template) (templatized Llm_client.Exact seed))
+         [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+  in
+  check_bool "exact quality solves" true (hits >= 8)
+
+let test_mock_near_misses () =
+  (* Near candidates are never the solution template — that is what makes
+     them near MISSES — but they parse and templatize *)
+  List.iter
+    (fun seed ->
+      let ts = templatized Llm_client.Near seed in
+      check_bool "has candidates" true (List.length ts > 0);
+      check_bool "none is the solution" true
+        (not (List.exists (Ast.equal_program truth_template) ts)))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_mock_near_neighborhood () =
+  (* the solution's dimension list usually survives the noise: that is the
+     neighborhood hypothesis STAGG relies on (§4) *)
+  let good =
+    List.length
+      (List.filter
+         (fun seed ->
+           match Stagg_template.Dimlist.predict (templatized Llm_client.Near seed) with
+           | Some l -> l = [ 1; 2; 1 ]
+           | None -> false)
+         [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+  in
+  check_bool "dimension list mostly preserved" true (good >= 7)
+
+let test_mock_far_disrupts () =
+  (* Far responses should disrupt the dimension list at least sometimes *)
+  let bad =
+    List.length
+      (List.filter
+         (fun seed ->
+           match Stagg_template.Dimlist.predict (templatized Llm_client.Far seed) with
+           | Some l -> l <> [ 1; 2; 1 ]
+           | None -> true)
+         (List.init 10 (fun i -> i + 1)))
+  in
+  check_bool "far quality disrupts predictions" true (bad >= 3)
+
+let test_mock_notation_variety () =
+  (* over many seeds the mock exercises := and sum(...) notations *)
+  let all = List.concat_map (fun s -> query Llm_client.Near s) (List.init 30 (fun i -> i)) in
+  check_bool "some := responses" true (List.exists (contains_sub ":=") all);
+  check_bool "some sum(...) responses" true (List.exists (contains_sub "sum(") all)
+
+let () =
+  Alcotest.run "stagg_oracle"
+    [
+      ( "response",
+        [
+          Alcotest.test_case "notational formats" `Quick test_response_formats;
+          Alcotest.test_case "garbage dropped" `Quick test_response_garbage_dropped;
+          Alcotest.test_case "parse_all" `Quick test_response_parse_all;
+        ] );
+      ("prompt", [ Alcotest.test_case "prompt text" `Quick test_prompt ]);
+      ( "mock_llm",
+        [
+          Alcotest.test_case "determinism" `Quick test_mock_determinism;
+          Alcotest.test_case "response count" `Quick test_mock_count;
+          Alcotest.test_case "Exact contains the solution" `Quick test_mock_exact_contains_solution;
+          Alcotest.test_case "Near candidates always miss" `Quick test_mock_near_misses;
+          Alcotest.test_case "Near preserves the neighborhood" `Quick test_mock_near_neighborhood;
+          Alcotest.test_case "Far disrupts predictions" `Quick test_mock_far_disrupts;
+          Alcotest.test_case "notational variety" `Quick test_mock_notation_variety;
+        ] );
+    ]

@@ -1,0 +1,360 @@
+(* Tests for stagg_search: partial derivation trees, penalties, and both
+   A* enumerators. *)
+
+open Stagg_grammar
+open Stagg_search
+module Ast = Stagg_taco.Ast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let parse = Stagg_taco.Parser.parse_program_exn
+let templates_of = List.map parse
+
+let gemv_templates = templates_of [ "a(i) = b(i,j) * c(j)" ]
+let gemv_grammar () = Gen_topdown.generate ~dim_list:[ 1; 2; 1 ] ~templates:gemv_templates
+
+(* ---- Node ---- *)
+
+let test_node_expansion () =
+  let g = gemv_grammar () in
+  let x0 = Node.initial g in
+  check_bool "initially open" false (Node.is_complete x0);
+  check_string "leftmost is start" "PROGRAM" (Option.get (Node.leftmost_open x0));
+  let exps = Node.expansions g x0 in
+  check_int "one PROGRAM rule" 1 (List.length exps);
+  let _, x1 = List.hd exps in
+  check_string "then EXPR" "EXPR" (Option.get (Node.leftmost_open x1))
+
+let rec expand_first g x =
+  match Node.expansions g x with [] -> x | (_, x') :: _ -> expand_first g x'
+
+let test_node_to_program () =
+  let g = gemv_grammar () in
+  (* keep taking the first expansion until complete: PROGRAM -> a(i) = EXPR,
+     EXPR -> TENSOR -> first tensor rule *)
+  let x = expand_first g (Node.initial g) in
+  check_bool "complete" true (Node.is_complete x);
+  match Node.to_program g x with
+  | Some p -> check_bool "prints" true (String.length (Stagg_taco.Pretty.program_to_string p) > 0)
+  | None -> Alcotest.fail "to_program failed"
+
+let test_node_depth_paper_examples () =
+  (* §5.1: b(i) and c(i,j) have depth 1; b(i) + c(i,j) has depth 2 *)
+  let g = gemv_grammar () in
+  let leaf = Node.Leaf (Cfg.Tok_tensor ("b", [ "i" ])) in
+  check_int "tensor leaf depth 1" 1 (Node.depth g leaf);
+  (* build EXPR -> EXPR OP EXPR with tensor children through rule ids *)
+  let bin_rule =
+    List.find
+      (fun (r : Cfg.rule) -> List.length r.rhs = 3 && r.lhs = "EXPR")
+      (Cfg.rules_for g "EXPR")
+  in
+  let unit_rule = List.find (fun (r : Cfg.rule) -> List.length r.rhs = 1) (Cfg.rules_for g "EXPR") in
+  let tensor_node t = Node.Node (unit_rule.id, [ Node.Leaf t ]) in
+  let plus = Node.Leaf (Cfg.Tok_op Ast.Add) in
+  let e =
+    Node.Node
+      ( bin_rule.id,
+        [ tensor_node (Cfg.Tok_tensor ("b", [ "i" ])); plus; tensor_node (Cfg.Tok_tensor ("c", [ "i"; "j" ])) ] )
+  in
+  check_int "b(i) + c(i,j) depth 2" 2 (Node.depth g e);
+  let nested = Node.Node (bin_rule.id, [ e; plus; tensor_node (Cfg.Tok_tensor ("b", [ "i" ])) ]) in
+  check_int "nested depth 3" 3 (Node.depth g nested)
+
+let test_node_metrics () =
+  let g = gemv_grammar () in
+  let x = expand_first g (Node.initial g) in
+  let m = Node.metrics g x in
+  check_bool "complete" true m.complete;
+  check_int "tensors counted (lhs + rhs)" 2 m.n_tensors;
+  check_int "unique symbols" 2 m.n_unique
+
+let test_remove_tail () =
+  let g = Gen_bottomup.generate ~dim_list:[ 0; 1; 1 ] ~templates:(templates_of [ "a = b(i) * c(i)" ]) in
+  (* expand to: PROGRAM -> a = EXPR -> TENSOR2 TAIL1 -> b(i) TAIL1 — only
+     the TAIL1 nonterminal remains open *)
+  let x = Node.initial g in
+  let _, x = List.hd (Node.expansions g x) in
+  let _, x = List.hd (Node.expansions g x) in
+  let _, x = List.hd (Node.expansions g x) in
+  check_bool "tail open" true (not (Node.is_complete x));
+  match Node.remove_tail g x with
+  | Some complete -> (
+      check_bool "closed" true (Node.is_complete complete);
+      match Node.to_program g complete with
+      | Some p -> check_string "one-tensor prefix" "a = b(i)" (Stagg_taco.Pretty.program_to_string p)
+      | None -> Alcotest.fail "to_program")
+  | None -> Alcotest.fail "remove_tail failed"
+
+(* ---- penalties ---- *)
+
+let ctx ?(enabled = Penalty.all_topdown) ?(dims = [ 1; 2; 1 ]) ?(ops = [ Ast.Mul ]) ?(const = false) () =
+  { Penalty.dim_list = dims; ops_available = ops; grammar_has_const = const; enabled }
+
+let metrics_of_template g src =
+  (* drive the search tree by hand is tedious; reuse Node.metrics on a tree
+     built from a template via a tiny search *)
+  ignore g;
+  let p = parse src in
+  let leaves =
+    (fst p.Ast.lhs, snd p.Ast.lhs)
+    :: List.map (fun (n, a) -> (n, List.init a (fun _ -> "i"))) []
+  in
+  ignore leaves;
+  p
+
+let test_penalty_a2 () =
+  ignore metrics_of_template;
+  let g = gemv_grammar () in
+  let x = expand_first g (Node.initial g) in
+  let m = Node.metrics g x in
+  (* complete template with 2 unique tensors but |L| = 3 → +100 *)
+  let score =
+    Penalty.score (ctx ~enabled:[ Penalty.A2 ] ()) m ~program:(Node.to_program g x)
+  in
+  check_bool "a2 fires" true (score = 100.)
+
+let test_penalty_a3_sorted () =
+  let m =
+    {
+      Node.tensor_leaves = [ ("a", [ "i" ]); ("b", [ "i" ]); ("c", [ "i" ]) ];
+      n_tensors = 3;
+      n_unique = 3;
+      has_const_leaf = false;
+      distinct_ops = [ Ast.Mul ];
+      complete = true;
+      depth = 2;
+    }
+  in
+  check_bool "sorted ok" true (Penalty.score (ctx ~enabled:[ Penalty.A3 ] ()) m ~program:None = 0.);
+  let bad = { m with Node.tensor_leaves = [ ("a", []); ("c", []); ("b", []) ] } in
+  check_bool "unsorted infinite" true
+    (Penalty.score (ctx ~enabled:[ Penalty.A3 ] ()) bad ~program:None = infinity);
+  (* gaps are fine: a then c (Const took b's slot) *)
+  let gap = { m with Node.tensor_leaves = [ ("a", []); ("Const", []); ("c", []) ] } in
+  check_bool "gap ok" true (Penalty.score (ctx ~enabled:[ Penalty.A3 ] ()) gap ~program:None = 0.)
+
+let test_penalty_a4 () =
+  let m =
+    {
+      Node.tensor_leaves = [ ("a", []); ("b", [ "i" ]); ("b", [ "i" ]) ];
+      n_tensors = 3;
+      n_unique = 2;
+      has_const_leaf = false;
+      distinct_ops = [ Ast.Add ];
+      complete = true;
+      depth = 2;
+    }
+  in
+  let p_add = parse "a = b(i) + b(i)" in
+  let p_mul = parse "a = b(i) * b(i)" in
+  check_bool "b+b infinite" true
+    (Penalty.score (ctx ~enabled:[ Penalty.A4 ] ()) m ~program:(Some p_add) = infinity);
+  check_bool "b*b allowed" true
+    (Penalty.score (ctx ~enabled:[ Penalty.A4 ] ()) { m with Node.distinct_ops = [ Ast.Mul ] }
+       ~program:(Some p_mul)
+    = 0.)
+
+let test_penalty_a5_b2 () =
+  let m =
+    {
+      Node.tensor_leaves = [ ("a", []); ("b", [ "i" ]) ];
+      n_tensors = 2;
+      n_unique = 2;
+      has_const_leaf = false;
+      distinct_ops = [];
+      complete = true;
+      depth = 1;
+    }
+  in
+  (* no ops used, two available → fewer than half *)
+  check_bool "a5 fires" true
+    (Penalty.score (ctx ~enabled:[ Penalty.A5 ] ~ops:[ Ast.Mul; Ast.Add ] ~dims:[ 0; 1 ] ()) m
+       ~program:None
+    = infinity);
+  check_bool "a5 ok when no ops available" true
+    (Penalty.score (ctx ~enabled:[ Penalty.A5 ] ~ops:[] ~dims:[ 0; 1 ] ()) m ~program:None = 0.);
+  check_bool "b2 fires at predicted length" true
+    (Penalty.score (ctx ~enabled:[ Penalty.B2 ] ~ops:[ Ast.Mul; Ast.Add ] ~dims:[ 0; 1 ] ()) m
+       ~program:None
+    = infinity)
+
+let test_penalty_a1 () =
+  let m =
+    {
+      Node.tensor_leaves = [ ("a", [ "i" ]); ("b", [ "i" ]); ("c", [ "j" ]); ("d", [ "j" ]) ];
+      n_tensors = 4;
+      n_unique = 4;
+      has_const_leaf = false;
+      distinct_ops = [ Ast.Add ];
+      complete = false;
+      depth = 3;
+    }
+  in
+  (* grammar has Const, length > 3, fewer than 2 tensors with index i... the
+     leaves have 2 with i, but no Const leaf → still fires via branch 2 *)
+  check_bool "a1 fires" true
+    (Penalty.score (ctx ~enabled:[ Penalty.A1 ] ~const:true ()) m ~program:None = 10.);
+  check_bool "a1 silent without const grammar" true
+    (Penalty.score (ctx ~enabled:[ Penalty.A1 ] ~const:false ()) m ~program:None = 0.)
+
+let test_penalty_disabled () =
+  let m =
+    {
+      Node.tensor_leaves = [ ("a", []); ("c", []); ("b", []) ];
+      n_tensors = 3;
+      n_unique = 3;
+      has_const_leaf = false;
+      distinct_ops = [];
+      complete = true;
+      depth = 2;
+    }
+  in
+  check_bool "everything off scores 0" true
+    (Penalty.score (ctx ~enabled:[] ()) m ~program:None = 0.)
+
+(* ---- the searches ---- *)
+
+let budget = { Astar.max_attempts = 5_000; max_expansions = 100_000; timeout_s = 10. }
+
+let search_for target pcfg penalty_ctx =
+  Astar.search_topdown ~pcfg ~penalty_ctx ~budget
+    ~validate:(fun p ->
+      if String.equal (Stagg_taco.Pretty.program_to_string p) target then Some p else None)
+    ()
+
+let test_topdown_finds_target () =
+  let g = gemv_grammar () in
+  let pcfg = Pcfg.of_weights g (Derive.weights_of_templates g gemv_templates) in
+  let pctx = ctx () in
+  match search_for "a(i) = b(i, j) * c(j)" pcfg pctx with
+  | Astar.Solved (_, stats) -> check_bool "few attempts" true (stats.attempts <= 5)
+  | _ -> Alcotest.fail "target not found"
+
+let test_topdown_probabilities_guide () =
+  (* with probabilities learned from b(j,i)-shaped candidates, the
+     transposed template must be enumerated first; two copies so the
+     learned counts dominate the default weight-1 smoothing of unused
+     tensor rules (§4.3) *)
+  let templates = templates_of [ "a(i) = b(j,i) * c(j)"; "a(i) = b(j,i) * c(j)" ] in
+  let g = Gen_topdown.generate ~dim_list:[ 1; 2; 1 ] ~templates in
+  let pcfg = Pcfg.of_weights g (Derive.weights_of_templates g templates) in
+  let first = ref None in
+  (match
+     Astar.search_topdown ~pcfg ~penalty_ctx:(ctx ()) ~budget
+       ~validate:(fun p ->
+         if !first = None then first := Some (Stagg_taco.Pretty.program_to_string p);
+         None)
+       ()
+   with
+  | Astar.Solved _ -> Alcotest.fail "validator never accepts"
+  | _ -> ());
+  check_string "guided order" "a(i) = b(j, i) * c(j)" (Option.get !first)
+
+let test_topdown_depth_limit () =
+  let g = gemv_grammar () in
+  let pcfg = Pcfg.uniform g in
+  (* with max_depth 1 only single-tensor programs appear *)
+  let seen = ref [] in
+  (match
+     Astar.search_topdown ~pcfg ~penalty_ctx:(ctx ~enabled:[] ()) ~max_depth:1
+       ~budget:{ budget with max_attempts = 100 }
+       ~validate:(fun p ->
+         seen := Stagg_taco.Pretty.program_to_string p :: !seen;
+         None)
+       ()
+   with
+  | _ -> ());
+  check_bool "no binary programs at depth 1" true
+    (List.for_all (fun s -> not (String.contains s '*')) !seen)
+
+let test_bottomup_finds_target () =
+  let templates = templates_of [ "a = b(i) * c(i)" ] in
+  let dim_list = [ 0; 1; 1 ] in
+  let g = Gen_bottomup.generate ~dim_list ~templates in
+  let pcfg = Pcfg.of_weights g (Derive.weights_of_templates g templates) in
+  match
+    Astar.search_bottomup ~pcfg
+      ~penalty_ctx:(ctx ~enabled:Penalty.all_bottomup ~dims:dim_list ())
+      ~dim_list ~budget
+      ~validate:(fun p ->
+        if String.equal (Stagg_taco.Pretty.program_to_string p) "a = b(i) * c(i)" then Some p
+        else None)
+      ()
+  with
+  | Astar.Solved _ -> ()
+  | _ -> Alcotest.fail "bottom-up did not find the dot product"
+
+let test_bottomup_cannot_nest () =
+  (* right-nested target is outside the right-linear space: the search must
+     exhaust, not loop *)
+  let templates = templates_of [ "a(i) = b(i) + c * d(i)" ] in
+  let dim_list = [ 1; 1; 0; 1 ] in
+  let g = Gen_bottomup.generate ~dim_list ~templates in
+  let pcfg = Pcfg.uniform g in
+  match
+    Astar.search_bottomup ~pcfg ~penalty_ctx:(ctx ~enabled:[] ~dims:dim_list ()) ~dim_list ~budget
+      ~validate:(fun p ->
+        if
+          String.equal (Stagg_taco.Pretty.program_to_string p) "a(i) = b(i) + c * d(i)"
+        then Some p
+        else None)
+      ()
+  with
+  | Astar.Solved _ -> Alcotest.fail "right-linear grammar cannot produce a right-nested AST"
+  | Astar.Exhausted _ -> ()
+  | Astar.Budget_exceeded _ -> Alcotest.fail "space should be finite"
+
+let test_search_dedup () =
+  (* associativity makes EXPR OP EXPR ambiguous: b+c+d has two parses but
+     must be validated at most... well, each distinct printed form once *)
+  let templates = templates_of [ "a = b + c + d" ] in
+  let g = Gen_topdown.generate ~dim_list:[ 0; 0; 0; 0 ] ~templates in
+  let pcfg = Pcfg.uniform g in
+  let seen = Hashtbl.create 16 in
+  let dups = ref 0 in
+  (match
+     Astar.search_topdown ~pcfg ~penalty_ctx:(ctx ~enabled:[] ~dims:[ 0; 0; 0; 0 ] ())
+       ~budget:{ budget with max_attempts = 300 }
+       ~validate:(fun p ->
+         let key = Stagg_taco.Pretty.program_to_string p in
+         if Hashtbl.mem seen key then incr dups;
+         Hashtbl.replace seen key ();
+         None)
+       ()
+   with
+  | _ -> ());
+  check_int "no duplicate validations" 0 !dups
+
+let () =
+  Alcotest.run "stagg_search"
+    [
+      ( "node",
+        [
+          Alcotest.test_case "expansion" `Quick test_node_expansion;
+          Alcotest.test_case "to_program" `Quick test_node_to_program;
+          Alcotest.test_case "depth (§5.1 examples)" `Quick test_node_depth_paper_examples;
+          Alcotest.test_case "metrics" `Quick test_node_metrics;
+          Alcotest.test_case "remove_tail" `Quick test_remove_tail;
+        ] );
+      ( "penalty",
+        [
+          Alcotest.test_case "a1" `Quick test_penalty_a1;
+          Alcotest.test_case "a2" `Quick test_penalty_a2;
+          Alcotest.test_case "a3 sortedness" `Quick test_penalty_a3_sorted;
+          Alcotest.test_case "a4 same-operand" `Quick test_penalty_a4;
+          Alcotest.test_case "a5 and b2" `Quick test_penalty_a5_b2;
+          Alcotest.test_case "disabled criteria" `Quick test_penalty_disabled;
+        ] );
+      ( "astar",
+        [
+          Alcotest.test_case "top-down finds target" `Quick test_topdown_finds_target;
+          Alcotest.test_case "probabilities guide order" `Quick test_topdown_probabilities_guide;
+          Alcotest.test_case "depth limit" `Quick test_topdown_depth_limit;
+          Alcotest.test_case "bottom-up finds target" `Quick test_bottomup_finds_target;
+          Alcotest.test_case "bottom-up cannot right-nest" `Quick test_bottomup_cannot_nest;
+          Alcotest.test_case "duplicate templates validated once" `Quick test_search_dedup;
+        ] );
+    ]

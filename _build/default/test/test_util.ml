@@ -1,0 +1,232 @@
+(* Tests for stagg_util: Bigint, Rat, Pqueue, Prng. *)
+
+open Stagg_util
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ---- Bigint ---- *)
+
+let bi = Bigint.of_int
+
+let test_bigint_basic () =
+  check_string "zero" "0" (Bigint.to_string Bigint.zero);
+  check_string "small" "42" (Bigint.to_string (bi 42));
+  check_string "negative" "-42" (Bigint.to_string (bi (-42)));
+  check_string "add" "100" (Bigint.to_string (Bigint.add (bi 58) (bi 42)));
+  check_string "sub to negative" "-16" (Bigint.to_string (Bigint.sub (bi 42) (bi 58)));
+  check_string "mul" "2436" (Bigint.to_string (Bigint.mul (bi 58) (bi 42)));
+  check_bool "equal" true (Bigint.equal (bi 7) (bi 7));
+  check_int "compare" (-1) (Bigint.compare (bi 3) (bi 4));
+  check_int "sign neg" (-1) (Bigint.sign (bi (-9)));
+  check_int "sign zero" 0 (Bigint.sign Bigint.zero)
+
+let test_bigint_large () =
+  (* values far beyond a 63-bit int *)
+  let a = Bigint.of_string "123456789012345678901234567890" in
+  let b = Bigint.of_string "987654321098765432109876543210" in
+  check_string "big add" "1111111110111111111011111111100" (Bigint.to_string (Bigint.add a b));
+  check_string "big mul"
+    "121932631137021795226185032733622923332237463801111263526900"
+    (Bigint.to_string (Bigint.mul a b));
+  check_string "string round trip" "123456789012345678901234567890" (Bigint.to_string a);
+  check_bool "to_int overflows" true (Bigint.to_int a = None);
+  check_int "to_int small" (-37) (Bigint.to_int_exn (bi (-37)))
+
+let test_bigint_divmod () =
+  let q, r = Bigint.divmod (bi 17) (bi 5) in
+  check_string "q" "3" (Bigint.to_string q);
+  check_string "r" "2" (Bigint.to_string r);
+  (* truncated division: remainder takes the dividend's sign *)
+  let q, r = Bigint.divmod (bi (-17)) (bi 5) in
+  check_string "q neg" "-3" (Bigint.to_string q);
+  check_string "r neg" "-2" (Bigint.to_string r);
+  let q, r = Bigint.divmod (bi 17) (bi (-5)) in
+  check_string "q negdiv" "-3" (Bigint.to_string q);
+  check_string "r negdiv" "2" (Bigint.to_string r);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod (bi 1) Bigint.zero))
+
+let test_bigint_gcd_pow () =
+  check_string "gcd" "6" (Bigint.to_string (Bigint.gcd (bi 54) (bi (-24))));
+  check_string "gcd zero" "5" (Bigint.to_string (Bigint.gcd Bigint.zero (bi 5)));
+  check_string "pow" "1024" (Bigint.to_string (Bigint.pow (bi 2) 10));
+  check_string "pow zero exp" "1" (Bigint.to_string (Bigint.pow (bi 99) 0));
+  check_string "pow of ten" "100000000000000000000" (Bigint.to_string (Bigint.pow (bi 10) 20))
+
+let arb_int_pair = QCheck.pair (QCheck.int_range (-1_000_000) 1_000_000) (QCheck.int_range (-1_000_000) 1_000_000)
+
+let qcheck_bigint_ring =
+  QCheck.Test.make ~name:"bigint agrees with native int arithmetic" ~count:500 arb_int_pair
+    (fun (a, b) ->
+      Bigint.to_int_exn (Bigint.add (bi a) (bi b)) = a + b
+      && Bigint.to_int_exn (Bigint.mul (bi a) (bi b)) = a * b
+      && Bigint.to_int_exn (Bigint.sub (bi a) (bi b)) = a - b
+      && Bigint.compare (bi a) (bi b) = compare a b)
+
+let qcheck_bigint_divmod =
+  QCheck.Test.make ~name:"bigint divmod satisfies a = q*b + r, |r| < |b|" ~count:500
+    (QCheck.pair (QCheck.int_range (-1_000_000_000) 1_000_000_000) (QCheck.int_range 1 100_000))
+    (fun (a, b) ->
+      let q, r = Bigint.divmod (bi a) (bi b) in
+      Bigint.equal (bi a) (Bigint.add (Bigint.mul q (bi b)) r)
+      && Bigint.compare (Bigint.abs r) (bi b) < 0)
+
+let qcheck_bigint_string =
+  QCheck.Test.make ~name:"bigint string round trip" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 40) (QCheck.int_range 0 9))
+    (fun digits ->
+      let s = String.concat "" (List.map string_of_int digits) in
+      let normalized =
+        let s' = ref 0 in
+        while !s' < String.length s - 1 && s.[!s'] = '0' do
+          incr s'
+        done;
+        String.sub s !s' (String.length s - !s')
+      in
+      String.equal (Bigint.to_string (Bigint.of_string s)) normalized)
+
+(* ---- Rat ---- *)
+
+let r = Rat.of_ints
+
+let test_rat_normalization () =
+  check_string "reduced" "2/3" (Rat.to_string (r 4 6));
+  check_string "sign in numerator" "-2/3" (Rat.to_string (r 4 (-6)));
+  check_string "integer denominator folded" "5" (Rat.to_string (r 10 2));
+  check_string "zero canonical" "0" (Rat.to_string (r 0 (-7)));
+  check_bool "equality structural after normalization" true (Rat.equal (r 1 2) (r 2 4))
+
+let test_rat_arith () =
+  check_string "add" "5/6" (Rat.to_string (Rat.add (r 1 2) (r 1 3)));
+  check_string "mul" "1/6" (Rat.to_string (Rat.mul (r 1 2) (r 1 3)));
+  check_string "div" "3/2" (Rat.to_string (Rat.div (r 1 2) (r 1 3)));
+  check_string "sub" "1/6" (Rat.to_string (Rat.sub (r 1 2) (r 1 3)));
+  check_bool "compare" true (Rat.compare (r 1 3) (r 1 2) < 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Rat.div Rat.one Rat.zero))
+
+let arb_rat =
+  QCheck.map
+    (fun (n, d) -> r n (if d = 0 then 1 else d))
+    (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range (-50) 50))
+
+let qcheck_rat_field =
+  QCheck.Test.make ~name:"rat field laws" ~count:300 (QCheck.triple arb_rat arb_rat arb_rat)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.add a b) (Rat.add b a)
+      && Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c))
+      && Rat.equal (Rat.add a (Rat.neg a)) Rat.zero
+      && (Rat.is_zero a || Rat.equal (Rat.mul a (Rat.inv a)) Rat.one))
+
+let qcheck_rat_compare_consistent =
+  QCheck.Test.make ~name:"rat compare consistent with subtraction sign" ~count:300
+    (QCheck.pair arb_rat arb_rat) (fun (a, b) -> Rat.compare a b = Rat.sign (Rat.sub a b))
+
+(* ---- Pqueue ---- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q p v) [ (3., "c"); (1., "a"); (2., "b"); (0.5, "z") ];
+  let drain () =
+    let rec go acc = match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> go (v :: acc) in
+    go []
+  in
+  Alcotest.(check (list string)) "sorted by priority" [ "z"; "a"; "b"; "c" ] (drain ())
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q 1. v) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc = match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc) in
+  Alcotest.(check (list int)) "equal priorities drain FIFO" [ 1; 2; 3; 4; 5 ] (drain [])
+
+let qcheck_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue drains in nondecreasing priority" ~count:200
+    (QCheck.list (QCheck.float_bound_exclusive 1000.))
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.push q p p) prios;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      List.length out = List.length prios
+      && (List.sort compare out = out))
+
+(* ---- Prng ---- *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:17 and b = Prng.create ~seed:17 in
+  let seq t = List.init 20 (fun _ -> Prng.int t 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Prng.create ~seed:18 in
+  check_bool "different seed, different stream" false (seq (Prng.create ~seed:17) = seq c)
+
+let test_prng_bounds () =
+  let t = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_range t (-3) 4 in
+    if v < -3 || v > 4 then Alcotest.fail "range out of bounds"
+  done;
+  for _ = 1 to 100 do
+    let f = Prng.float t in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of bounds"
+  done
+
+let test_prng_shuffle_choose () =
+  let t = Prng.create ~seed:11 in
+  let xs = [ 1; 2; 3; 4; 5; 6 ] in
+  let shuffled = Prng.shuffle t xs in
+  Alcotest.(check (list int)) "shuffle is a permutation" xs (List.sort compare shuffled);
+  for _ = 1 to 50 do
+    if not (List.mem (Prng.choose t xs) xs) then Alcotest.fail "choose outside list"
+  done;
+  Alcotest.check_raises "choose on empty" (Invalid_argument "Prng.choose: empty list") (fun () ->
+      ignore (Prng.choose t ([] : int list)))
+
+let test_prng_split () =
+  let t = Prng.create ~seed:3 in
+  let s1 = Prng.split t in
+  let s2 = Prng.split t in
+  let seq t = List.init 10 (fun _ -> Prng.int t 1_000_000) in
+  check_bool "split streams differ" false (seq s1 = seq s2)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stagg_util"
+    [
+      ( "bigint",
+        [
+          Alcotest.test_case "basic" `Quick test_bigint_basic;
+          Alcotest.test_case "large values" `Quick test_bigint_large;
+          Alcotest.test_case "divmod" `Quick test_bigint_divmod;
+          Alcotest.test_case "gcd and pow" `Quick test_bigint_gcd_pow;
+          qc qcheck_bigint_ring;
+          qc qcheck_bigint_divmod;
+          qc qcheck_bigint_string;
+        ] );
+      ( "rat",
+        [
+          Alcotest.test_case "normalization" `Quick test_rat_normalization;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          qc qcheck_rat_field;
+          qc qcheck_rat_compare_consistent;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "priority order" `Quick test_pqueue_order;
+          Alcotest.test_case "FIFO tie-breaking" `Quick test_pqueue_fifo_ties;
+          qc qcheck_pqueue_sorted;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "shuffle and choose" `Quick test_prng_shuffle_choose;
+          Alcotest.test_case "split" `Quick test_prng_split;
+        ] );
+    ]

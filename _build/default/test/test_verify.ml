@@ -1,0 +1,193 @@
+(* Tests for stagg_verify: symbolic polynomials, rational functions, and
+   the bounded equivalence checker. *)
+
+open Stagg_util
+open Stagg_verify
+module Sig = Stagg_minic.Signature
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- Poly ---- *)
+
+let x = Poly.var "x"
+let y = Poly.var "y"
+
+let test_poly_basic () =
+  let p = Poly.add (Poly.mul x y) (Poly.const (Rat.of_int 2)) in
+  check_string "print" "2 + x*y" (Poly.to_string p);
+  check_bool "x*y = y*x" true (Poly.equal (Poly.mul x y) (Poly.mul y x));
+  check_bool "p - p = 0" true (Poly.is_zero (Poly.sub p p));
+  check_bool "is_const" true (Poly.is_const (Poly.sub p (Poly.mul x y)) = Some (Rat.of_int 2));
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (Poly.vars p)
+
+let test_poly_eval () =
+  (* (x + y)^2 = x^2 + 2xy + y^2 at x=3, y=4 *)
+  let s = Poly.add x y in
+  let sq = Poly.mul s s in
+  let v = Poly.eval sq (function "x" -> Rat.of_int 3 | _ -> Rat.of_int 4) in
+  check_string "49" "49" (Rat.to_string v)
+
+let arb_poly =
+  let open QCheck.Gen in
+  let rec gen n =
+    if n = 0 then
+      oneof [ map (fun k -> Poly.of_int k) (int_range (-4) 4); oneofl [ x; y; Poly.var "z" ] ]
+    else
+      oneof
+        [ map2 Poly.add (gen (n - 1)) (gen (n - 1)); map2 Poly.mul (gen (n - 1)) (gen (n - 1)) ]
+  in
+  QCheck.make (gen 3) ~print:Poly.to_string
+
+let qcheck_poly_semantics =
+  (* canonical-form equality is semantic equality: evaluation respects all
+     ring operations *)
+  QCheck.Test.make ~name:"polynomial arithmetic commutes with evaluation" ~count:200
+    (QCheck.pair arb_poly arb_poly) (fun (p, q) ->
+      let env = function "x" -> Rat.of_int 2 | "y" -> Rat.of_int (-3) | _ -> Rat.of_ints 1 2 in
+      Rat.equal (Poly.eval (Poly.add p q) env) (Rat.add (Poly.eval p env) (Poly.eval q env))
+      && Rat.equal (Poly.eval (Poly.mul p q) env) (Rat.mul (Poly.eval p env) (Poly.eval q env)))
+
+(* ---- Ratfunc ---- *)
+
+let rx = Ratfunc.var "x"
+let ry = Ratfunc.var "y"
+
+let test_ratfunc_equality_cross_mul () =
+  (* x/y = (x*x)/(x*y) as rational functions *)
+  let a = Ratfunc.div rx ry in
+  let b = Ratfunc.div (Ratfunc.mul rx rx) (Ratfunc.mul rx ry) in
+  check_bool "cross-multiplied equality" true (Ratfunc.equal a b);
+  check_bool "x/y <> y/x" false (Ratfunc.equal a (Ratfunc.div ry rx))
+
+let test_ratfunc_value_interface () =
+  check_bool "const detection" true (Ratfunc.is_const (Ratfunc.of_int 7) = Some (Rat.of_int 7));
+  check_bool "to_int" true (Ratfunc.to_int (Ratfunc.of_int 7) = Some 7);
+  check_bool "symbolic has no int" true (Ratfunc.to_int rx = None);
+  check_bool "compare concrete" true
+    (Ratfunc.compare_concrete (Ratfunc.of_int 3) (Ratfunc.of_int 5) = Some (-1));
+  check_bool "compare symbolic" true (Ratfunc.compare_concrete rx ry = None);
+  (* field identity through division *)
+  let e = Ratfunc.sub (Ratfunc.div (Ratfunc.mul rx ry) ry) rx in
+  check_bool "x*y/y - x = 0" true (Ratfunc.equal e Ratfunc.zero)
+
+let test_ratfunc_div_by_zero_const () =
+  check_bool "division by the zero constant raises" true
+    (try
+       ignore (Ratfunc.div rx Ratfunc.zero);
+       false
+     with Division_by_zero -> true)
+
+(* ---- Bmc ---- *)
+
+let parse_c = Stagg_minic.Parser.parse_function_exn
+let parse_t = Stagg_taco.Parser.parse_program_exn
+
+let saxpy_src =
+  {|
+void saxpy(int N, int a, int* X, int* Y, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = a * X[i] + Y[i];
+  }
+}
+|}
+
+let saxpy_sig =
+  {
+    Sig.args =
+      [
+        ("N", Sig.Size "N"); ("a", Sig.Scalar_data); ("X", Sig.Arr [ "N" ]);
+        ("Y", Sig.Arr [ "N" ]); ("R", Sig.Arr [ "N" ]);
+      ];
+    out = "R";
+  }
+
+let bmc candidate =
+  Bmc.check ~func:(parse_c saxpy_src) ~signature:saxpy_sig ~candidate:(parse_t candidate) ()
+
+let test_bmc_equivalent () =
+  check_bool "true lifting verifies" true (bmc "R(i) = a * X(i) + Y(i)" = Bmc.Equivalent);
+  (* commuted and refactored forms also verify: it checks the function,
+     not the syntax *)
+  check_bool "commuted form verifies" true (bmc "R(i) = Y(i) + X(i) * a" = Bmc.Equivalent)
+
+let test_bmc_inequivalent () =
+  (match bmc "R(i) = a * X(i) - Y(i)" with
+  | Bmc.Not_equivalent _ -> ()
+  | r -> Alcotest.fail ("expected inequivalence, got " ^ Bmc.result_to_string r));
+  match bmc "R(i) = a * X(i)" with
+  | Bmc.Not_equivalent _ -> ()
+  | r -> Alcotest.fail ("expected inequivalence, got " ^ Bmc.result_to_string r)
+
+let test_bmc_beyond_io_testing () =
+  (* a gemv whose candidate transposes the matrix: square random examples
+     could in principle miss it, but the symbolic check cannot *)
+  let src =
+    {|
+void gemv(int N, int M, int* A, int* X, int* R) {
+  int i, j;
+  for (i = 0; i < N; i++) {
+    R[i] = 0;
+    for (j = 0; j < M; j++) R[i] += A[i * M + j] * X[j];
+  }
+}
+|}
+  in
+  let sg =
+    {
+      Sig.args =
+        [
+          ("N", Sig.Size "N"); ("M", Sig.Size "M"); ("A", Sig.Arr [ "N"; "M" ]);
+          ("X", Sig.Arr [ "M" ]); ("R", Sig.Arr [ "N" ]);
+        ];
+      out = "R";
+    }
+  in
+  let check c = Bmc.check ~func:(parse_c src) ~signature:sg ~candidate:(parse_t c) () in
+  check_bool "correct verifies" true (check "R(i) = A(i,j) * X(j)" = Bmc.Equivalent);
+  check_bool "division-refactoring verifies" true
+    (* Σ (A/2) = (Σ A)/2 over rationals: semantically equal, syntactically far *)
+    (Bmc.Equivalent
+    = Bmc.check ~func:(parse_c src) ~signature:sg
+        ~candidate:(parse_t "R(i) = A(i,j) * X(j) * 2 / 2")
+        ())
+
+let test_bmc_division_semantics () =
+  (* the paper's rational semantics: C's / is interpreted exactly *)
+  let src = "void h(int N, int* A, int* R) { int i; for (i=0;i<N;i++) R[i] = A[i] / 8; }" in
+  let sg = { Sig.args = [ ("N", Sig.Size "N"); ("A", Sig.Arr [ "N" ]); ("R", Sig.Arr [ "N" ]) ]; out = "R" } in
+  check_bool "rational division verifies" true
+    (Bmc.Equivalent
+    = Bmc.check ~func:(parse_c src) ~signature:sg ~candidate:(parse_t "R(i) = A(i) / 8") ())
+
+let test_bmc_wrong_shape () =
+  match bmc "R = a * X(i) + Y(i)" with
+  | Bmc.Not_equivalent _ | Bmc.Inconclusive _ -> ()
+  | Bmc.Equivalent -> Alcotest.fail "scalar output cannot equal a vector"
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stagg_verify"
+    [
+      ( "poly",
+        [
+          Alcotest.test_case "basics" `Quick test_poly_basic;
+          Alcotest.test_case "evaluation" `Quick test_poly_eval;
+          qc qcheck_poly_semantics;
+        ] );
+      ( "ratfunc",
+        [
+          Alcotest.test_case "cross-multiplied equality" `Quick test_ratfunc_equality_cross_mul;
+          Alcotest.test_case "Value.S interface" `Quick test_ratfunc_value_interface;
+          Alcotest.test_case "zero divisor" `Quick test_ratfunc_div_by_zero_const;
+        ] );
+      ( "bmc",
+        [
+          Alcotest.test_case "equivalent programs" `Quick test_bmc_equivalent;
+          Alcotest.test_case "inequivalent programs" `Quick test_bmc_inequivalent;
+          Alcotest.test_case "stronger than I/O testing" `Quick test_bmc_beyond_io_testing;
+          Alcotest.test_case "rational division" `Quick test_bmc_division_semantics;
+          Alcotest.test_case "shape mismatch" `Quick test_bmc_wrong_shape;
+        ] );
+    ]
