@@ -4,7 +4,12 @@
 
     Run with: [dune exec bench/main.exe]
     Pass [--skip-ablations] to produce only Table 1 and Figures 9–10;
-    pass [--skip-bechamel] to skip the micro-benchmark pass. *)
+    pass [--skip-bechamel] to skip the micro-benchmark pass;
+    pass [--jobs N] (or [-j N]) to run the experiment sweeps on a pool
+    of N domains (default: [Domain.recommended_domain_count () - 1];
+    [--jobs 1] reproduces the sequential harness exactly, modulo
+    timing); pass [--json FILE] to also write the machine-readable
+    summary as JSON for perf-trajectory tracking. *)
 
 module Experiments = Stagg_report.Experiments
 
@@ -65,15 +70,50 @@ let run_bechamel () =
         results)
     (bechamel_tests ())
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [--skip-ablations] [--skip-bechamel] [--jobs N | -j N] [--json FILE]";
+  exit 2
+
 let () =
-  let args = Array.to_list Sys.argv in
-  let skip_ablations = List.mem "--skip-ablations" args in
-  let skip_bechamel = List.mem "--skip-bechamel" args in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let skip_ablations = ref false
+  and skip_bechamel = ref false
+  and jobs = ref (Stagg_util.Pool.default_jobs ())
+  and json_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--skip-ablations" :: rest ->
+        skip_ablations := true;
+        parse rest
+    | "--skip-bechamel" :: rest ->
+        skip_bechamel := true;
+        parse rest
+    | ("--jobs" | "-j") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            usage ())
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
+    | [ (("--jobs" | "-j" | "--json") as flag) ] ->
+        Printf.eprintf "%s expects a value\n" flag;
+        usage ()
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        usage ()
+  in
+  parse args;
+  let skip_ablations = !skip_ablations and skip_bechamel = !skip_bechamel and jobs = !jobs in
   let progress msg = Printf.eprintf "[bench] %s\n%!" msg in
   let t0 = Unix.gettimeofday () in
   let runs =
-    if skip_ablations then Experiments.run_core ~progress ()
-    else Experiments.run_all ~progress ()
+    if skip_ablations then Experiments.run_core ~progress ~jobs ()
+    else Experiments.run_all ~progress ~jobs ()
   in
   Printf.printf "Guided Tensor Lifting — experiment harness (suite of %d queries, seed %d)\n\n"
     (List.length Stagg_benchsuite.Suite.all)
@@ -96,5 +136,13 @@ let () =
   end;
   Printf.printf "== machine-readable summary (method, solved, avg time over solved, avg attempts) ==\n";
   print_string (Experiments.summary runs);
-  Printf.printf "\ntotal harness time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal harness time: %.1fs\n" wall_s;
+  (match !json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Experiments.json_summary ~jobs ~wall_s runs);
+      close_out oc;
+      Printf.eprintf "[bench] wrote %s\n%!" file);
   if not skip_bechamel then run_bechamel ()

@@ -122,16 +122,26 @@ let kernel_cmd =
 
 (* ---- suite ---- *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Stagg_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run on a pool of $(docv) domains. Results are deterministic and identical for any \
+           $(docv) (modulo per-query times); 1 runs sequentially on the calling domain.")
+
 let suite_cmd =
-  let run meth =
+  let run meth jobs =
     let results =
       match meth with
-      | "llm" -> Stagg_baselines.Llm_only.run_suite ~seed:20250604 Suite.all
-      | "c2taco" -> Stagg_baselines.C2taco.run_suite ~seed:20250604 ~heuristics:true Suite.all
+      | "llm" -> Stagg_baselines.Llm_only.run_suite ~jobs ~seed:20250604 Suite.all
+      | "c2taco" ->
+          Stagg_baselines.C2taco.run_suite ~jobs ~seed:20250604 ~heuristics:true Suite.all
       | "c2taco-noh" ->
-          Stagg_baselines.C2taco.run_suite ~seed:20250604 ~heuristics:false Suite.all
-      | "tenspiler" -> Stagg_baselines.Tenspiler.run_suite ~seed:20250604 Suite.real_world
-      | m -> Stagg.Pipeline.run_suite (method_of_string m) Suite.all
+          Stagg_baselines.C2taco.run_suite ~jobs ~seed:20250604 ~heuristics:false Suite.all
+      | "tenspiler" -> Stagg_baselines.Tenspiler.run_suite ~jobs ~seed:20250604 Suite.real_world
+      | m -> Stagg.Pipeline.run_suite ~jobs (method_of_string m) Suite.all
     in
     List.iter (fun r -> Format.printf "%a@." Stagg.Result_.pp r) results;
     let solved = List.filter (fun r -> r.Stagg.Result_.solved) results in
@@ -139,7 +149,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run one method over the whole suite and print per-query results.")
-    Term.(const run $ method_arg)
+    Term.(const run $ method_arg $ jobs_arg)
 
 (* ---- lift-file: arbitrary C + signature spec + recorded LLM transcript ---- *)
 
@@ -250,11 +260,11 @@ let experiments_cmd =
   let core_flag =
     Arg.(value & flag & info [ "core" ] ~doc:"Only Table 1 and Figures 9–10 (skip ablations).")
   in
-  let run core =
+  let run core jobs =
     let progress msg = Printf.eprintf "[experiments] %s\n%!" msg in
     let runs =
-      if core then Stagg_report.Experiments.run_core ~progress ()
-      else Stagg_report.Experiments.run_all ~progress ()
+      if core then Stagg_report.Experiments.run_core ~progress ~jobs ()
+      else Stagg_report.Experiments.run_all ~progress ~jobs ()
     in
     print_string (Stagg_report.Experiments.table1 runs);
     print_newline ();
@@ -274,7 +284,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures (§8).")
-    Term.(const run $ core_flag)
+    Term.(const run $ core_flag $ jobs_arg)
 
 let () =
   let info =

@@ -160,4 +160,4 @@ let run ~seed ~heuristics (b : Bench.t) : Stagg.Result_.t =
                 (Some (if over_budget () then "budget exceeded" else "search space exhausted"))
       end)
 
-let run_suite ~seed ~heuristics benches = List.map (run ~seed ~heuristics) benches
+let run_suite ?jobs ~seed ~heuristics benches = Pool.map ?jobs (run ~seed ~heuristics) benches

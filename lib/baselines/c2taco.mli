@@ -20,5 +20,7 @@ val label : heuristics:bool -> string
 
 val run : seed:int -> heuristics:bool -> Stagg_benchsuite.Bench.t -> Stagg.Result_.t
 
+(** [jobs] defaults to {!Stagg_util.Pool.default_jobs}; output order and
+    content are independent of it (modulo [time_s]). *)
 val run_suite :
-  seed:int -> heuristics:bool -> Stagg_benchsuite.Bench.t list -> Stagg.Result_.t list
+  ?jobs:int -> seed:int -> heuristics:bool -> Stagg_benchsuite.Bench.t list -> Stagg.Result_.t list

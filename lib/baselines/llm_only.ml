@@ -64,4 +64,4 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
             ~n_candidates:(List.length candidates)
             ~failure:(Some "no candidate passed validation"))
 
-let run_suite ~seed benches = List.map (run ~seed) benches
+let run_suite ?jobs ~seed benches = Pool.map ?jobs (run ~seed) benches

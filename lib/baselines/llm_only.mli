@@ -7,4 +7,7 @@
 val label : string
 
 val run : seed:int -> Stagg_benchsuite.Bench.t -> Stagg.Result_.t
-val run_suite : seed:int -> Stagg_benchsuite.Bench.t list -> Stagg.Result_.t list
+
+(** [jobs] defaults to {!Stagg_util.Pool.default_jobs}; output order and
+    content are independent of it (modulo [time_s]). *)
+val run_suite : ?jobs:int -> seed:int -> Stagg_benchsuite.Bench.t list -> Stagg.Result_.t list

@@ -121,4 +121,8 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
           finish ~solved:false ~solution:None ~attempts:!attempts
             ~failure:(Some "no library template matches"))
 
-let run_suite ~seed benches = List.map (run ~seed) benches
+let run_suite ?jobs ~seed benches =
+  (* force the template library before fanning out: concurrent first
+     forcing of a lazy from several domains raises [Lazy.Undefined] *)
+  ignore (Lazy.force parsed_library);
+  Pool.map ?jobs (run ~seed) benches

@@ -18,17 +18,21 @@ type t = {
   llm_quality : Stagg_oracle.Llm_client.quality;
 }
 
+(* The cache is shared across the domains of a parallel suite run
+   (Stagg_util.Pool), so every access holds the lock. *)
 let func_cache : (string, Stagg_minic.Ast.func) Hashtbl.t = Hashtbl.create 128
+let func_cache_lock = Mutex.create ()
 
 let func (b : t) =
-  match Hashtbl.find_opt func_cache b.name with
-  | Some f -> f
-  | None -> (
-      match Stagg_minic.Parser.parse_function b.c_source with
-      | Ok f ->
-          Hashtbl.add func_cache b.name f;
-          f
-      | Error msg -> failwith (Printf.sprintf "benchmark %s: C parse error: %s" b.name msg))
+  Mutex.protect func_cache_lock (fun () ->
+      match Hashtbl.find_opt func_cache b.name with
+      | Some f -> f
+      | None -> (
+          match Stagg_minic.Parser.parse_function b.c_source with
+          | Ok f ->
+              Hashtbl.add func_cache b.name f;
+              f
+          | Error msg -> failwith (Printf.sprintf "benchmark %s: C parse error: %s" b.name msg)))
 
 let truth (b : t) =
   if String.equal b.ground_truth "" then None

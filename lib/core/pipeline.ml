@@ -34,21 +34,36 @@ let query_of_bench (m : Method_.t) (b : Bench.t) : query =
   { qname = b.name; func = Bench.func b; signature = b.signature; c_source = b.c_source; client }
 
 let ops_in_templates templates =
-  List.fold_left
-    (fun acc t ->
-      List.fold_left
-        (fun acc op -> if List.mem op acc then acc else op :: acc)
-        acc
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun op ->
+          if not (Hashtbl.mem seen op) then begin
+            Hashtbl.add seen op ();
+            acc := op :: !acc
+          end)
         (Stagg_taco.Ast.ops_used t.Stagg_taco.Ast.rhs))
-    [] templates
-  |> List.rev
+    templates;
+  List.rev !acc
 
 let grammar_has_const (cfg : Cfg.t) =
   Array.exists
     (fun (r : Cfg.rule) -> List.exists (fun s -> s = Cfg.T Cfg.Tok_const) r.rhs)
     (Cfg.rules cfg)
 
-let prepare_query (m : Method_.t) (q : query) : (prepared, string) result =
+type prefix = {
+  pf_candidates : Stagg_taco.Ast.program list;
+  pf_templates : Stagg_taco.Ast.program list;
+  pf_dim_list : int list;
+  pf_ops : Stagg_taco.Ast.op list;
+  pf_n_rhs_tensors : int;
+  pf_max_rank : int;
+  pf_n_indices : int;
+}
+
+let prefix_of_query (q : query) : (prefix, string) result =
   let (module Llm) = q.client in
   let responses = Llm.query ~prompt:(Stagg_oracle.Prompt.build ~c_source:q.c_source) in
   let candidates = Stagg_oracle.Response.parse_all responses in
@@ -85,40 +100,56 @@ let prepare_query (m : Method_.t) (q : query) : (prepared, string) result =
                    List.fold_left (fun a (_, r) -> max a r) acc (Templatize.symbols t))
                  0 templates)
           in
-          let cfg =
-            match (m.search, m.grammar) with
-            | _, (Method_.Refined | Method_.Equal_probability) -> (
-                match m.search with
-                | Method_.Top_down -> Gen_topdown.generate ~dim_list ~templates
-                | Method_.Bottom_up -> Gen_bottomup.generate ~dim_list ~templates)
-            | Method_.Top_down, (Method_.Llm_grammar | Method_.Full_grammar) ->
-                Taco_grammar.generate ~n_rhs_tensors ~max_rank
-                  ~n_indices:(Genlib.unique_index_count templates) ()
-            | Method_.Bottom_up, (Method_.Llm_grammar | Method_.Full_grammar) ->
-                Gen_bottomup.generate_full ~n_rhs_tensors ~max_rank
-                  ~n_indices:(Genlib.unique_index_count templates) ()
-          in
-          let pcfg =
-            match m.grammar with
-            | Method_.Refined | Method_.Llm_grammar ->
-                Pcfg.of_weights cfg (Derive.weights_of_templates cfg templates)
-            | Method_.Equal_probability | Method_.Full_grammar -> Pcfg.uniform cfg
-          in
-          let penalty_ctx =
+          Ok
             {
-              Penalty.dim_list;
-              ops_available = ops_in_templates templates;
-              grammar_has_const = grammar_has_const cfg;
-              enabled = m.penalties;
+              pf_candidates = candidates;
+              pf_templates = templates;
+              pf_dim_list = dim_list;
+              pf_ops = ops_in_templates templates;
+              pf_n_rhs_tensors = n_rhs_tensors;
+              pf_max_rank = max_rank;
+              pf_n_indices = Genlib.unique_index_count templates;
             }
-          in
-          Ok { candidates; templates; dim_list; pcfg; penalty_ctx }
     end
   end
 
+let prepared_of_prefix (m : Method_.t) (p : prefix) : prepared =
+  let dim_list = p.pf_dim_list and templates = p.pf_templates in
+  let cfg =
+    match (m.search, m.grammar) with
+    | _, (Method_.Refined | Method_.Equal_probability) -> (
+        match m.search with
+        | Method_.Top_down -> Gen_topdown.generate ~dim_list ~templates
+        | Method_.Bottom_up -> Gen_bottomup.generate ~dim_list ~templates)
+    | Method_.Top_down, (Method_.Llm_grammar | Method_.Full_grammar) ->
+        Taco_grammar.generate ~n_rhs_tensors:p.pf_n_rhs_tensors ~max_rank:p.pf_max_rank
+          ~n_indices:p.pf_n_indices ()
+    | Method_.Bottom_up, (Method_.Llm_grammar | Method_.Full_grammar) ->
+        Gen_bottomup.generate_full ~n_rhs_tensors:p.pf_n_rhs_tensors ~max_rank:p.pf_max_rank
+          ~n_indices:p.pf_n_indices ()
+  in
+  let pcfg =
+    match m.grammar with
+    | Method_.Refined | Method_.Llm_grammar ->
+        Pcfg.of_weights cfg (Derive.weights_of_templates cfg templates)
+    | Method_.Equal_probability | Method_.Full_grammar -> Pcfg.uniform cfg
+  in
+  let penalty_ctx =
+    {
+      Penalty.dim_list;
+      ops_available = p.pf_ops;
+      grammar_has_const = grammar_has_const cfg;
+      enabled = m.penalties;
+    }
+  in
+  { candidates = p.pf_candidates; templates; dim_list; pcfg; penalty_ctx }
+
+let prepare_query (m : Method_.t) (q : query) : (prepared, string) result =
+  Result.map (prepared_of_prefix m) (prefix_of_query q)
+
 let prepare m b = prepare_query m (query_of_bench m b)
 
-let lift (m : Method_.t) (q : query) : Result_.t =
+let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) result) : Result_.t =
   let started = Unix.gettimeofday () in
   let finish ~solved ~solution ~attempts ~expansions ~n_candidates ~failure =
     {
@@ -133,7 +164,7 @@ let lift (m : Method_.t) (q : query) : Result_.t =
       failure;
     }
   in
-  match prepare_query m q with
+  match Result.map (prepared_of_prefix m) prefix_r with
   | Error reason ->
       finish ~solved:false ~solution:None ~attempts:0 ~expansions:0 ~n_candidates:0
         ~failure:(Some reason)
@@ -178,6 +209,8 @@ let lift (m : Method_.t) (q : query) : Result_.t =
               finish ~solved:false ~solution:None ~attempts:stats.attempts
                 ~expansions:stats.expansions ~n_candidates ~failure:(Some "budget exceeded")))
 
+let lift (m : Method_.t) (q : query) : Result_.t = lift_prefixed m q (prefix_of_query q)
+
 let run (m : Method_.t) (b : Bench.t) : Result_.t = lift m (query_of_bench m b)
 
-let run_suite m benches = List.map (run m) benches
+let run_suite ?jobs m benches = Pool.map ?jobs (run m) benches

@@ -29,11 +29,33 @@ type query = {
   client : (module Stagg_oracle.Llm_client.S);
 }
 
-(** [query_of_bench m b] packages a suite benchmark with its mock LLM. *)
+(** [query_of_bench m b] packages a suite benchmark with its mock LLM.
+    Only [m.seed] matters here: the mock-LLM stream is one per
+    (seed, benchmark), shared by every method of a campaign. *)
 val query_of_bench : Method_.t -> Stagg_benchsuite.Bench.t -> query
 
+(** The method-independent prefix of preparation: parsed LLM candidates,
+    templatized candidates, predicted dimension list, and the candidate
+    statistics (operators, tensor counts, ranks, index counts) that the
+    per-method grammar construction consumes. Depends only on the
+    (seed, benchmark) pair baked into the query's client, so a campaign
+    computes it once per benchmark and reuses it across every method
+    sweep. *)
+type prefix
+
+(** [prefix_of_query q] runs stage ① and the method-independent half of
+    stage ② — it consumes the query's LLM client. [Error reason] when the
+    LLM yields no usable candidate. *)
+val prefix_of_query : query -> (prefix, string) result
+
+(** [prepared_of_prefix m p] finishes stage ② for one method: grammar
+    generation, probability learning, penalty context. Cheap relative to
+    {!prefix_of_query}. *)
+val prepared_of_prefix : Method_.t -> prefix -> prepared
+
 (** [prepare_query m q] runs stages ①–② and builds the grammar that stage
-    ③ will search. [Error reason] when the LLM yields no usable
+    ③ will search — {!prefix_of_query} composed with
+    {!prepared_of_prefix}. [Error reason] when the LLM yields no usable
     candidate. *)
 val prepare_query : Method_.t -> query -> (prepared, string) result
 
@@ -43,8 +65,17 @@ val prepare : Method_.t -> Stagg_benchsuite.Bench.t -> (prepared, string) result
 (** [lift m q] — the whole pipeline on an arbitrary query; never raises. *)
 val lift : Method_.t -> query -> Result_.t
 
+(** [lift_prefixed m q prefix] — stages ③–④ on a precomputed prefix
+    (see {!prefix_of_query}); the query's client is not consulted.
+    [lift m q] is [lift_prefixed m q (prefix_of_query q)]. *)
+val lift_prefixed : Method_.t -> query -> (prefix, string) result -> Result_.t
+
 (** [run m bench] — the whole pipeline; never raises. *)
 val run : Method_.t -> Stagg_benchsuite.Bench.t -> Result_.t
 
-(** [run_suite m benches] — [run] over a list, in order. *)
-val run_suite : Method_.t -> Stagg_benchsuite.Bench.t list -> Result_.t list
+(** [run_suite ?jobs m benches] — [run] over a list; the output is
+    ordered and bit-identical to the sequential run for any [jobs]
+    (modulo [time_s]). [jobs] defaults to
+    {!Stagg_util.Pool.default_jobs}; [~jobs:1] runs sequentially on the
+    calling domain. *)
+val run_suite : ?jobs:int -> Method_.t -> Stagg_benchsuite.Bench.t list -> Result_.t list

@@ -1,4 +1,5 @@
 open Stagg
+module Pool = Stagg_util.Pool
 module Penalty = Stagg_search.Penalty
 module Suite = Stagg_benchsuite.Suite
 
@@ -24,29 +25,52 @@ type runs = {
 
 let default_seed = 20250604
 
-let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) () =
+(* ---- the shared preparation cache ----
+
+   The mock-LLM stream, candidate parsing, templatization and dimension
+   prediction depend only on (seed, benchmark) — not on the method — so
+   one campaign computes that prefix once per benchmark and shares it
+   across every sweep; only grammar/probability/penalty construction
+   stays per-method (inside [Pipeline.lift_prefixed]). *)
+
+type prep = (Pipeline.query * (Pipeline.prefix, string) result) list
+
+let prepare_suite ?jobs ~seed benches : prep =
+  let m = { Method_.stagg_td with seed } in
+  Pool.map ?jobs
+    (fun b ->
+      let q = Pipeline.query_of_bench m b in
+      (q, Pipeline.prefix_of_query q))
+    benches
+
+let sweep_prepared ?jobs m (cache : prep) =
+  Pool.map ?jobs (fun (q, pr) -> Pipeline.lift_prefixed m q pr) cache
+
+let sweep_timed ~progress label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  progress
+    (Printf.sprintf "%-28s %2d solved  (%.1fs)" label
+       (List.length (List.filter (fun (x : Result_.t) -> x.solved) r))
+       (Unix.gettimeofday () -. t0));
+  r
+
+let run_core_cached ?jobs ~seed ~progress (cache : prep) =
   let all = Suite.all and rw = Suite.real_world in
-  let sweep label f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    progress
-      (Printf.sprintf "%-28s %2d solved  (%.1fs)" label
-         (List.length (List.filter (fun (x : Result_.t) -> x.solved) r))
-         (Unix.gettimeofday () -. t0));
-    r
-  in
+  let sweep = sweep_timed ~progress in
   let with_seed m = { m with Method_.seed } in
-  let td = sweep "STAGG^TD" (fun () -> Pipeline.run_suite (with_seed Method_.stagg_td) all) in
-  let bu = sweep "STAGG^BU" (fun () -> Pipeline.run_suite (with_seed Method_.stagg_bu) all) in
-  let llm = sweep "LLM" (fun () -> Stagg_baselines.Llm_only.run_suite ~seed all) in
+  let sweep_m m = sweep m.Method_.label (fun () -> sweep_prepared ?jobs (with_seed m) cache) in
+  let td = sweep_m Method_.stagg_td in
+  let bu = sweep_m Method_.stagg_bu in
+  let llm = sweep "LLM" (fun () -> Stagg_baselines.Llm_only.run_suite ?jobs ~seed all) in
   let c2taco =
-    sweep "C2TACO" (fun () -> Stagg_baselines.C2taco.run_suite ~seed ~heuristics:true all)
+    sweep "C2TACO" (fun () -> Stagg_baselines.C2taco.run_suite ?jobs ~seed ~heuristics:true all)
   in
   let c2taco_noh =
     sweep "C2TACO.NoHeuristics" (fun () ->
-        Stagg_baselines.C2taco.run_suite ~seed ~heuristics:false all)
+        Stagg_baselines.C2taco.run_suite ?jobs ~seed ~heuristics:false all)
   in
-  let tenspiler = sweep "Tenspiler" (fun () -> Stagg_baselines.Tenspiler.run_suite ~seed rw) in
+  let tenspiler = sweep "Tenspiler" (fun () -> Stagg_baselines.Tenspiler.run_suite ?jobs ~seed rw) in
   {
     seed;
     td;
@@ -67,18 +91,16 @@ let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) () =
     bu_full_grammar = [];
   }
 
-let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) () =
-  let core = run_core ~seed ~progress () in
-  let all = Suite.all in
+let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs () =
+  run_core_cached ?jobs ~seed ~progress (prepare_suite ?jobs ~seed Suite.all)
+
+let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs () =
+  let cache = prepare_suite ?jobs ~seed Suite.all in
+  let core = run_core_cached ?jobs ~seed ~progress cache in
   let with_seed m = { m with Method_.seed } in
   let sweep m =
-    let t0 = Unix.gettimeofday () in
-    let r = Pipeline.run_suite (with_seed m) all in
-    progress
-      (Printf.sprintf "%-28s %2d solved  (%.1fs)" m.Method_.label
-         (List.length (List.filter (fun (x : Result_.t) -> x.solved) r))
-         (Unix.gettimeofday () -. t0));
-    r
+    sweep_timed ~progress m.Method_.label (fun () ->
+        sweep_prepared ?jobs (with_seed m) cache)
   in
   let drop base c = sweep (Method_.drop_penalty base c) in
   {
@@ -288,29 +310,65 @@ let fig12 runs =
            [ label; fmt_n (n_solved rs); fmt_t (avg_time rs); Printf.sprintf "%.2f" (avg_attempts rs) ])
          configs)
 
+let summary_rows runs =
+  [
+    ("STAGG_TD", runs.td);
+    ("STAGG_BU", runs.bu);
+    ("LLM", runs.llm);
+    ("C2TACO", runs.c2taco);
+    ("C2TACO_NoH", runs.c2taco_noh);
+    ("Tenspiler", runs.tenspiler);
+  ]
+  @
+  if runs.td_drops = [] then []
+  else
+    [
+      ("TD_DropA", runs.td_drop_all);
+      ("BU_DropB", runs.bu_drop_all);
+      ("TD_Equal", runs.td_equal);
+      ("TD_LLMGrammar", runs.td_llm_grammar);
+      ("TD_FullGrammar", runs.td_full_grammar);
+      ("BU_Equal", runs.bu_equal);
+      ("BU_LLMGrammar", runs.bu_llm_grammar);
+      ("BU_FullGrammar", runs.bu_full_grammar);
+    ]
+
 let summary runs =
-  let line label rs =
-    Printf.sprintf "%s\t%d\t%.3f\t%.2f" label (n_solved rs) (avg_time rs) (avg_attempts rs)
-  in
   String.concat "\n"
-    ([
-       line "STAGG_TD" runs.td;
-       line "STAGG_BU" runs.bu;
-       line "LLM" runs.llm;
-       line "C2TACO" runs.c2taco;
-       line "C2TACO_NoH" runs.c2taco_noh;
-       line "Tenspiler" runs.tenspiler;
-     ]
-    @ (if runs.td_drops = [] then []
-       else
-         [
-           line "TD_DropA" runs.td_drop_all;
-           line "BU_DropB" runs.bu_drop_all;
-           line "TD_Equal" runs.td_equal;
-           line "TD_LLMGrammar" runs.td_llm_grammar;
-           line "TD_FullGrammar" runs.td_full_grammar;
-           line "BU_Equal" runs.bu_equal;
-           line "BU_LLMGrammar" runs.bu_llm_grammar;
-           line "BU_FullGrammar" runs.bu_full_grammar;
-         ])
+    (List.map
+       (fun (label, rs) ->
+         Printf.sprintf "%s\t%d\t%.3f\t%.2f" label (n_solved rs) (avg_time rs) (avg_attempts rs))
+       (summary_rows runs)
     @ [ "" ])
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Printf.bprintf buf "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_summary ?(jobs = 1) ~wall_s runs =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\n  \"seed\": %d,\n  \"jobs\": %d,\n  \"wall_time_s\": %.3f,\n" runs.seed
+    jobs wall_s;
+  Buffer.add_string buf "  \"methods\": [\n";
+  let rows = summary_rows runs in
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (label, rs) ->
+      Printf.bprintf buf
+        "    {\"method\": \"%s\", \"solved\": %d, \"total\": %d, \"avg_time_s\": %.6f, \
+         \"avg_attempts\": %.2f, \"total_attempts\": %d}%s\n"
+        (json_escape label) (n_solved rs) (List.length rs) (avg_time rs) (avg_attempts rs)
+        (List.fold_left (fun a (r : Result_.t) -> a + r.attempts) 0 rs)
+        (if i = last then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf

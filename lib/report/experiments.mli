@@ -27,11 +27,20 @@ type runs = {
 }
 
 (** [run_all ()] — the full campaign (≈20 suite sweeps). [progress] is
-    called with a short message as each sweep finishes. *)
-val run_all : ?seed:int -> ?progress:(string -> unit) -> unit -> runs
+    called with a short message as each sweep finishes.
+
+    The method-independent preparation (mock-LLM query, candidate
+    parsing, templatization, dimension prediction) is computed once per
+    benchmark and shared across every sweep; individual (method,
+    benchmark) runs are dispatched onto a domain pool of [jobs] workers
+    ({!Stagg_util.Pool}). Results are deterministic and independent of
+    [jobs] (modulo the [time_s] fields); [~jobs:1] runs everything on
+    the calling domain. [jobs] defaults to
+    {!Stagg_util.Pool.default_jobs}. *)
+val run_all : ?seed:int -> ?progress:(string -> unit) -> ?jobs:int -> unit -> runs
 
 (** Core methods only (Table 1 / Figs. 9–10), without the ablations. *)
-val run_core : ?seed:int -> ?progress:(string -> unit) -> unit -> runs
+val run_core : ?seed:int -> ?progress:(string -> unit) -> ?jobs:int -> unit -> runs
 
 val table1 : runs -> string
 val table2 : runs -> string
@@ -44,3 +53,14 @@ val fig12 : runs -> string
 (** Machine-readable summary (one line per method row of each table) for
     EXPERIMENTS.md bookkeeping. *)
 val summary : runs -> string
+
+(** The (label, results) rows behind {!summary}, in summary order. *)
+val summary_rows : runs -> (string * Result_.t list) list
+
+(** [json_summary ~jobs ~wall_s runs] — the {!summary} data as a JSON
+    document (per method: solved count, suite size, avg time and
+    attempts over solved queries, total attempts), plus the harness wall
+    time and the [jobs] the campaign ran with. Written by
+    [bench/main.exe --json FILE] so successive PRs can track the perf
+    trajectory. *)
+val json_summary : ?jobs:int -> wall_s:float -> runs -> string

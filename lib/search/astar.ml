@@ -22,6 +22,7 @@ type 'sol engine = {
   started : float;
   mutable attempts : int;
   mutable expansions : int;
+  mutable timed_out : bool;  (** latched by the periodic clock check *)
 }
 
 let make_engine ~pcfg ~penalty_ctx ~budget ~validate =
@@ -37,6 +38,7 @@ let make_engine ~pcfg ~penalty_ctx ~budget ~validate =
     started = Unix.gettimeofday ();
     attempts = 0;
     expansions = 0;
+    timed_out = false;
   }
 
 let elapsed e = Unix.gettimeofday () -. e.started
@@ -47,11 +49,18 @@ let stats e = { attempts = e.attempts; expansions = e.expansions; elapsed_s = el
    has stopped discriminating and memory would grow without bound. *)
 let max_frontier = 1_500_000
 
+(* The attempt/expansion/frontier checks are exact (they bound the
+   deterministic outcome); the wall clock is only a backstop, so the
+   [gettimeofday] syscall is polled every 64 pops and latched, keeping it
+   out of the hot loop. *)
 let over_budget e =
   e.attempts >= e.budget.max_attempts
   || e.expansions >= e.budget.max_expansions
   || Pqueue.length e.queue > max_frontier
-  || elapsed e > e.budget.timeout_s
+  ||
+  (if (not e.timed_out) && e.expansions land 63 = 0 then
+     e.timed_out <- elapsed e > e.budget.timeout_s;
+   e.timed_out)
 
 (* Validate a complete tree (already RemoveTail'd for the bottom-up case).
    Returns [Some sol] on success. Duplicate templates — the EXPR OP EXPR

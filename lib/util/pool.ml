@@ -1,0 +1,45 @@
+(* Work queue = an atomic cursor over the input array; result slots are
+   indexed by input position, so output order is independent of which
+   domain claims which task. Workers are joined before [map] returns —
+   no domain outlives the call. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+type 'b slot = Empty | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let map ?jobs f xs =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when jobs = 1 -> List.map f xs
+  | xs ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      let slots = Array.make n Empty in
+      let cursor = Atomic.make 0 in
+      let worker () =
+        let rec drain () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            (slots.(i) <-
+              (match f input.(i) with
+              | v -> Done v
+              | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+            drain ()
+          end
+        in
+        drain ()
+      in
+      let helpers = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join helpers;
+      Array.to_list
+        (Array.map
+           (function
+             | Done v -> v
+             | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+             | Empty -> assert false)
+           slots)
+
+let map_reduce ?jobs ~map:f ~init ~reduce xs = List.fold_left reduce init (map ?jobs f xs)

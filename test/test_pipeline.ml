@@ -63,6 +63,18 @@ let test_five_index_unsolvable () =
   check_bool "dk_conv1x1 unsolvable top-down" false (run_td "dk_conv1x1").Stagg.Result_.solved;
   check_bool "dk_conv1x1 unsolvable bottom-up" false (run_bu "dk_conv1x1").Stagg.Result_.solved
 
+let test_parallel_determinism () =
+  (* a domain pool must not change what is computed: run_suite with 1 and
+     4 workers agree on every field except wall-clock time *)
+  let benches =
+    List.filter_map Suite.find
+      [ "art_copy"; "art_gemv"; "art_gemm"; "dsp_mean8"; "sa_const_sub"; "dk_mse" ]
+  in
+  let strip (r : Stagg.Result_.t) = { r with time_s = 0. } in
+  let seq = List.map strip (Stagg.Pipeline.run_suite ~jobs:1 Stagg.Method_.stagg_td benches) in
+  let par = List.map strip (Stagg.Pipeline.run_suite ~jobs:4 Stagg.Method_.stagg_td benches) in
+  check_bool "jobs:1 and jobs:4 agree modulo time_s" true (seq = par)
+
 let test_determinism () =
   let norm (r : Stagg.Result_.t) =
     ( r.solved,
@@ -130,6 +142,7 @@ let () =
           Alcotest.test_case "bottom-up structural limits" `Slow test_bu_structural_limits;
           Alcotest.test_case "five-index query unsolvable" `Slow test_five_index_unsolvable;
           Alcotest.test_case "determinism" `Slow test_determinism;
+          Alcotest.test_case "parallel determinism" `Slow test_parallel_determinism;
           Alcotest.test_case "prepared artifacts" `Quick test_prepare_artifacts;
           Alcotest.test_case "substitutions bind parameters" `Slow test_solution_substitution_sound;
           Alcotest.test_case "ablation configurations" `Slow test_ablation_configs_run;

@@ -1,4 +1,4 @@
-(* Tests for stagg_util: Bigint, Rat, Pqueue, Prng. *)
+(* Tests for stagg_util: Bigint, Rat, Pqueue, Pool, Prng. *)
 
 open Stagg_util
 
@@ -153,6 +153,59 @@ let qcheck_pqueue_sorted =
       List.length out = List.length prios
       && (List.sort compare out = out))
 
+let drain_payloads q =
+  let rec go acc = match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> go (v :: acc) in
+  go []
+
+(* a small priority alphabet forces plenty of ties *)
+let arb_small_prios = QCheck.list (QCheck.int_range 0 3)
+
+let qcheck_pqueue_fifo_ties =
+  QCheck.Test.make ~name:"pqueue breaks equal priorities FIFO (stable drain)" ~count:300
+    arb_small_prios
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q (float_of_int p) (p, i)) prios;
+      (* stable sort of (prio, insertion index) by prio = expected drain *)
+      let expected = List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.mapi (fun i p -> (p, i)) prios) in
+      drain_payloads q = expected)
+
+let qcheck_pqueue_roundtrip =
+  QCheck.Test.make ~name:"pqueue push/pop round-trips the payload multiset" ~count:300
+    (QCheck.list (QCheck.pair (QCheck.float_bound_exclusive 100.) QCheck.small_int))
+    (fun entries ->
+      let q = Pqueue.create () in
+      List.iter (fun (p, v) -> Pqueue.push q p v) entries;
+      let n = List.length entries in
+      Pqueue.length q = n
+      && List.sort compare (drain_payloads q) = List.sort compare (List.map snd entries)
+      && Pqueue.is_empty q
+      && Pqueue.pop q = None)
+
+(* ---- Pool ---- *)
+
+let qcheck_pool_map_ordered =
+  QCheck.Test.make ~name:"pool map agrees with List.map for any jobs" ~count:50
+    (QCheck.pair (QCheck.int_range 1 6) (QCheck.list QCheck.small_int))
+    (fun (jobs, xs) ->
+      let f x = (x * 31) + 7 in
+      Pool.map ~jobs f xs = List.map f xs)
+
+let test_pool_exception_propagates () =
+  Alcotest.check_raises "worker exception re-raised" Exit (fun () ->
+      ignore (Pool.map ~jobs:3 (fun x -> if x = 4 then raise Exit else x) [ 1; 2; 3; 4; 5 ]))
+
+let test_pool_map_reduce () =
+  let sum =
+    Pool.map_reduce ~jobs:4 ~map:(fun x -> x * x) ~init:0 ~reduce:( + ) [ 1; 2; 3; 4; 5 ]
+  in
+  check_int "sum of squares" 55 sum;
+  (* in-order reduction: string concatenation is order-sensitive *)
+  let cat =
+    Pool.map_reduce ~jobs:4 ~map:string_of_int ~init:"" ~reduce:( ^ ) [ 1; 2; 3; 4; 5 ]
+  in
+  check_string "ordered reduce" "12345" cat
+
 (* ---- Prng ---- *)
 
 let test_prng_determinism () =
@@ -221,6 +274,14 @@ let () =
           Alcotest.test_case "priority order" `Quick test_pqueue_order;
           Alcotest.test_case "FIFO tie-breaking" `Quick test_pqueue_fifo_ties;
           qc qcheck_pqueue_sorted;
+          qc qcheck_pqueue_fifo_ties;
+          qc qcheck_pqueue_roundtrip;
+        ] );
+      ( "pool",
+        [
+          qc qcheck_pool_map_ordered;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "ordered map_reduce" `Quick test_pool_map_reduce;
         ] );
       ( "prng",
         [
