@@ -40,23 +40,28 @@ let atom_to_expr = function
 
 let run ~seed ~heuristics (b : Bench.t) : Stagg.Result_.t =
   let started = Unix.gettimeofday () in
-  let finish ~solved ~solution ~attempts ~failure =
+  let validate_s = ref 0. in
+  let attempts = ref 0 in
+  let finish ~solved ~solution ~failure =
     {
       Stagg.Result_.bench = b.name;
       method_label = label ~heuristics;
       solved;
       solution;
       time_s = Unix.gettimeofday () -. started;
-      attempts;
-      expansions = attempts;
+      attempts = !attempts;
+      expansions = !attempts;
       n_candidates = 0;
+      validate_s = !validate_s;
+      verify_s = 0.;
+      instantiations = !attempts;
       failure;
     }
   in
   let func = Bench.func b in
   let eprng = Prng.create ~seed:(seed lxor Hashtbl.hash (b.name, "examples")) in
   match Examples.generate ~func ~signature:b.signature ~prng:eprng () with
-  | Error msg -> finish ~solved:false ~solution:None ~attempts:0 ~failure:(Some msg)
+  | Error msg -> finish ~solved:false ~solution:None ~failure:(Some msg)
   | Ok examples -> (
       let out = b.signature.out in
       (* C2TACO's own static analysis: output dimensionality and per-input
@@ -104,9 +109,11 @@ let run ~seed ~heuristics (b : Bench.t) : Stagg.Result_.t =
         @ List.map (fun c -> Const_atom c) (Stagg_minic.Ast.constants func)
       in
       if atoms = [] then
-        finish ~solved:false ~solution:None ~attempts:0 ~failure:(Some "no atoms to enumerate")
+        finish ~solved:false ~solution:None ~failure:(Some "no atoms to enumerate")
       else begin
-        let attempts = ref 0 in
+        (* the example environments are program-independent: prepare them
+           once for the whole enumeration *)
+        let checker = Validator.prepare ~signature:b.signature ~examples in
         let found = ref None in
         let over_budget () =
           !attempts >= max_attempts ~heuristics || Unix.gettimeofday () -. started > timeout_s
@@ -116,7 +123,10 @@ let run ~seed ~heuristics (b : Bench.t) : Stagg.Result_.t =
         let try_program rhs =
           incr attempts;
           let p = { Ast.lhs; rhs } in
-          if Validator.check_concrete ~signature:b.signature ~examples p then found := Some p
+          let t0 = Unix.gettimeofday () in
+          let ok = Validator.check checker p in
+          validate_s := !validate_s +. (Unix.gettimeofday () -. t0);
+          if ok then found := Some p
         in
         let rec extend rhs len =
           if !found <> None || over_budget () then ()
@@ -153,9 +163,9 @@ let run ~seed ~heuristics (b : Bench.t) : Stagg.Result_.t =
                      subst = { Stagg_template.Subst.tensor_binding = []; const_binding = None };
                      concrete = p;
                    })
-              ~attempts:!attempts ~failure:None
+              ~failure:None
         | None ->
-            finish ~solved:false ~solution:None ~attempts:!attempts
+            finish ~solved:false ~solution:None
               ~failure:
                 (Some (if over_budget () then "budget exceeded" else "search space exhausted"))
       end)

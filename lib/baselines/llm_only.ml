@@ -7,6 +7,7 @@ let label = "LLM"
 
 let run ~seed (b : Bench.t) : Stagg.Result_.t =
   let started = Unix.gettimeofday () in
+  let validate_s = ref 0. and verify_s = ref 0. and instantiations = ref 0 in
   let finish ~solved ~solution ~attempts ~n_candidates ~failure =
     {
       Stagg.Result_.bench = b.name;
@@ -17,6 +18,9 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
       attempts;
       expansions = 0;
       n_candidates;
+      validate_s = !validate_s;
+      verify_s = !verify_s;
+      instantiations = !instantiations;
       failure;
     }
   in
@@ -40,10 +44,18 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
   | Ok examples -> (
       let consts = Stagg_minic.Ast.constants func in
       let verify concrete =
-        match Stagg_verify.Bmc.check ~func ~signature:b.signature ~candidate:concrete () with
-        | Stagg_verify.Bmc.Equivalent -> true
-        | _ -> false
+        let t0 = Unix.gettimeofday () in
+        let ok =
+          match Stagg_verify.Bmc.check ~func ~signature:b.signature ~candidate:concrete () with
+          | Stagg_verify.Bmc.Equivalent -> true
+          | _ -> false
+        in
+        verify_s := !verify_s +. (Unix.gettimeofday () -. t0);
+        ok
       in
+      (* same (benchmark, example seed) as the pipeline sweeps: verdicts
+         land in (and hit) the shared validation memo *)
+      let memo_key = Printf.sprintf "%s#%d" b.name (seed lxor Hashtbl.hash (b.name, "examples")) in
       let attempts = ref 0 in
       let solution =
         List.find_map
@@ -52,7 +64,14 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
             | None -> None
             | Some template ->
                 incr attempts;
-                Validator.validate ~signature:b.signature ~examples ~consts ~verify template)
+                let t0 = Unix.gettimeofday () in
+                let sol, n =
+                  Validator.validate_counted ~signature:b.signature ~examples ~consts ~verify
+                    ~memo_key template
+                in
+                validate_s := !validate_s +. (Unix.gettimeofday () -. t0);
+                instantiations := !instantiations + n;
+                sol)
           candidates
       in
       match solution with

@@ -81,6 +81,7 @@ let parsed_library =
 
 let run ~seed (b : Bench.t) : Stagg.Result_.t =
   let started = Unix.gettimeofday () in
+  let validate_s = ref 0. and verify_s = ref 0. and instantiations = ref 0 in
   let finish ~solved ~solution ~attempts ~failure =
     {
       Stagg.Result_.bench = b.name;
@@ -91,6 +92,9 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
       attempts;
       expansions = attempts;
       n_candidates = 0;
+      validate_s = !validate_s;
+      verify_s = !verify_s;
+      instantiations = !instantiations;
       failure;
     }
   in
@@ -100,10 +104,16 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
   | Error msg -> finish ~solved:false ~solution:None ~attempts:0 ~failure:(Some msg)
   | Ok examples -> (
       let verify concrete =
-        match Stagg_verify.Bmc.check ~func ~signature:b.signature ~candidate:concrete () with
-        | Stagg_verify.Bmc.Equivalent -> true
-        | _ -> false
+        let t0 = Unix.gettimeofday () in
+        let ok =
+          match Stagg_verify.Bmc.check ~func ~signature:b.signature ~candidate:concrete () with
+          | Stagg_verify.Bmc.Equivalent -> true
+          | _ -> false
+        in
+        verify_s := !verify_s +. (Unix.gettimeofday () -. t0);
+        ok
       in
+      let memo_key = Printf.sprintf "%s#%d" b.name (seed lxor Hashtbl.hash (b.name, "examples")) in
       let attempts = ref 0 in
       let solution =
         List.find_map
@@ -111,7 +121,14 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
             incr attempts;
             (* templates in the library carry no constants, so the constant
                pool is irrelevant *)
-            Validator.validate ~signature:b.signature ~examples ~consts:[] ~verify template)
+            let t0 = Unix.gettimeofday () in
+            let sol, n =
+              Validator.validate_counted ~signature:b.signature ~examples ~consts:[] ~verify
+                ~memo_key template
+            in
+            validate_s := !validate_s +. (Unix.gettimeofday () -. t0);
+            instantiations := !instantiations + n;
+            sol)
           (Lazy.force parsed_library)
       in
       match solution with

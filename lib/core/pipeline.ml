@@ -151,6 +151,8 @@ let prepare m b = prepare_query m (query_of_bench m b)
 
 let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) result) : Result_.t =
   let started = Unix.gettimeofday () in
+  (* per-phase accumulators (one run = one domain; plain refs are fine) *)
+  let validate_s = ref 0. and verify_s = ref 0. and instantiations = ref 0 in
   let finish ~solved ~solution ~attempts ~expansions ~n_candidates ~failure =
     {
       Result_.bench = q.qname;
@@ -161,6 +163,9 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
       attempts;
       expansions;
       n_candidates;
+      validate_s = !validate_s;
+      verify_s = !verify_s;
+      instantiations = !instantiations;
       failure;
     }
   in
@@ -171,7 +176,8 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
   | Ok prep -> (
       let n_candidates = List.length prep.candidates in
       let func = q.func in
-      let prng = Prng.create ~seed:(m.seed lxor Hashtbl.hash (q.qname, "examples")) in
+      let example_seed = m.seed lxor Hashtbl.hash (q.qname, "examples") in
+      let prng = Prng.create ~seed:example_seed in
       match Examples.generate ~func ~signature:q.signature ~prng () with
       | Error msg ->
           finish ~solved:false ~solution:None ~attempts:0 ~expansions:0 ~n_candidates
@@ -179,14 +185,30 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
       | Ok examples -> (
           let verify concrete =
             if not m.verify then true
-            else
-              match Bmc.check ~func ~signature:q.signature ~candidate:concrete () with
-              | Bmc.Equivalent -> true
-              | Bmc.Not_equivalent _ | Bmc.Inconclusive _ -> false
+            else begin
+              let t0 = Unix.gettimeofday () in
+              let ok =
+                match Bmc.check ~func ~signature:q.signature ~candidate:concrete () with
+                | Bmc.Equivalent -> true
+                | Bmc.Not_equivalent _ | Bmc.Inconclusive _ -> false
+              in
+              verify_s := !verify_s +. (Unix.gettimeofday () -. t0);
+              ok
+            end
           in
           let consts = Stagg_minic.Ast.constants func in
+          (* the examples are a function of (benchmark, example_seed), so
+             this key scopes the cross-sweep validation memo correctly *)
+          let memo_key = Printf.sprintf "%s#%d" q.qname example_seed in
           let validate template =
-            Validator.validate ~signature:q.signature ~examples ~consts ~verify template
+            let t0 = Unix.gettimeofday () in
+            let sol, n =
+              Validator.validate_counted ~signature:q.signature ~examples ~consts ~verify
+                ~memo_key template
+            in
+            validate_s := !validate_s +. (Unix.gettimeofday () -. t0);
+            instantiations := !instantiations + n;
+            sol
           in
           let outcome =
             match m.search with

@@ -10,8 +10,14 @@ type t = {
   attempts : int;  (** templates sent to validation (Table 1/3 "attempts") *)
   expansions : int;  (** queue pops *)
   n_candidates : int;  (** syntactically valid LLM candidates parsed *)
+  validate_s : float;  (** wall time inside the validator, incl. [verify_s] *)
+  verify_s : float;  (** wall time inside the BMC verify hook *)
+  instantiations : int;  (** concrete substitution instantiations executed *)
   failure : string option;  (** reason when unsolved *)
 }
+
+(** Time outside the validator: search/enumeration proper. *)
+let search_s r = Float.max 0. (r.time_s -. r.validate_s)
 
 let solved_names results =
   List.filter_map (fun r -> if r.solved then Some r.bench else None) results

@@ -361,13 +361,19 @@ let json_summary ?(jobs = 1) ~wall_s runs =
   Buffer.add_string buf "  \"methods\": [\n";
   let rows = summary_rows runs in
   let last = List.length rows - 1 in
+  let sum f rs = List.fold_left (fun a r -> a +. f r) 0. rs in
   List.iteri
     (fun i (label, rs) ->
       Printf.bprintf buf
         "    {\"method\": \"%s\", \"solved\": %d, \"total\": %d, \"avg_time_s\": %.6f, \
-         \"avg_attempts\": %.2f, \"total_attempts\": %d}%s\n"
+         \"avg_attempts\": %.2f, \"total_attempts\": %d, \"search_s\": %.3f, \
+         \"validate_s\": %.3f, \"verify_s\": %.3f, \"instantiations\": %d}%s\n"
         (json_escape label) (n_solved rs) (List.length rs) (avg_time rs) (avg_attempts rs)
         (List.fold_left (fun a (r : Result_.t) -> a + r.attempts) 0 rs)
+        (sum Result_.search_s rs)
+        (sum (fun (r : Result_.t) -> r.validate_s) rs)
+        (sum (fun (r : Result_.t) -> r.verify_s) rs)
+        (List.fold_left (fun a (r : Result_.t) -> a + r.instantiations) 0 rs)
         (if i = last then "" else ","))
     rows;
   Buffer.add_string buf "  ]\n}\n";

@@ -12,13 +12,35 @@ type 'sol outcome = Solved of 'sol * stats | Exhausted of stats | Budget_exceede
 
 let stats_of = function Solved (_, s) | Exhausted s | Budget_exceeded s -> s
 
+(* A frontier element carries everything the pop side needs — path cost,
+   metrics, and (for complete trees) the rebuilt program. Incomplete
+   trees are NOT materialized at push time: the annotation is extended
+   from the parent's without the child tree, so the frontier stores
+   (parent tree, rule) and only the pop side — reached for a small
+   fraction of pushed entries — builds the tree. Siblings share the
+   parent pointer, so a frontier of a million entries holds thousands of
+   trees, not a million. *)
+type tree_src =
+  | Built of Node.t  (** the initial node, and complete trees (the program rebuild needs them) *)
+  | Expand of Node.t * Cfg.rule  (** parent tree + rule to apply at its leftmost open leaf *)
+
+type entry = {
+  c : float;  (** path cost c(x) *)
+  tree : tree_src;
+  ann : Node.annotated;
+  program : Stagg_taco.Ast.program option;  (** Some iff complete *)
+}
+
+let materialize = function Built x -> x | Expand (p, r) -> Node.expand1 p r
+
 type 'sol engine = {
   pcfg : Pcfg.t;
   penalty_ctx : Penalty.ctx;
   budget : budget;
   validate : Stagg_taco.Ast.program -> 'sol option;
-  queue : (float * Node.t) Pqueue.t;  (** priority f(x); payload carries c(x) *)
+  queue : entry Pqueue.t;  (** priority f(x) *)
   seen : (string, unit) Hashtbl.t;  (** validated templates, printed form *)
+  inc_safe : bool;  (** grammar admits incremental metrics *)
   started : float;
   mutable attempts : int;
   mutable expansions : int;
@@ -26,8 +48,10 @@ type 'sol engine = {
 }
 
 let make_engine ~pcfg ~penalty_ctx ~budget ~validate =
+  let g = Pcfg.cfg pcfg in
   let queue = Pqueue.create () in
-  Pqueue.push queue 0. (0., Node.initial (Pcfg.cfg pcfg));
+  let x0 = Node.initial g in
+  Pqueue.push queue 0. { c = 0.; tree = Built x0; ann = Node.annotate g x0; program = None };
   {
     pcfg;
     penalty_ctx;
@@ -35,6 +59,7 @@ let make_engine ~pcfg ~penalty_ctx ~budget ~validate =
     validate;
     queue;
     seen = Hashtbl.create 64;
+    inc_safe = Node.incremental_safe g;
     started = Unix.gettimeofday ();
     attempts = 0;
     expansions = 0;
@@ -62,12 +87,11 @@ let over_budget e =
      e.timed_out <- elapsed e > e.budget.timeout_s;
    e.timed_out)
 
-(* Validate a complete tree (already RemoveTail'd for the bottom-up case).
-   Returns [Some sol] on success. Duplicate templates — the EXPR OP EXPR
-   rule makes the grammar ambiguous, and associative duplicates print
+(* Validate an already-rebuilt program. Duplicate templates — the EXPR OP
+   EXPR rule makes the grammar ambiguous, and associative duplicates print
    identically — are validated once. *)
-let try_validate e (g : Cfg.t) (x : Node.t) : 'sol option =
-  match Node.to_program g x with
+let try_validate e (program : Stagg_taco.Ast.program option) : 'sol option =
+  match program with
   | None -> None
   | Some p ->
       let key = Pretty.program_to_string p in
@@ -78,22 +102,44 @@ let try_validate e (g : Cfg.t) (x : Node.t) : 'sol option =
         e.validate p
       end
 
-(* Push every legal one-step expansion of [x]. *)
-let push_expansions e (g : Cfg.t) c_x (x : Node.t) =
-  List.iter
-    (fun ((r : Cfg.rule), x') ->
-      let rc = Pcfg.cost e.pcfg r in
-      if rc < infinity then begin
-        let c' = c_x +. rc in
-        let m = Node.metrics g x' in
-        let program = if m.complete then Node.to_program g x' else None in
-        let pen = Penalty.score e.penalty_ctx m ~program in
-        if pen < infinity then begin
-          let f = c' +. Node.g_cost e.pcfg x' +. pen in
-          Pqueue.push e.queue f (c', x')
-        end
-      end)
-    (Node.expansions g x)
+(* Push every legal one-step expansion of [parent] (whose tree [px] the
+   pop side has just materialized). Metrics are extended incrementally
+   from the parent's annotation without building the child tree; only
+   complete children are materialized here, to rebuild their program
+   once and carry it to the pop. *)
+let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
+  match parent.ann.Node.opens with
+  | [] -> ()
+  | nt :: _ ->
+      List.iter
+        (fun (r : Cfg.rule) ->
+          let rc = Pcfg.cost e.pcfg r in
+          if rc < infinity then begin
+            let c' = parent.c +. rc in
+            let tree, ann, program =
+              if e.inc_safe then begin
+                let ann = Node.expand_metrics g parent.ann r in
+                if ann.Node.metrics.complete then
+                  let x' = Node.expand1 px r in
+                  (Built x', ann, Node.to_program g x')
+                else (Expand (px, r), ann, None)
+              end
+              else begin
+                let x' = Node.expand1 px r in
+                let ann = Node.annotate g x' in
+                let program =
+                  if ann.Node.metrics.complete then Node.to_program g x' else None
+                in
+                (Built x', ann, program)
+              end
+            in
+            let pen = Penalty.score e.penalty_ctx ann.Node.metrics ~program in
+            if pen < infinity then begin
+              let f = c' +. Node.g_cost_opens e.pcfg ann.Node.opens +. pen in
+              Pqueue.push e.queue f { c = c'; tree; ann; program }
+            end
+          end)
+        (Cfg.rules_for g nt)
 
 let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ~budget ~validate () =
   let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate in
@@ -103,16 +149,17 @@ let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ~budget ~validate () =
     else
       match Pqueue.pop e.queue with
       | None -> Exhausted (stats e)
-      | Some (_f, (c, x)) ->
+      | Some (_f, en) ->
           e.expansions <- e.expansions + 1;
+          let x = materialize en.tree in
           if Node.depth g x > max_depth then loop ()
-          else if Node.is_complete x then begin
-            match try_validate e g x with
+          else if en.ann.Node.metrics.complete then begin
+            match try_validate e en.program with
             | Some sol -> Solved (sol, stats e)
             | None -> loop ()
           end
           else begin
-            push_expansions e g c x;
+            push_expansions e g en x;
             loop ()
           end
   in
@@ -127,20 +174,20 @@ let search_bottomup ~pcfg ~penalty_ctx ~dim_list ~budget ~validate () =
     else
       match Pqueue.pop e.queue with
       | None -> Exhausted (stats e)
-      | Some (_f, (c, x)) ->
+      | Some (_f, en) ->
           e.expansions <- e.expansions + 1;
-          let m = Node.metrics g x in
+          let x = materialize en.tree in
           let solved =
-            if m.n_tensors = n_predicted then
+            if en.ann.Node.metrics.n_tensors = n_predicted then
               match Node.remove_tail g x with
-              | Some complete -> try_validate e g complete
+              | Some complete -> try_validate e (Node.to_program g complete)
               | None -> None
             else None
           in
           (match solved with
           | Some sol -> Solved (sol, stats e)
           | None ->
-              push_expansions e g c x;
+              push_expansions e g en x;
               loop ())
   in
   loop ()

@@ -44,10 +44,19 @@ let expansions g x =
           (r, x'))
         (Cfg.rules_for g nt)
 
-let rec g_cost p = function
-  | Leaf _ -> 0.
-  | Open nt -> Pcfg.h_cost p nt
-  | Node (_, ch) -> List.fold_left (fun acc c -> acc +. g_cost p c) 0. ch
+(* Flat left-to-right accumulation over the open leaves: closed leaves
+   thread the accumulator through unchanged, so this is float-for-float
+   the same computation as folding over the ordered open-leaf list —
+   the invariant [g_cost_opens] relies on. *)
+let g_cost p x =
+  let rec go acc = function
+    | Leaf _ -> acc
+    | Open nt -> acc +. Pcfg.h_cost p nt
+    | Node (_, ch) -> List.fold_left go acc ch
+  in
+  go 0. x
+
+let g_cost_opens p opens = List.fold_left (fun acc nt -> acc +. Pcfg.h_cost p nt) 0. opens
 
 let rec depth g = function
   | Leaf (Cfg.Tok_tensor _ | Cfg.Tok_const) -> 1
@@ -57,11 +66,17 @@ let rec depth g = function
       | Cfg.Cat_expr | Cfg.Cat_tensor -> 1
       | Cfg.Cat_program | Cfg.Cat_op | Cfg.Cat_tail -> 0)
   | Node (rid, ch) ->
-      let ds = List.map (depth g) ch in
-      let m = List.fold_left max 0 ds in
-      let expr_children = List.length (List.filter (fun d -> d >= 1) ds) in
+      (* allocation-free child fold: max depth and how many children carry
+         expression depth (this runs once per queue push) *)
+      let m = ref 0 and expr_children = ref 0 in
+      List.iter
+        (fun c ->
+          let d = depth g c in
+          if d > !m then m := d;
+          if d >= 1 then incr expr_children)
+        ch;
       let lhs_cat = Cfg.category g (Cfg.rule g rid).lhs in
-      if lhs_cat = Cfg.Cat_expr && expr_children >= 2 then 1 + m else m
+      if lhs_cat = Cfg.Cat_expr && !expr_children >= 2 then 1 + !m else !m
 
 type metrics = {
   tensor_leaves : (string * string list) list;
@@ -70,10 +85,9 @@ type metrics = {
   has_const_leaf : bool;
   distinct_ops : Ast.op list;
   complete : bool;
-  depth : int;
 }
 
-let metrics g x =
+let metrics _g x =
   (* single left-to-right scan over the frontier *)
   let tensors = ref [] in
   let ops = ref [] in
@@ -103,8 +117,107 @@ let metrics g x =
     has_const_leaf = !has_const;
     distinct_ops = List.rev !ops;
     complete = !complete;
-    depth = depth g x;
   }
+
+(* ---- incrementally-maintained metrics ----
+
+   [metrics] is a full tree scan. Both searches used to rescan at every
+   push (and the bottom-up one again at every pop); the scans are the
+   search's hot loop. Expansion always rewrites the *leftmost* [Open]
+   leaf, and in every grammar this project generates no tensor/constant
+   terminal appears to the right of a nonterminal within one rule's rhs —
+   so every tensor leaf of a reachable tree lies left of its leftmost
+   [Open], and a child's [tensor_leaves] is exactly the parent's with the
+   applied rule's tensor terminals appended. [expand_metrics] exploits
+   that; [incremental_safe] checks the grammar-level precondition once so
+   exotic grammars fall back to the full scan. *)
+
+type annotated = { metrics : metrics; n_open : int; opens : string list }
+
+let collect_opens x =
+  let rec go acc = function
+    | Open nt -> nt :: acc
+    | Leaf _ -> acc
+    | Node (_, ch) -> List.fold_left go acc ch
+  in
+  List.rev (go [] x)
+
+let annotate g x =
+  let opens = collect_opens x in
+  { metrics = metrics g x; n_open = List.length opens; opens }
+
+let rule_safe (r : Cfg.rule) =
+  let rec go seen_nt = function
+    | [] -> true
+    | Cfg.NT _ :: rest -> go true rest
+    | Cfg.T (Cfg.Tok_tensor _ | Cfg.Tok_const) :: rest -> (not seen_nt) && go seen_nt rest
+    | Cfg.T _ :: rest -> go seen_nt rest
+  in
+  go false r.rhs
+
+let incremental_safe g = Array.for_all rule_safe (Cfg.rules g)
+
+let expand1 x (r : Cfg.rule) =
+  let x', ok = subst_leftmost x (apply_rule r) in
+  assert ok;
+  x'
+
+let expand_metrics _g (parent : annotated) (r : Cfg.rule) : annotated =
+  begin
+    let pm = parent.metrics in
+    let new_leaves = ref [] and new_const = ref false and new_ops = ref [] in
+    let new_nts = ref [] in
+    let n_open = ref (parent.n_open - 1) in
+    List.iter
+      (function
+        | Cfg.NT n ->
+            incr n_open;
+            new_nts := n :: !new_nts
+        | Cfg.T (Cfg.Tok_tensor (n, idxs)) -> new_leaves := (n, idxs) :: !new_leaves
+        | Cfg.T Cfg.Tok_const ->
+            new_leaves := ("Const", []) :: !new_leaves;
+            new_const := true
+        | Cfg.T (Cfg.Tok_op op) -> if not (List.mem op !new_ops) then new_ops := op :: !new_ops
+        | Cfg.T Cfg.Tok_neg ->
+            if not (List.mem Ast.Sub !new_ops) then new_ops := Ast.Sub :: !new_ops
+        | Cfg.T (Cfg.Tok_assign | Cfg.Tok_lparen | Cfg.Tok_rparen) -> ())
+      r.rhs;
+    let tensor_leaves =
+      match !new_leaves with [] -> pm.tensor_leaves | l -> pm.tensor_leaves @ List.rev l
+    in
+    let n_tensors = pm.n_tensors + List.length !new_leaves in
+    let n_unique =
+      if !new_leaves = [] then pm.n_unique
+      else List.length (List.sort_uniq String.compare (List.map fst tensor_leaves))
+    in
+    (* first-appearance order may differ from a fresh scan when an op
+       terminal sits right of a nonterminal (EXPR -> EXPR op EXPR); the
+       penalties only use membership and length, which agree *)
+    let distinct_ops =
+      List.fold_left
+        (fun acc op -> if List.mem op acc then acc else acc @ [ op ])
+        pm.distinct_ops (List.rev !new_ops)
+    in
+    {
+      metrics =
+        {
+          tensor_leaves;
+          n_tensors;
+          n_unique;
+          has_const_leaf = pm.has_const_leaf || !new_const;
+          distinct_ops;
+          complete = !n_open = 0;
+        };
+      n_open = !n_open;
+      (* expansion rewrites the leftmost open leaf — the head of
+         [parent.opens] — so the child's ordered open list is the rule's
+         nonterminals followed by the parent's remaining opens *)
+      opens =
+        (match parent.opens with
+        | [] -> assert false
+        | _ :: rest -> List.rev !new_nts @ rest);
+    }
+  end
 
 (* ---- rebuilding the template AST from a complete tree ---- *)
 

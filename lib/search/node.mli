@@ -22,14 +22,27 @@ val is_complete : t -> bool
     applied. Empty when [x] is complete. *)
 val expansions : Cfg.t -> t -> (Cfg.rule * t) list
 
+(** [expand1 x r] — the tree obtained by applying rule [r] at [x]'s
+    leftmost open leaf (which must exist). Lets the searches keep
+    (parent, rule) in the frontier and materialize child trees only when
+    an entry is actually popped. *)
+val expand1 : t -> Cfg.rule -> t
+
 (** [g_cost p x] — the heuristic g(x): Σ over open leaves of −log₂ h(nt)
-    (§5.1). 0 when complete. *)
+    (§5.1), accumulated left to right. 0 when complete. *)
 val g_cost : Pcfg.t -> t -> float
+
+(** [g_cost_opens p opens] — the same sum over an ordered open-leaf list
+    (see {!annotated}); float-for-float identical to [g_cost] on the tree
+    the list came from, in O(open leaves) instead of O(tree). *)
+val g_cost_opens : Pcfg.t -> string list -> float
 
 (** Expression depth as defined in §5.1: tensor/constant leaves (and open
     expression-valued leaves) have depth 1; a node of an expression-valued
     rule with ≥2 expression children adds 1; everything else is
-    transparent. *)
+    transparent. An O(tree) scan — the penalties never read it, so the
+    top-down search computes it only on popped entries (the max-depth
+    prune), not per push. *)
 val depth : Cfg.t -> t -> int
 
 (** Facts the penalty functions need, computable on partial trees. *)
@@ -44,10 +57,36 @@ type metrics = {
   has_const_leaf : bool;
   distinct_ops : Stagg_taco.Ast.op list;
   complete : bool;
-  depth : int;
 }
 
 val metrics : Cfg.t -> t -> metrics
+
+(** Metrics plus the open leaves — count and ordered (left-to-right)
+    nonterminal names — carried in the A* queue payload so neither pops
+    nor the g(x) of a push rescan the tree. [opens] is maintained
+    incrementally for every grammar: expansion always rewrites the
+    leftmost open leaf, i.e. the list's head. *)
+type annotated = { metrics : metrics; n_open : int; opens : string list }
+
+(** Full-scan annotation (the initial node, and the fallback). *)
+val annotate : Cfg.t -> t -> annotated
+
+(** Does every rule keep tensor/constant terminals left of any
+    nonterminal in its rhs? True for all grammars this project generates;
+    precondition for the incremental path of [expand_metrics]. Check once
+    per search. *)
+val incremental_safe : Cfg.t -> bool
+
+(** [expand_metrics g parent r] — the annotation of the tree obtained
+    from [parent]'s tree by applying rule [r] at the leftmost open leaf,
+    computed from [parent]'s annotation and [r]'s rhs alone — O(|rhs| +
+    tensor leaves), no child tree needed, so pushes don't materialize
+    trees at all. Requires an {!incremental_safe} grammar; the searches
+    fall back to [annotate] on the materialized child otherwise. Equal
+    to [annotate] on that child except that [distinct_ops] may list the
+    same ops in a different first-appearance order (the penalties use
+    only membership/length). *)
+val expand_metrics : Cfg.t -> annotated -> Cfg.rule -> annotated
 
 (** [to_program g x] rebuilds the TACO template AST from a complete tree.
     [None] if [x] has open leaves or an unrecognized rule shape. *)

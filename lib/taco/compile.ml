@@ -1,0 +1,333 @@
+open Ast
+
+(* ---- the program-dependent plan (computed once per program) ---- *)
+
+type access = { tslot : int; islots : int array }
+
+type cexpr =
+  | C_const of Stagg_util.Rat.t
+  | C_access of access
+  | C_neg of cexpr
+  | C_bin of op * cexpr * cexpr
+  | C_sum of int array * cexpr  (** reduction slots, innermost last *)
+
+type plan = {
+  source : program;
+  tensor_names : string array;  (** tensor slot -> RHS tensor name *)
+  index_names : string array;  (** index slot -> source index variable *)
+  lhs_name : string;
+  lhs_islots : int array;  (** LHS indices, as slots, in LHS order *)
+  accesses : access array;  (** every RHS access, in left-to-right AST order *)
+  root : cexpr;
+}
+
+let make_plan (p : program) : plan =
+  let tensor_names = ref [] and n_tensors = ref 0 in
+  let tensor_tbl = Hashtbl.create 8 in
+  let tslot name =
+    match Hashtbl.find_opt tensor_tbl name with
+    | Some s -> s
+    | None ->
+        let s = !n_tensors in
+        incr n_tensors;
+        Hashtbl.add tensor_tbl name s;
+        tensor_names := name :: !tensor_names;
+        s
+  in
+  let index_names = ref [] and n_indices = ref 0 in
+  let index_tbl = Hashtbl.create 8 in
+  let islot name =
+    match Hashtbl.find_opt index_tbl name with
+    | Some s -> s
+    | None ->
+        let s = !n_indices in
+        incr n_indices;
+        Hashtbl.add index_tbl name s;
+        index_names := name :: !index_names;
+        s
+  in
+  let accesses = ref [] in
+  (* mirror the [Reduction.annotate] tree so summations sit at exactly the
+     nodes the reference interpreter sums at *)
+  let rec go (n : Reduction.t) : cexpr =
+    let inner =
+      match n.node with
+      | Reduction.Const c -> C_const c
+      | Reduction.Access (t, idxs) ->
+          let a = { tslot = tslot t; islots = Array.of_list (List.map islot idxs) } in
+          accesses := a :: !accesses;
+          C_access a
+      | Reduction.Neg e -> C_neg (go e)
+      | Reduction.Bin (op, l, r) ->
+          let cl = go l in
+          let cr = go r in
+          C_bin (op, cl, cr)
+    in
+    match n.reds with
+    | [] -> inner
+    | reds -> C_sum (Array.of_list (List.map islot reds), inner)
+  in
+  let root = go (Reduction.annotate p) in
+  let lhs_name, lhs_idxs = p.lhs in
+  let lhs_islots = Array.of_list (List.map islot lhs_idxs) in
+  {
+    source = p;
+    tensor_names = Array.of_list (List.rev !tensor_names);
+    index_names = Array.of_list (List.rev !index_names);
+    lhs_name;
+    lhs_islots;
+    accesses = Array.of_list (List.rev !accesses);
+    root;
+  }
+
+(* monomorphic [List.assoc_opt]: the env lookup sits on the per-example
+   hot path, where polymorphic comparison is measurable *)
+let rec lookup name = function
+  | [] -> None
+  | (k, v) :: rest -> if String.equal k name then Some v else lookup name rest
+
+module Make (V : Stagg_util.Value.S) = struct
+  (* Mutable per-example scratch, indexed by the plan's integer slots. One
+     compiled program is single-domain state: share the [plan], not the [t]. *)
+  type t = {
+    plan : plan;
+    data : V.t array array;  (** tensor slot -> flat buffer (zero-copy view) *)
+    strides : int array array;  (** tensor slot -> strides view *)
+    shapes : int array array;  (** tensor slot -> shape view *)
+    resolved : bool array;  (** tensor slot -> looked up in this example's env *)
+    sizes : int array;  (** index slot -> extent (-1 = unbound) *)
+    idx : int array;  (** index slot -> current value *)
+    out_shape : int array;  (** scratch: output extents, LHS order *)
+    cursor : int array;  (** scratch: output multi-index for iteration *)
+    eval : unit -> V.t;  (** the staged cell evaluator *)
+  }
+
+  let program t = t.plan.source
+
+  let compile (p : program) : t =
+    let plan = make_plan p in
+    let nt = Array.length plan.tensor_names and ni = Array.length plan.index_names in
+    let data = Array.make nt [||] in
+    let strides = Array.make nt [||] in
+    let shapes = Array.make nt [||] in
+    let resolved = Array.make nt false in
+    let sizes = Array.make ni (-1) in
+    let idx = Array.make ni 0 in
+    (* build the evaluator once; per cell it is slot reads and arithmetic *)
+    let rec build = function
+      | C_const c ->
+          let v = V.of_rat c in
+          fun () -> v
+      | C_access { tslot; islots } -> (
+          match islots with
+          | [||] -> fun () -> data.(tslot).(0)
+          | [| i0 |] -> fun () -> data.(tslot).(idx.(i0) * strides.(tslot).(0))
+          | [| i0; i1 |] ->
+              fun () ->
+                let st = strides.(tslot) in
+                data.(tslot).((idx.(i0) * st.(0)) + (idx.(i1) * st.(1)))
+          | islots ->
+              let r = Array.length islots in
+              fun () ->
+                let st = strides.(tslot) in
+                let off = ref 0 in
+                for k = 0 to r - 1 do
+                  off := !off + (idx.(islots.(k)) * st.(k))
+                done;
+                data.(tslot).(!off))
+      | C_neg e ->
+          let f = build e in
+          fun () -> V.neg (f ())
+      | C_bin (op, a, b) -> (
+          let fa = build a and fb = build b in
+          match op with
+          | Add -> fun () -> V.add (fa ()) (fb ())
+          | Sub -> fun () -> V.sub (fa ()) (fb ())
+          | Mul -> fun () -> V.mul (fa ()) (fb ())
+          | Div -> fun () -> V.div (fa ()) (fb ()))
+      | C_sum ([| r |], C_bin (Mul, C_access a, C_access b)) ->
+          (* fused dot-product loop: the dominant single-reduction shape on
+             the validation path (dot, gemv, gemm rows). Reading both
+             operands directly removes three closure indirections per
+             reduced element. *)
+          let ia = a.islots and ib = b.islots in
+          let ra = Array.length ia and rb = Array.length ib in
+          let ta = a.tslot and tb = b.tslot in
+          fun () ->
+            let n = sizes.(r) in
+            let da = data.(ta) and db = data.(tb) in
+            let sa = strides.(ta) and sb = strides.(tb) in
+            let acc = ref V.zero in
+            for v = 0 to n - 1 do
+              idx.(r) <- v;
+              let offa = ref 0 in
+              for k = 0 to ra - 1 do
+                offa := !offa + (idx.(ia.(k)) * sa.(k))
+              done;
+              let offb = ref 0 in
+              for k = 0 to rb - 1 do
+                offb := !offb + (idx.(ib.(k)) * sb.(k))
+              done;
+              acc := V.add !acc (V.mul da.(!offa) db.(!offb))
+            done;
+            !acc
+      | C_sum ([| r |], inner) ->
+          let f = build inner in
+          fun () ->
+            let n = sizes.(r) in
+            let acc = ref V.zero in
+            for v = 0 to n - 1 do
+              idx.(r) <- v;
+              acc := V.add !acc (f ())
+            done;
+            !acc
+      | C_sum (rs, inner) ->
+          let f = build inner in
+          let nrs = Array.length rs in
+          fun () ->
+            let acc = ref V.zero in
+            let rec loop k =
+              if k = nrs then acc := V.add !acc (f ())
+              else begin
+                let r = rs.(k) in
+                for v = 0 to sizes.(r) - 1 do
+                  idx.(r) <- v;
+                  loop (k + 1)
+                done
+              end
+            in
+            loop 0;
+            !acc
+    in
+    let eval = build plan.root in
+    let rank = Array.length plan.lhs_islots in
+    { plan; data; strides; shapes; resolved; sizes; idx;
+      out_shape = Array.make rank 0; cursor = Array.make rank 0; eval }
+
+  exception Bind_error of string
+
+  (* Per-example binding. Tensors are resolved lazily in left-to-right RHS
+     access order and sizes bound per access axis, reproducing the exact
+     error precedence (and messages) of [Shape.infer_index_sizes] — the
+     QCheck parity property in test_taco relies on this. *)
+  let bind t ~env ~lhs_shape =
+    let p = t.plan in
+    Array.fill t.sizes 0 (Array.length t.sizes) (-1);
+    Array.fill t.resolved 0 (Array.length t.resolved) false;
+    let bind_axis islot size =
+      let cur = t.sizes.(islot) in
+      if cur < 0 then t.sizes.(islot) <- size
+      else if cur <> size then
+        raise
+          (Bind_error
+             (Printf.sprintf "index %s used with conflicting sizes %d and %d"
+                p.index_names.(islot) cur size))
+    in
+    let bind_access tensor shape islots =
+      let r = Array.length islots in
+      if Array.length shape <> r then
+        raise
+          (Bind_error
+             (Printf.sprintf "tensor %s has rank %d but is accessed with %d indices" tensor
+                (Array.length shape) r));
+      for k = 0 to r - 1 do
+        bind_axis islots.(k) shape.(k)
+      done
+    in
+    Array.iter
+      (fun (a : access) ->
+        let name = p.tensor_names.(a.tslot) in
+        if not t.resolved.(a.tslot) then begin
+          match lookup name env with
+          | None -> raise (Bind_error (Printf.sprintf "unknown tensor %s" name))
+          | Some tensor ->
+              t.data.(a.tslot) <- Tensor.unsafe_data tensor;
+              t.strides.(a.tslot) <- Tensor.unsafe_strides tensor;
+              t.shapes.(a.tslot) <- Tensor.unsafe_shape tensor;
+              t.resolved.(a.tslot) <- true
+        end;
+        bind_access name t.shapes.(a.tslot) a.islots)
+      p.accesses;
+    (match lhs_shape with
+    | None -> ()
+    | Some shape -> bind_access p.lhs_name shape p.lhs_islots);
+    Array.iter
+      (fun islot ->
+        if t.sizes.(islot) < 0 then
+          raise
+            (Bind_error
+               (Printf.sprintf "output index %s has no determined extent" p.index_names.(islot))))
+      p.lhs_islots
+
+  (* Row-major enumeration of the output cells. The multi-index is written
+     into the slot array back-to-front so that, when an LHS index repeats
+     (a(i,i) = ...), the first axis wins — matching the reference
+     interpreter's [List.assoc] on its index environment. *)
+  let iter_cells t ~out_shape f =
+    let slots = t.plan.lhs_islots in
+    let rank = Array.length out_shape in
+    let total = Array.fold_left (fun acc d -> acc * d) 1 out_shape in
+    let ix = t.cursor in
+    Array.fill ix 0 rank 0;
+    for flat = 0 to total - 1 do
+      for k = rank - 1 downto 0 do
+        t.idx.(slots.(k)) <- ix.(k)
+      done;
+      f flat;
+      (* odometer increment, last axis fastest *)
+      let k = ref (rank - 1) in
+      let carry = ref true in
+      while !carry && !k >= 0 do
+        ix.(!k) <- ix.(!k) + 1;
+        if ix.(!k) >= out_shape.(!k) then begin
+          ix.(!k) <- 0;
+          decr k
+        end
+        else carry := false
+      done
+    done
+
+  let out_shape_of t = Array.map (fun islot -> t.sizes.(islot)) t.plan.lhs_islots
+
+  let run t ~env ?lhs_shape () =
+    match bind t ~env ~lhs_shape with
+    | exception Bind_error msg -> Error msg
+    | () -> (
+        let out_shape = out_shape_of t in
+        let total = Array.fold_left (fun acc d -> acc * d) 1 out_shape in
+        let out = Array.make total V.zero in
+        try
+          iter_cells t ~out_shape (fun flat -> out.(flat) <- t.eval ());
+          Ok (Tensor.of_flat_array out_shape out)
+        with Division_by_zero -> Error "division by zero")
+
+  let run_equal t ~env ~lhs_shape ~expected =
+    match bind t ~env ~lhs_shape:(Some lhs_shape) with
+    | exception Bind_error _ -> false
+    | () -> (
+        (* [out_shape_of] allocates because [run] hands its result to a
+           tensor; here the shape is only iterated, so reuse the scratch *)
+        let out_shape = t.out_shape in
+        let slots = t.plan.lhs_islots in
+        for k = 0 to Array.length out_shape - 1 do
+          out_shape.(k) <- t.sizes.(slots.(k))
+        done;
+        let total = Array.fold_left (fun acc d -> acc * d) 1 out_shape in
+        if total <> Array.length expected then false
+        else begin
+          let ok = ref true in
+          try
+            (* no early-exit break in iter_cells: cells are cheap and the
+               common case (a wrong substitution) usually fails in the first
+               few cells, so raise to cut the loop *)
+            iter_cells t ~out_shape (fun flat ->
+                if not (V.equal (t.eval ()) expected.(flat)) then begin
+                  ok := false;
+                  raise Exit
+                end);
+            !ok
+          with
+          | Exit -> false
+          | Division_by_zero -> false
+        end)
+end

@@ -1,0 +1,48 @@
+(** The staged TACO evaluator backing template validation.
+
+    {!Interp} re-runs shape inference and reduction annotation per call and
+    resolves every tensor and index variable through association lists per
+    output cell. Validation runs the {e same} concrete program on several
+    I/O examples, so this module splits evaluation into two stages:
+
+    + [compile] lowers a program once — {!Reduction.annotate}, then every
+      tensor name and index variable is interned to an integer slot — into
+      a closure tree over int-indexed scratch arrays;
+    + [run] / [run_equal] bind one example's tensors into the slots (a few
+      list lookups per {e tensor}, zero per cell) and evaluate: per output
+      cell only array reads and exact-rational arithmetic remain.
+
+    [Interp] stays the reference oracle; a QCheck property in [test_taco]
+    checks cell-for-cell agreement, including error messages ([bind]
+    reproduces {!Shape.infer_index_sizes}'s error precedence exactly).
+
+    A compiled program carries mutable per-example scratch: use one [t]
+    per domain (share the program, compile per worker). *)
+
+module Make (V : Stagg_util.Value.S) : sig
+  type t
+
+  (** [compile p] never fails: all shape errors depend on the example
+      environment and surface at [run]/[run_equal] time. *)
+  val compile : Ast.program -> t
+
+  (** The program this evaluator was compiled from. *)
+  val program : t -> Ast.program
+
+  (** Same contract as {!Interp.Make.run}: evaluate under [env], with
+      [lhs_shape] forcing the extents of output-only indices. Errors are
+      the same strings [Interp] produces. *)
+  val run :
+    t ->
+    env:(string * V.t Tensor.t) list ->
+    ?lhs_shape:int array ->
+    unit ->
+    (V.t Tensor.t, string) result
+
+  (** [run_equal t ~env ~lhs_shape ~expected] — does the program, evaluated
+      under [env], produce exactly the flat row-major contents [expected]
+      (of shape [lhs_shape])? Any evaluation error is [false]. Exits at the
+      first mismatching cell — the validator's hot path. *)
+  val run_equal :
+    t -> env:(string * V.t Tensor.t) list -> lhs_shape:int array -> expected:V.t array -> bool
+end

@@ -49,6 +49,10 @@ let of_flat_array shape data =
     invalid_arg "Tensor.of_flat_array: size mismatch";
   { shape = Array.copy shape; strides = compute_strides shape; data = Array.copy data }
 
+let unsafe_data t = t.data
+let unsafe_strides t = t.strides
+let unsafe_shape t = t.shape
+
 let copy t = { t with shape = Array.copy t.shape; data = Array.copy t.data }
 
 let map f t = { shape = Array.copy t.shape; strides = Array.copy t.strides; data = Array.map f t.data }

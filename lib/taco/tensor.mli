@@ -39,6 +39,13 @@ val to_flat_array : 'a t -> 'a array
     @raise Invalid_argument if sizes disagree. *)
 val of_flat_array : int array -> 'a array -> 'a t
 
+(** Zero-copy views of the underlying buffers, for the staged evaluator
+    ({!Compile}): the returned arrays are the tensor's live storage, not
+    copies. Treat them as read-only. *)
+val unsafe_data : 'a t -> 'a array
+
+val unsafe_strides : 'a t -> int array
+val unsafe_shape : 'a t -> int array
 val copy : 'a t -> 'a t
 val map : ('a -> 'b) -> 'a t -> 'b t
 val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool

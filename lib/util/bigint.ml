@@ -195,8 +195,21 @@ let mk sign mag =
   let mag = mag_normalize mag in
   if Array.length mag = 0 then zero else { sign; mag }
 
+(* Interned one-limb values: exact-rational evaluation builds the same
+   small integers over and over, so sharing them makes [of_int]
+   allocation-free on that path. Magnitudes are never mutated, so the
+   shared [mag] arrays are safe; index 0 is unused ([zero] has the unique
+   empty-magnitude representation). *)
+let cache_limit = 1024
+let pos_cache = Array.init cache_limit (fun i -> { sign = 1; mag = [| i |] })
+let neg_cache = Array.init cache_limit (fun i -> { sign = -1; mag = [| i |] })
+
 let of_int n =
   if n = 0 then zero
+  else if n > 0 && n < cache_limit then pos_cache.(n)
+  else if n < 0 && n > -cache_limit then neg_cache.(-n)
+  else if n > -base && n < base then
+    { sign = (if n < 0 then -1 else 1); mag = [| Stdlib.abs n |] }
   else begin
     let sign = if n < 0 then -1 else 1 in
     (* careful with min_int: build magnitude limb by limb using negative
@@ -227,6 +240,12 @@ let to_int t =
     done;
     if !overflow then None else Some (t.sign * !v)
   end
+
+let[@inline] to_small t =
+  match Array.length t.mag with
+  | 0 -> 0
+  | 1 -> t.sign * t.mag.(0)
+  | _ -> Stdlib.min_int
 
 let to_int_exn t =
   match to_int t with Some n -> n | None -> failwith "Bigint.to_int_exn: out of range"
@@ -280,7 +299,8 @@ let compare a b =
   else if a.sign >= 0 then mag_compare a.mag b.mag
   else mag_compare b.mag a.mag
 
-let equal a b = compare a b = 0
+(* interning (see [of_int]) makes physical equality a frequent hit *)
+let equal a b = a == b || compare a b = 0
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 

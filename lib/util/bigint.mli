@@ -20,6 +20,12 @@ val to_int : t -> int option
 (** [to_int_exn t] raises [Failure] if [t] does not fit in a native [int]. *)
 val to_int_exn : t -> int
 
+(** [to_small t] is the value of [t] when its magnitude fits in a single
+    base-2{^30} limb (that is, |t| < 2{^30}), and [min_int] otherwise — an
+    allocation-free probe for {!Rat}'s machine-integer fast path. [min_int]
+    never fits in one limb, so the sentinel is unambiguous. *)
+val to_small : t -> int
+
 (** [of_string s] parses an optionally-signed decimal literal.
     @raise Invalid_argument on malformed input. *)
 val of_string : string -> t

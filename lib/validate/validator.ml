@@ -2,7 +2,7 @@ open Stagg_util
 open Stagg_template
 module Sig = Stagg_minic.Signature
 module Tensor = Stagg_taco.Tensor
-module Tinterp = Stagg_taco.Interp.Make (Value.Rat_value)
+module Tcompile = Stagg_taco.Compile.Make (Value.Rat_value)
 
 type solution = {
   template : Stagg_taco.Ast.program;
@@ -15,11 +15,26 @@ let pp_solution fmt s =
     (Stagg_taco.Pretty.program_to_string s.concrete)
     Subst.pp s.subst
 
-let instantiation_counter = ref 0
-let last_instantiations () = !instantiation_counter
+(* ---- prepared examples ----
 
-(* Does [concrete] reproduce one example? *)
-let satisfies_example ~(signature : Sig.t) (ex : Examples.example) concrete =
+   Everything example-dependent but program-independent — the tensor
+   environment, the output shape, the expected flat output, the cost — is
+   computed once per (signature, examples) and reused across every
+   instantiation. Examples are ordered cheapest-first (fewest cells) so
+   the first counterexample kills a bad substitution as early as
+   possible; the verdict is a conjunction, so the order cannot change
+   it. *)
+
+type prepared_example = {
+  env : (string * Rat.t Tensor.t) list;
+  out_shape : int array;
+  expected : Rat.t array;
+  cost : int;  (** total input + output cells: evaluation work proxy *)
+}
+
+type checker = prepared_example list
+
+let prepare_example ~(signature : Sig.t) (ex : Examples.example) : prepared_example =
   let env =
     List.map
       (fun (name, spec) ->
@@ -30,19 +45,68 @@ let satisfies_example ~(signature : Sig.t) (ex : Examples.example) concrete =
       signature.args
   in
   let out_shape = Sig.shape ~sizes:ex.sizes (Sig.out_spec signature) in
-  match Tinterp.run ~env ~lhs_shape:out_shape concrete with
-  | Error _ -> false
-  | Ok out ->
-      let flat = Tensor.to_flat_array out in
-      Array.length flat = Array.length ex.output
-      && Tensor.shape out = out_shape
-      && Array.for_all2 Rat.equal flat ex.output
+  let cost =
+    Array.length ex.output
+    + List.fold_left (fun acc (_, t) -> acc + Tensor.size t) 0 env
+  in
+  { env; out_shape; expected = ex.output; cost }
 
-let check_concrete ~signature ~examples p =
-  List.for_all (fun ex -> satisfies_example ~signature ex p) examples
+let prepare ~signature ~examples : checker =
+  List.stable_sort
+    (fun a b -> compare a.cost b.cost)
+    (List.map (prepare_example ~signature) examples)
 
-let validate ~signature ~examples ~consts ?(verify = fun _ -> true) template =
-  instantiation_counter := 0;
+(* Does [concrete] reproduce every prepared example? Compiled once, then
+   each example is slot binding plus an early-exit cell comparison. *)
+let check_compiled compiled prepared =
+  List.for_all
+    (fun pe -> Tcompile.run_equal compiled ~env:pe.env ~lhs_shape:pe.out_shape ~expected:pe.expected)
+    prepared
+
+let check prepared p = check_compiled (Tcompile.compile p) prepared
+
+let check_concrete ~signature ~examples p = check (prepare ~signature ~examples) p
+
+(* ---- the cross-sweep validation memo ----
+
+   The ~20 method sweeps of a campaign share one candidate prefix per
+   benchmark, so their searches keep producing the same concrete
+   programs. The example verdict is a deterministic function of
+   (benchmark examples, concrete program) — examples are derived from the
+   campaign seed — so it is safe to share across sweeps and across
+   domains: memoized or recomputed, the verdict is identical, which keeps
+   the harness's any-[--jobs N] determinism guarantee. Keyed by the
+   caller-supplied [memo_key] (benchmark + example seed) plus the printed
+   concrete program; guarded by a mutex like [Bench.func_cache]. Only the
+   example verdict is memoized — never the [verify] (BMC) outcome, which
+   is a per-method choice. *)
+
+let memo : (string, bool) Hashtbl.t = Hashtbl.create 4096
+let memo_lock = Mutex.create ()
+let memo_enabled = Atomic.make true
+let set_memo_enabled b = Atomic.set memo_enabled b
+let clear_memo () = Mutex.protect memo_lock (fun () -> Hashtbl.reset memo)
+let memo_size () = Mutex.protect memo_lock (fun () -> Hashtbl.length memo)
+
+(* backstop against unbounded growth on very long campaigns *)
+let memo_max = 500_000
+
+let memo_find key = Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key)
+
+let memo_add key v =
+  Mutex.protect memo_lock (fun () ->
+      if Hashtbl.length memo < memo_max then Hashtbl.replace memo key v)
+
+(* Instantiation observability: the count is accumulated per call (no
+   shared counter on the hot path — the old global [ref] raced under the
+   domain pool) and the last count is published to an atomic for the
+   sequential [last_instantiations] API. *)
+
+let last_count = Atomic.make 0
+let last_instantiations () = Atomic.get last_count
+
+let validate_counted ~signature ~examples ~consts ?(verify = fun _ -> true) ?memo_key template =
+  let prepared = prepare ~signature ~examples in
   let args =
     List.map
       (fun (name, spec) ->
@@ -54,14 +118,33 @@ let validate ~signature ~examples ~consts ?(verify = fun _ -> true) template =
       signature.Sig.args
   in
   let out_rank = Sig.rank_of_spec (Sig.out_spec signature) in
-  let substs =
-    Subst.enumerate ~template ~out:signature.out ~out_rank ~args ~consts
+  let substs = Subst.enumerate ~template ~out:signature.out ~out_rank ~args ~consts in
+  let count = ref 0 in
+  let solution =
+    List.find_map
+      (fun subst ->
+        let concrete = Subst.instantiate template subst in
+        incr count;
+        let passes =
+          match memo_key with
+          | Some mk when Atomic.get memo_enabled -> (
+              let key = mk ^ "|" ^ Stagg_taco.Pretty.program_to_string concrete in
+              match memo_find key with
+              | Some v -> v
+              | None ->
+                  let v = check prepared concrete in
+                  memo_add key v;
+                  v)
+          | _ -> check prepared concrete
+        in
+        if passes && verify concrete then Some { template; subst; concrete } else None)
+      substs
   in
-  List.find_map
-    (fun subst ->
-      let concrete = Subst.instantiate template subst in
-      incr instantiation_counter;
-      if List.for_all (fun ex -> satisfies_example ~signature ex concrete) examples then
-        if verify concrete then Some { template; subst; concrete } else None
-      else None)
-    substs
+  (solution, !count)
+
+let validate ~signature ~examples ~consts ?verify ?memo_key template =
+  let solution, count =
+    validate_counted ~signature ~examples ~consts ?verify ?memo_key template
+  in
+  Atomic.set last_count count;
+  solution

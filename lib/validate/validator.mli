@@ -6,7 +6,11 @@
     concrete TACO program on the I/O examples. The first instantiation
     that satisfies every example — and, when a [verify] hook is supplied,
     passes bounded verification (§7: on verification failure the validator
-    keeps exploring substitutions) — is returned. *)
+    keeps exploring substitutions) — is returned.
+
+    Execution is staged ({!Stagg_taco.Compile}): each instantiation is
+    compiled once and reused across all examples, and examples are checked
+    cheapest-first with an early exit at the first mismatching cell. *)
 
 open Stagg_util
 
@@ -18,22 +22,64 @@ type solution = {
 
 val pp_solution : Format.formatter -> solution -> unit
 
-(** Number of instantiations executed by the last [validate] call
-    (observability for the experiment harness). *)
+(** Number of instantiations executed by the last [validate] call on any
+    domain (observability for sequential callers and tests; under a domain
+    pool use {!validate_counted} for a race-free per-call count). *)
 val last_instantiations : unit -> int
 
+(** [validate ~signature ~examples ~consts ?verify ?memo_key template] —
+    first substitution (if any) whose instantiation reproduces every
+    example and passes [verify].
+
+    [memo_key] opts into the process-wide validation memo: example
+    verdicts are cached under [(memo_key, printed concrete program)] and
+    shared across the campaign's method sweeps (and worker domains). The
+    key must determine the examples — the harness uses
+    ["bench#example-seed"]. Verdicts are deterministic functions of the
+    key, so memoized and recomputed runs are observably identical. The
+    [verify] outcome is never memoized. *)
 val validate :
   signature:Stagg_minic.Signature.t ->
   examples:Examples.example list ->
   consts:Rat.t list ->
   ?verify:(Stagg_taco.Ast.program -> bool) ->
+  ?memo_key:string ->
   Stagg_taco.Ast.program ->
   solution option
 
-(** [check_concrete ~signature ~examples p] — does the {e concrete} TACO
-    program [p] (over the C parameter names) reproduce every example?
-    Used by baselines that enumerate concrete programs directly
-    (C2TACO-style I/O testing). *)
+(** As {!validate}, and also returns how many instantiations this call
+    executed (race-free under the domain pool, unlike
+    {!last_instantiations}). *)
+val validate_counted :
+  signature:Stagg_minic.Signature.t ->
+  examples:Examples.example list ->
+  consts:Rat.t list ->
+  ?verify:(Stagg_taco.Ast.program -> bool) ->
+  ?memo_key:string ->
+  Stagg_taco.Ast.program ->
+  solution option * int
+
+(** Globally enable/disable the validation memo (default: enabled). The
+    determinism test runs the suite both ways and compares. *)
+val set_memo_enabled : bool -> unit
+
+val clear_memo : unit -> unit
+val memo_size : unit -> int
+
+(** A prepared example set: per-example tensor environments, expected
+    outputs and cheapest-first ordering, computed once. For callers that
+    check many concrete programs against the same examples
+    (C2TACO's enumeration). *)
+type checker
+
+val prepare :
+  signature:Stagg_minic.Signature.t -> examples:Examples.example list -> checker
+
+(** [check ck p] — does the {e concrete} TACO program [p] (over the C
+    parameter names) reproduce every example? *)
+val check : checker -> Stagg_taco.Ast.program -> bool
+
+(** [check_concrete ~signature ~examples p] = [check (prepare ...) p]. *)
 val check_concrete :
   signature:Stagg_minic.Signature.t ->
   examples:Examples.example list ->

@@ -40,6 +40,9 @@ let fake name solved time =
     attempts = 1;
     expansions = 1;
     n_candidates = 0;
+    validate_s = 0.;
+    verify_s = 0.;
+    instantiations = 1;
     failure = None;
   }
 

@@ -88,6 +88,65 @@ let test_remove_tail () =
       | None -> Alcotest.fail "to_program")
   | None -> Alcotest.fail "remove_tail failed"
 
+(* property: the incremental annotation carried through the A* queue agrees
+   with a full rescan at every expansion, on random walks through top-down
+   and bottom-up grammars (distinct_ops compared as sets — the incremental
+   path may discover the same ops in a different first-appearance order) *)
+let test_incremental_metrics_agree () =
+  let grammars =
+    [
+      ("gemv td", gemv_grammar ());
+      ( "multi td",
+        Gen_topdown.generate ~dim_list:[ 1; 2; 1; 0 ]
+          ~templates:
+            (templates_of
+               [ "a(i) = b(i,j) * c(j)"; "a(i) = b(i,j) * c(j) + d"; "a(i) = 2 * c(i)" ]) );
+      ( "dot bu",
+        Gen_bottomup.generate ~dim_list:[ 0; 1; 1 ]
+          ~templates:(templates_of [ "a = b(i) * c(i)" ]) );
+    ]
+  in
+  let seed = ref 20250806 in
+  let next_int bound =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod bound
+  in
+  let sorted_ops m = List.sort compare m.Node.distinct_ops in
+  List.iter
+    (fun (label, g) ->
+      let safe = Node.incremental_safe g in
+      check_bool (label ^ ": grammar is incremental-safe") true safe;
+      for _walk = 1 to 20 do
+        let rec go ann x steps =
+          if steps > 0 then
+            match Node.expansions g x with
+            | [] -> ()
+            | exps ->
+                List.iter
+                  (fun ((r : Cfg.rule), x') ->
+                    let inc = Node.expand_metrics g ann r in
+                    let scan = Node.annotate g x' in
+                    let im = inc.Node.metrics and sm = scan.Node.metrics in
+                    check_bool (label ^ ": leaves") true
+                      (im.Node.tensor_leaves = sm.Node.tensor_leaves);
+                    check_int (label ^ ": n_tensors") sm.Node.n_tensors im.Node.n_tensors;
+                    check_int (label ^ ": n_unique") sm.Node.n_unique im.Node.n_unique;
+                    check_bool (label ^ ": has_const_leaf") sm.Node.has_const_leaf
+                      im.Node.has_const_leaf;
+                    check_bool (label ^ ": distinct_ops") true (sorted_ops im = sorted_ops sm);
+                    check_bool (label ^ ": complete") sm.Node.complete im.Node.complete;
+                    check_int (label ^ ": n_open") scan.Node.n_open inc.Node.n_open;
+                    check_bool (label ^ ": opens") true
+                      (List.equal String.equal scan.Node.opens inc.Node.opens))
+                  exps;
+                let r, x' = List.nth exps (next_int (List.length exps)) in
+                go (Node.expand_metrics g ann r) x' (steps - 1)
+        in
+        let x0 = Node.initial g in
+        go (Node.annotate g x0) x0 12
+      done)
+    grammars
+
 (* ---- penalties ---- *)
 
 let ctx ?(enabled = Penalty.all_topdown) ?(dims = [ 1; 2; 1 ]) ?(ops = [ Ast.Mul ]) ?(const = false) () =
@@ -125,7 +184,6 @@ let test_penalty_a3_sorted () =
       has_const_leaf = false;
       distinct_ops = [ Ast.Mul ];
       complete = true;
-      depth = 2;
     }
   in
   check_bool "sorted ok" true (Penalty.score (ctx ~enabled:[ Penalty.A3 ] ()) m ~program:None = 0.);
@@ -145,7 +203,6 @@ let test_penalty_a4 () =
       has_const_leaf = false;
       distinct_ops = [ Ast.Add ];
       complete = true;
-      depth = 2;
     }
   in
   let p_add = parse "a = b(i) + b(i)" in
@@ -166,7 +223,6 @@ let test_penalty_a5_b2 () =
       has_const_leaf = false;
       distinct_ops = [];
       complete = true;
-      depth = 1;
     }
   in
   (* no ops used, two available → fewer than half *)
@@ -190,7 +246,6 @@ let test_penalty_a1 () =
       has_const_leaf = false;
       distinct_ops = [ Ast.Add ];
       complete = false;
-      depth = 3;
     }
   in
   (* grammar has Const, length > 3, fewer than 2 tensors with index i... the
@@ -209,7 +264,6 @@ let test_penalty_disabled () =
       has_const_leaf = false;
       distinct_ops = [];
       complete = true;
-      depth = 2;
     }
   in
   check_bool "everything off scores 0" true
@@ -338,6 +392,8 @@ let () =
           Alcotest.test_case "depth (§5.1 examples)" `Quick test_node_depth_paper_examples;
           Alcotest.test_case "metrics" `Quick test_node_metrics;
           Alcotest.test_case "remove_tail" `Quick test_remove_tail;
+          Alcotest.test_case "incremental metrics agree with rescan" `Quick
+            test_incremental_metrics_agree;
         ] );
       ( "penalty",
         [

@@ -263,6 +263,71 @@ let qcheck_lower_equals_interp =
               | Error _ -> false
               | Ok via_kernel -> Tensor.equal Rat.equal via_interp via_kernel)))
 
+(* ---- staged compilation ---- *)
+
+module C = Compile.Make (Value.Rat_value)
+
+(* property: the staged evaluator agrees with the reference interpreter
+   cell-for-cell on random programs — and error-for-error: the generator
+   deliberately mixes in atoms that force each failure class (unknown
+   tensor [u], rank mismatch [b(i)], conflicting index sizes
+   [c(j) vs d(j)], unbound output index [a(k) = ...], division by zero
+   [/ z(j)]), and the two evaluators must produce identical messages *)
+let qcheck_compile_equals_interp =
+  let arb =
+    let open QCheck.Gen in
+    let atoms =
+      [
+        "b(i,j)"; "c(j)"; "d(i)"; "s"; "2"; "b(i,j) * c(j)"; "d(i) * s"; "c(j) * c(j)";
+        "u(i)"; "b(i)"; "d(j)"; "c(j) / z(j)"; "- d(i)";
+      ]
+    in
+    let op = oneofl [ "+"; "-"; "*"; "/" ] in
+    let rhs =
+      oneof
+        [ oneofl atoms; map3 (fun a o b -> a ^ " " ^ o ^ " " ^ b) (oneofl atoms) op (oneofl atoms) ]
+    in
+    let lhs = oneofl [ "a(i)"; "a"; "a(i,j)"; "a(k)" ] in
+    QCheck.make (map2 (fun l r -> l ^ " = " ^ r) lhs rhs) ~print:(fun s -> s)
+  in
+  QCheck.Test.make ~name:"staged evaluator agrees with the interpreter, including errors"
+    ~count:500 arb (fun src ->
+      let p = parse src in
+      let env =
+        [
+          ("b", t2 2 3 [| 1; 2; 3; 4; 5; 6 |]);
+          ("c", t1 [| 7; 8; 9 |]);
+          ("d", t1 [| 10; 11 |]);
+          ("s", Tensor.scalar (rat 3));
+          ("z", t1 [| 0; 5; 7 |]);
+        ]
+      in
+      let compiled = C.compile p in
+      match (I.run ~env p, C.run compiled ~env ()) with
+      | Ok ti, Ok tc ->
+          Tensor.shape ti = Tensor.shape tc
+          && Tensor.equal Rat.equal ti tc
+          && C.run_equal compiled ~env ~lhs_shape:(Tensor.shape ti)
+               ~expected:(Tensor.to_flat_array ti)
+          &&
+          (* and [run_equal] rejects a perturbed expectation *)
+          let wrong = Tensor.to_flat_array ti in
+          wrong.(0) <- Rat.add wrong.(0) Rat.one;
+          not (C.run_equal compiled ~env ~lhs_shape:(Tensor.shape ti) ~expected:wrong)
+      | Error e1, Error e2 -> String.equal e1 e2
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let test_compile_repeated_lhs_index () =
+  (* a(i,i) writes the diagonal; the first axis wins in the interpreter's
+     index environment, and the compiled iteration must match *)
+  let src = "a(i,i) = b(i,j) * c(j)" in
+  let env = [ ("b", t2 2 3 [| 1; 2; 3; 4; 5; 6 |]); ("c", t1 [| 7; 8; 9 |]) ] in
+  let p = parse src in
+  let lhs_shape = [| 2; 2 |] in
+  let ti = Result.get_ok (I.run ~env ~lhs_shape p) in
+  let tc = Result.get_ok (C.run (C.compile p) ~env ~lhs_shape ()) in
+  check_bool "diagonal agreement" true (Tensor.equal Rat.equal ti tc)
+
 let test_kernel_to_c_renders () =
   let k = Lower.lower_exn (parse "a(i) = b(i,j) * c(j)") in
   let c = Ir.kernel_to_c ~name:"gemv" k in
@@ -311,5 +376,10 @@ let () =
           Alcotest.test_case "kernel equals interpreter" `Quick test_lower_matches_interp_cases;
           Alcotest.test_case "kernel_to_c renders" `Quick test_kernel_to_c_renders;
           qc qcheck_lower_equals_interp;
+        ] );
+      ( "compile",
+        [
+          Alcotest.test_case "repeated LHS index" `Quick test_compile_repeated_lhs_index;
+          qc qcheck_compile_equals_interp;
         ] );
     ]
