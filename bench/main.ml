@@ -9,7 +9,9 @@
     of N domains (default: [Domain.recommended_domain_count () - 1];
     [--jobs 1] reproduces the sequential harness exactly, modulo
     timing); pass [--json FILE] to also write the machine-readable
-    summary as JSON for perf-trajectory tracking. *)
+    summary as JSON for perf-trajectory tracking; pass [--smoke] for
+    the <60s artificial-suite CI sweep ([dune build @smoke] runs it and
+    diffs the JSON against the committed expectations). *)
 
 module Experiments = Stagg_report.Experiments
 
@@ -109,9 +111,65 @@ let run_bechamel ~jobs () =
   in
   List.iter print_string (Stagg_util.Pool.map ~jobs measure (bechamel_tests ()))
 
+(* ---- smoke mode: a <60s CI sweep over the artificial suite ----
+
+   Runs the two head-to-head methods plus the (slowest) FullGrammar
+   configurations over the 10 artificial queries only. Everything
+   emitted — solved counts, attempt totals — is deterministic, so the
+   [--json] output can be diffed byte-for-byte against the committed
+   [bench/smoke_expected.json] (the [@smoke] dune alias does exactly
+   that); a drift means a search-behavior change, not noise. *)
+
+let smoke_methods =
+  [
+    Stagg.Method_.stagg_td;
+    Stagg.Method_.stagg_bu;
+    Stagg.Method_.td_full_grammar;
+    Stagg.Method_.bu_full_grammar;
+  ]
+
+let smoke_json rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"suite\": \"artificial\",\n  \"methods\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (label, rs) ->
+      let solved = List.length (List.filter (fun (r : Stagg.Result_.t) -> r.solved) rs) in
+      let attempts = List.fold_left (fun a (r : Stagg.Result_.t) -> a + r.attempts) 0 rs in
+      Printf.bprintf buf
+        "    { \"method\": %S, \"solved\": %d, \"total\": %d, \"total_attempts\": %d }%s\n"
+        label solved (List.length rs) attempts
+        (if i = n - 1 then "" else ","))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let run_smoke ~json_file () =
+  let benches = Stagg_benchsuite.Suite.artificial in
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    List.map
+      (fun (m : Stagg.Method_.t) -> (m.label, Stagg.Pipeline.run_suite m benches))
+      smoke_methods
+  in
+  Printf.printf "== smoke sweep (artificial suite, %d queries) ==\n" (List.length benches);
+  List.iter
+    (fun (label, rs) ->
+      let solved = List.length (List.filter (fun (r : Stagg.Result_.t) -> r.solved) rs) in
+      Printf.printf "  %-24s solved %2d/%d\n" label solved (List.length rs))
+    rows;
+  Printf.printf "smoke wall: %.1fs\n" (Unix.gettimeofday () -. t0);
+  match json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (smoke_json rows);
+      close_out oc;
+      Printf.eprintf "[bench] wrote %s\n%!" file
+
 let usage () =
   prerr_endline
-    "usage: main.exe [--skip-ablations] [--skip-bechamel] [--jobs N | -j N] [--json FILE]";
+    "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--jobs N | -j N] [--json FILE]";
   exit 2
 
 let () =
@@ -123,10 +181,14 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let skip_ablations = ref false
   and skip_bechamel = ref false
+  and smoke = ref false
   and jobs = ref (Stagg_util.Pool.default_jobs ())
   and json_file = ref None in
   let rec parse = function
     | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
     | "--skip-ablations" :: rest ->
         skip_ablations := true;
         parse rest
@@ -152,6 +214,10 @@ let () =
         usage ()
   in
   parse args;
+  if !smoke then begin
+    run_smoke ~json_file:!json_file ();
+    exit 0
+  end;
   let skip_ablations = !skip_ablations and skip_bechamel = !skip_bechamel and jobs = !jobs in
   let progress msg = Printf.eprintf "[bench] %s\n%!" msg in
   let t0 = Unix.gettimeofday () in

@@ -18,6 +18,7 @@ type t = {
   penalties : Penalty.criterion list;
   budget : Astar.budget;
   max_depth : int;  (** top-down depth limit (§5.1) *)
+  dedup : Astar.dedup;  (** frontier/seen dedup scheme (fingerprints by default) *)
   verify : bool;  (** bounded verification of validated candidates (§7) *)
   seed : int;  (** drives the mock LLM and example generation *)
 }
@@ -35,6 +36,7 @@ let base search grammar penalties label =
     penalties;
     budget = default_budget;
     max_depth = 6;
+    dedup = Astar.Fingerprint;
     verify = true;
     seed = 20250604;
   }

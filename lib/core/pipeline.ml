@@ -214,10 +214,10 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
             match m.search with
             | Method_.Top_down ->
                 Astar.search_topdown ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
-                  ~max_depth:m.max_depth ~budget:m.budget ~validate ()
+                  ~max_depth:m.max_depth ~dedup:m.dedup ~budget:m.budget ~validate ()
             | Method_.Bottom_up ->
                 Astar.search_bottomup ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
-                  ~dim_list:prep.dim_list ~budget:m.budget ~validate ()
+                  ~dim_list:prep.dim_list ~dedup:m.dedup ~budget:m.budget ~validate ()
           in
           let stats = Astar.stats_of outcome in
           match outcome with
@@ -227,7 +227,10 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
           | Astar.Exhausted _ ->
               finish ~solved:false ~solution:None ~attempts:stats.attempts
                 ~expansions:stats.expansions ~n_candidates ~failure:(Some "search space exhausted")
-          | Astar.Budget_exceeded _ ->
+          | Astar.Budget_exceeded (Astar.Timeout, _) ->
+              finish ~solved:false ~solution:None ~attempts:stats.attempts
+                ~expansions:stats.expansions ~n_candidates ~failure:(Some "timeout")
+          | Astar.Budget_exceeded (_, _) ->
               finish ~solved:false ~solution:None ~attempts:stats.attempts
                 ~expansions:stats.expansions ~n_candidates ~failure:(Some "budget exceeded")))
 

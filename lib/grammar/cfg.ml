@@ -18,6 +18,7 @@ type t = {
   rules : rule array;
   by_lhs : (string, rule list) Hashtbl.t;
   categories : (string * category) list;
+  lhs_cat : category array;  (** per-rule category of the lhs nonterminal *)
 }
 
 let term_to_string = function
@@ -59,7 +60,15 @@ let make ~start ~categories ?(concrete_syntax = []) prods =
   Array.iter
     (fun r -> List.iter (function NT n -> check_nt n | T _ -> ()) r.rhs)
     rules;
-  { start; rules; by_lhs; categories }
+  let lhs_cat =
+    (* every lhs of a reachable rule is categorized (checked above for the
+       start symbol and all rhs nonterminals); default only pads rules that
+       can never appear in a derivation tree *)
+    Array.map
+      (fun r -> Option.value ~default:Cat_program (List.assoc_opt r.lhs categories))
+      rules
+  in
+  { start; rules; by_lhs; categories; lhs_cat }
 
 let start g = g.start
 let rules g = g.rules
@@ -72,6 +81,7 @@ let category g n =
   | Some c -> c
   | None -> invalid_arg (Printf.sprintf "Cfg.category: unknown nonterminal %s" n)
 
+let rule_lhs_cat g id = g.lhs_cat.(id)
 let size g = Array.length g.rules
 
 let pp fmt g =

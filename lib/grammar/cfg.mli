@@ -54,6 +54,12 @@ val rules_for : t -> string -> rule list
 val nonterminals : t -> string list
 val category : t -> string -> category
 
+(** [rule_lhs_cat g id] — the category of rule [id]'s left-hand side,
+    precomputed at {!make} time: an O(1) array read where
+    [category g (rule g id).lhs] walks the category alist. The search's
+    depth computation sits on this in its pop loop. *)
+val rule_lhs_cat : t -> int -> category
+
 (** Number of rules. *)
 val size : t -> int
 

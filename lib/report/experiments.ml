@@ -47,6 +47,10 @@ let sweep_prepared ?jobs m (cache : prep) =
   Pool.map ?jobs (fun (q, pr) -> Pipeline.lift_prefixed m q pr) cache
 
 let sweep_timed ~progress label f =
+  (* settle the heap before timing: without this, a sweep pays major-GC
+     marking for the previous sweep's garbage (frontiers run to ~10⁶ live
+     entries), and the per-sweep times depend on sweep order *)
+  Gc.compact ();
   let t0 = Unix.gettimeofday () in
   let r = f () in
   progress

@@ -8,9 +8,22 @@ let default_budget = { max_attempts = 2_000; max_expansions = 200_000; timeout_s
 
 type stats = { attempts : int; expansions : int; elapsed_s : float }
 
-type 'sol outcome = Solved of 'sol * stats | Exhausted of stats | Budget_exceeded of stats
+type stop_reason = Attempts | Expansions | Frontier | Timeout
 
-let stats_of = function Solved (_, s) | Exhausted s | Budget_exceeded s -> s
+let stop_reason_to_string = function
+  | Attempts -> "attempts"
+  | Expansions -> "expansions"
+  | Frontier -> "frontier"
+  | Timeout -> "timeout"
+
+type 'sol outcome =
+  | Solved of 'sol * stats
+  | Exhausted of stats
+  | Budget_exceeded of stop_reason * stats
+
+let stats_of = function Solved (_, s) | Exhausted s | Budget_exceeded (_, s) -> s
+
+type dedup = Fingerprint | Pretty_key
 
 (* A frontier element carries everything the pop side needs — path cost,
    metrics, and (for complete trees) the rebuilt program. Incomplete
@@ -31,44 +44,76 @@ type entry = {
   program : Stagg_taco.Ast.program option;  (** Some iff complete *)
 }
 
+(* [Ghost] replays the pop of a complete duplicate of an
+   already-validated template without carrying (or ever building) the
+   tree: its pop only counts an expansion, exactly what the popped
+   duplicate would have done. *)
+type item = Entry of entry | Ghost
+
 let materialize = function Built x -> x | Expand (p, r) -> Node.expand1 p r
 
 type 'sol engine = {
   pcfg : Pcfg.t;
-  penalty_ctx : Penalty.ctx;
+  penalty : Penalty.compiled;
   budget : budget;
   validate : Stagg_taco.Ast.program -> 'sol option;
-  queue : entry Pqueue.t;  (** priority f(x) *)
-  seen : (string, unit) Hashtbl.t;  (** validated templates, printed form *)
+  queue : item Pqueue.t;  (** priority f(x) *)
+  dedup : dedup;
+  seen_fp : (int, unit) Hashtbl.t;  (** validated templates, fingerprints *)
+  seen_str : (string, unit) Hashtbl.t;  (** validated templates, printed form (legacy mode) *)
+  pen_memo : (int, float) Hashtbl.t;
+      (** fingerprint → penalty a complete template was pushed with; lets a
+          duplicate's ghost reconstruct the same f without rescoring *)
+  fps : Node.fingerprints;
+  rule_cost : float array;  (** [Pcfg.cost] per rule, precomputed *)
+  h_memo : (string, float) Hashtbl.t;  (** [Pcfg.h_cost] per nonterminal, precomputed *)
   inc_safe : bool;  (** grammar admits incremental metrics *)
   started : float;
   mutable attempts : int;
   mutable expansions : int;
   mutable timed_out : bool;  (** latched by the periodic clock check *)
+  mutable stop : stop_reason;  (** which limit fired, for [Budget_exceeded] *)
 }
 
-let make_engine ~pcfg ~penalty_ctx ~budget ~validate =
+let make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup =
   let g = Pcfg.cfg pcfg in
   let queue = Pqueue.create () in
   let x0 = Node.initial g in
-  Pqueue.push queue 0. { c = 0.; tree = Built x0; ann = Node.annotate g x0; program = None };
+  let fps = Node.fingerprints g in
+  Pqueue.push queue 0.
+    (Entry { c = 0.; tree = Built x0; ann = Node.annotate g fps x0; program = None });
+  let rule_cost = Array.init (Cfg.size g) (fun id -> Pcfg.cost pcfg (Cfg.rule g id)) in
+  let h_memo = Hashtbl.create 16 in
+  List.iter (fun nt -> Hashtbl.replace h_memo nt (Pcfg.h_cost pcfg nt)) (Cfg.nonterminals g);
   {
     pcfg;
-    penalty_ctx;
+    penalty = Penalty.compile penalty_ctx;
     budget;
     validate;
     queue;
-    seen = Hashtbl.create 64;
+    dedup;
+    seen_fp = Hashtbl.create 64;
+    seen_str = Hashtbl.create 64;
+    pen_memo = Hashtbl.create 64;
+    fps;
+    rule_cost;
+    h_memo;
     inc_safe = Node.incremental_safe g;
     started = Unix.gettimeofday ();
     attempts = 0;
     expansions = 0;
     timed_out = false;
+    stop = Expansions;
   }
 
 let elapsed e = Unix.gettimeofday () -. e.started
 
 let stats e = { attempts = e.attempts; expansions = e.expansions; elapsed_s = elapsed e }
+
+(* Same per-nonterminal values and the same left-to-right summation as
+   [Node.g_cost_opens], with the log₂ precomputed per nonterminal. *)
+let g_opens e opens =
+  List.fold_left (fun acc nt -> acc +. Hashtbl.find e.h_memo nt) 0. opens
 
 (* The frontier is also capped: a queue of this size means the heuristic
    has stopped discriminating and memory would grow without bound. *)
@@ -79,25 +124,52 @@ let max_frontier = 1_500_000
    [gettimeofday] syscall is polled every 64 pops and latched, keeping it
    out of the hot loop. *)
 let over_budget e =
-  e.attempts >= e.budget.max_attempts
-  || e.expansions >= e.budget.max_expansions
-  || Pqueue.length e.queue > max_frontier
-  ||
-  (if (not e.timed_out) && e.expansions land 63 = 0 then
-     e.timed_out <- elapsed e > e.budget.timeout_s;
-   e.timed_out)
+  if e.attempts >= e.budget.max_attempts then begin
+    e.stop <- Attempts;
+    true
+  end
+  else if e.expansions >= e.budget.max_expansions then begin
+    e.stop <- Expansions;
+    true
+  end
+  else if Pqueue.length e.queue > max_frontier then begin
+    e.stop <- Frontier;
+    true
+  end
+  else begin
+    if (not e.timed_out) && e.expansions land 63 = 0 then
+      e.timed_out <- elapsed e > e.budget.timeout_s;
+    if e.timed_out then e.stop <- Timeout;
+    e.timed_out
+  end
 
 (* Validate an already-rebuilt program. Duplicate templates — the EXPR OP
    EXPR rule makes the grammar ambiguous, and associative duplicates print
-   identically — are validated once. *)
-let try_validate e (program : Stagg_taco.Ast.program option) : 'sol option =
+   identically — are validated once. The probe keys on the tree's
+   fingerprint (O(1), no printing); [Pretty_key] mode keeps the printed
+   form as the key for differential testing against the legacy scheme. *)
+let try_validate e ~fp (program : Stagg_taco.Ast.program option) : 'sol option =
   match program with
   | None -> None
   | Some p ->
-      let key = Pretty.program_to_string p in
-      if Hashtbl.mem e.seen key then None
+      let dup =
+        match e.dedup with
+        | Fingerprint ->
+            if Hashtbl.mem e.seen_fp fp then true
+            else begin
+              Hashtbl.add e.seen_fp fp ();
+              false
+            end
+        | Pretty_key ->
+            let key = Pretty.program_to_string p in
+            if Hashtbl.mem e.seen_str key then true
+            else begin
+              Hashtbl.add e.seen_str key ();
+              false
+            end
+      in
+      if dup then None
       else begin
-        Hashtbl.add e.seen key ();
         e.attempts <- e.attempts + 1;
         e.validate p
       end
@@ -111,76 +183,134 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
   match parent.ann.Node.opens with
   | [] -> ()
   | nt :: _ ->
+      (* Sibling children whose rule adds no nonterminals all share the
+         parent's tail as their opens list — physically, thanks to the
+         incremental extension — and tensor/operator nonterminals expand by
+         dozens of such rules. A one-slot cache keyed on physical identity
+         computes their (identical, float-for-float) g once per expansion
+         instead of once per rule. *)
+      let g_cache : (string list * float) option ref = ref None in
+      let g_of opens =
+        match !g_cache with
+        | Some (k, v) when k == opens -> v
+        | _ ->
+            let v = g_opens e opens in
+            g_cache := Some (opens, v);
+            v
+      in
       List.iter
         (fun (r : Cfg.rule) ->
-          let rc = Pcfg.cost e.pcfg r in
+          let rc = e.rule_cost.(r.id) in
           if rc < infinity then begin
             let c' = parent.c +. rc in
-            let tree, ann, program =
-              if e.inc_safe then begin
-                let ann = Node.expand_metrics g parent.ann r in
-                if ann.Node.metrics.complete then
-                  let x' = Node.expand1 px r in
-                  (Built x', ann, Node.to_program g x')
-                else (Expand (px, r), ann, None)
-              end
-              else begin
-                let x' = Node.expand1 px r in
-                let ann = Node.annotate g x' in
-                let program =
-                  if ann.Node.metrics.complete then Node.to_program g x' else None
-                in
-                (Built x', ann, program)
-              end
+            let inc_ann =
+              if e.inc_safe then Some (Node.expand_metrics e.fps parent.ann r) else None
             in
-            let pen = Penalty.score e.penalty_ctx ann.Node.metrics ~program in
-            if pen < infinity then begin
-              let f = c' +. Node.g_cost_opens e.pcfg ann.Node.opens +. pen in
-              Pqueue.push e.queue f { c = c'; tree; ann; program }
+            let ghosted =
+              (* pre-probe duplicate suppressor: a complete child whose
+                 fingerprint has already been validated will be a dead pop,
+                 so push a ghost in its place — no tree, no program
+                 rebuild, no penalty rescore. [pen_memo] holds the penalty
+                 its first twin was pushed with (equal template ⇒ equal
+                 metrics and AST ⇒ equal penalty), making the ghost's f
+                 bit-identical to the suppressed entry's. *)
+              match inc_ann with
+              | Some ann
+                when e.dedup = Fingerprint
+                     && ann.Node.metrics.complete
+                     && Hashtbl.mem e.seen_fp ann.Node.fp -> (
+                  match Hashtbl.find_opt e.pen_memo ann.Node.fp with
+                  | Some pen ->
+                      Pqueue.push e.queue (c' +. 0. +. pen) Ghost;
+                      true
+                  | None -> false)
+              | _ -> false
+            in
+            if not ghosted then begin
+              let tree, ann, program =
+                match inc_ann with
+                | Some ann ->
+                    if ann.Node.metrics.complete then
+                      let x' = Node.expand1 px r in
+                      (Built x', ann, Node.to_program g x')
+                    else (Expand (px, r), ann, None)
+                | None ->
+                    let x' = Node.expand1 px r in
+                    let ann = Node.annotate g e.fps x' in
+                    let program =
+                      if ann.Node.metrics.complete then Node.to_program g x' else None
+                    in
+                    (Built x', ann, program)
+              in
+              let pen = Penalty.score_compiled e.penalty ann.Node.metrics ~program in
+              if pen < infinity then begin
+                if e.dedup = Fingerprint && ann.Node.metrics.complete then
+                  Hashtbl.replace e.pen_memo ann.Node.fp pen;
+                let f = c' +. g_of ann.Node.opens +. pen in
+                Pqueue.push e.queue f (Entry { c = c'; tree; ann; program })
+              end
             end
           end)
         (Cfg.rules_for g nt)
 
-let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ~budget ~validate () =
-  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate in
+let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ~budget
+    ~validate () =
+  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup in
   let g = Pcfg.cfg pcfg in
+  (* with static depth tables the prune reads the annotation, so depth-dead
+     pops never materialize (or walk) their tree at all *)
+  let inc_depth = Node.depth_static e.fps in
+  let too_deep (en : entry) =
+    if inc_depth then en.ann.Node.depth > max_depth
+    else Node.depth g (materialize en.tree) > max_depth
+  in
   let rec loop () =
-    if over_budget e then Budget_exceeded (stats e)
+    if over_budget e then Budget_exceeded (e.stop, stats e)
     else
       match Pqueue.pop e.queue with
       | None -> Exhausted (stats e)
-      | Some (_f, en) ->
+      | Some (_f, Ghost) ->
           e.expansions <- e.expansions + 1;
-          let x = materialize en.tree in
-          if Node.depth g x > max_depth then loop ()
+          loop ()
+      | Some (_f, Entry en) ->
+          e.expansions <- e.expansions + 1;
+          if too_deep en then loop ()
           else if en.ann.Node.metrics.complete then begin
-            match try_validate e en.program with
+            match try_validate e ~fp:en.ann.Node.fp en.program with
             | Some sol -> Solved (sol, stats e)
             | None -> loop ()
           end
           else begin
-            push_expansions e g en x;
+            push_expansions e g en (materialize en.tree);
             loop ()
           end
   in
   loop ()
 
-let search_bottomup ~pcfg ~penalty_ctx ~dim_list ~budget ~validate () =
-  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate in
+let search_bottomup ~pcfg ~penalty_ctx ~dim_list ?(dedup = Fingerprint) ~budget ~validate
+    () =
+  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup in
   let g = Pcfg.cfg pcfg in
   let n_predicted = List.length dim_list in
   let rec loop () =
-    if over_budget e then Budget_exceeded (stats e)
+    if over_budget e then Budget_exceeded (e.stop, stats e)
     else
       match Pqueue.pop e.queue with
       | None -> Exhausted (stats e)
-      | Some (_f, en) ->
+      | Some (_f, Ghost) ->
+          (* ghosts are only pushed for complete children (no open tails),
+             whose pop expands nothing — exactly this no-op *)
+          e.expansions <- e.expansions + 1;
+          loop ()
+      | Some (_f, Entry en) ->
           e.expansions <- e.expansions + 1;
           let x = materialize en.tree in
           let solved =
             if en.ann.Node.metrics.n_tensors = n_predicted then
               match Node.remove_tail g x with
-              | Some complete -> try_validate e (Node.to_program g complete)
+              (* closing ε tails adds empty rule contributions, so the
+                 completed tree's fingerprint equals the popped entry's *)
+              | Some complete -> try_validate e ~fp:en.ann.Node.fp (Node.to_program g complete)
               | None -> None
             else None
           in

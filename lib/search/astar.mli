@@ -16,12 +16,30 @@ val default_budget : budget
 
 type stats = { attempts : int; expansions : int; elapsed_s : float }
 
+(** Which limit ended an unsuccessful search: the deterministic caps
+    (validator attempts, queue pops, frontier size) or the wall-clock
+    backstop, polled every 64 pops — so a [Timeout] stop always reports
+    an expansion count divisible by 64. *)
+type stop_reason = Attempts | Expansions | Frontier | Timeout
+
+val stop_reason_to_string : stop_reason -> string
+
 type 'sol outcome =
   | Solved of 'sol * stats
   | Exhausted of stats  (** queue ran dry *)
-  | Budget_exceeded of stats
+  | Budget_exceeded of stop_reason * stats
 
 val stats_of : 'sol outcome -> stats
+
+(** How validated templates are deduplicated. [Fingerprint] (the
+    default) keys the [seen] probe on {!Node.fingerprint} — O(1) per
+    complete tree, no printing — and additionally suppresses frontier
+    pushes of complete children whose fingerprint has already been
+    validated (they are replaced by weightless ghost entries whose pop
+    replays the duplicate's no-op, keeping attempt/expansion counts and
+    pop order bit-identical). [Pretty_key] is the legacy scheme — the
+    probe keys on the printed template — kept for differential testing. *)
+type dedup = Fingerprint | Pretty_key
 
 (** Top-down search (Algorithm 1): validates templates when a complete
     tree is dequeued; trees deeper than [max_depth] (default 6, §5.1) are
@@ -31,6 +49,7 @@ val search_topdown :
   pcfg:Stagg_grammar.Pcfg.t ->
   penalty_ctx:Penalty.ctx ->
   ?max_depth:int ->
+  ?dedup:dedup ->
   budget:budget ->
   validate:(Stagg_taco.Ast.program -> 'sol option) ->
   unit ->
@@ -44,6 +63,7 @@ val search_bottomup :
   pcfg:Stagg_grammar.Pcfg.t ->
   penalty_ctx:Penalty.ctx ->
   dim_list:int list ->
+  ?dedup:dedup ->
   budget:budget ->
   validate:(Stagg_taco.Ast.program -> 'sol option) ->
   unit ->

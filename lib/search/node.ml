@@ -67,7 +67,7 @@ let rec depth g = function
       | Cfg.Cat_program | Cfg.Cat_op | Cfg.Cat_tail -> 0)
   | Node (rid, ch) ->
       (* allocation-free child fold: max depth and how many children carry
-         expression depth (this runs once per queue push) *)
+         expression depth (this runs once per queue pop) *)
       let m = ref 0 and expr_children = ref 0 in
       List.iter
         (fun c ->
@@ -75,46 +75,222 @@ let rec depth g = function
           if d > !m then m := d;
           if d >= 1 then incr expr_children)
         ch;
-      let lhs_cat = Cfg.category g (Cfg.rule g rid).lhs in
-      if lhs_cat = Cfg.Cat_expr && !expr_children >= 2 then 1 + !m else !m
+      if Cfg.rule_lhs_cat g rid = Cfg.Cat_expr && !expr_children >= 2 then 1 + !m else !m
+
+(* ---- canonical template fingerprints ----
+
+   A 63-bit polynomial rolling hash over the sequence of per-rule
+   contributions read off in leftmost-derivation order. A leftmost
+   derivation creates internal nodes exactly in preorder, so the hash can
+   be maintained incrementally: applying rule [r] to any partial tree
+   maps fingerprint [fp] to [fp * mult(r) + addend(r)], and that equals
+   the full preorder rescan of the child tree.
+
+   A rule's contribution encodes what the rule adds to the template's
+   *concrete syntax*: the AST-carrying terminals of its rhs
+   (tensor/const/op/neg), prefixed by a branching marker when the rhs has
+   ≥2 nonterminals. Assign and paren tokens, unit rules and ε rules
+   contribute nothing. [Pretty] prints right operands of equal precedence
+   parenthesized, so printing round-trips the AST exactly; the marker
+   separates the one remaining ambiguity (associativity: both parse trees
+   of [b + c + d] list the same tokens but print differently). Hence two
+   complete trees print equally iff their contribution sequences are
+   equal, i.e. iff their fingerprints collide only with hash probability
+   ~2⁻⁶³ (audited in the test suite). *)
+
+type fingerprints = {
+  mult : int array;
+  addend : int array;
+  (* §5.1 depth tables, per rule (valid when [depth_static]):
+     [d_branch] — applying the rule adds one to the expression depth of
+     everything below it (lhs is an expression and the rhs carries ≥2
+     depth-bearing children); [d_gain] — the rhs itself introduces a
+     depth-1 item (tensor/const terminal, or an expression/tensor
+     nonterminal, whose subtrees always reach depth ≥1). *)
+  d_branch : bool array;
+  d_gain : bool array;
+  depth_static : bool;
+}
+
+let depth_static fps = fps.depth_static
+
+(* All constants fit OCaml's 63-bit native int. *)
+let fp_k = 0x2545f4914f6cdd1d
+
+let fp_mix h =
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x2545f4914f6cdd1d in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x27d4eb2f165667c5 in
+  h lxor (h lsr 31)
+
+let fp_seed = fp_mix 0x51a6617f
+let fp_branch = fp_mix 0x5eed0a11
+
+(* Token hashes come from the token's own spelling (plus a constructor
+   tag: [Tok_neg] and [Tok_op Sub] both print "-"), not [Hashtbl.hash],
+   whose 30-bit range would make cross-token collisions plausible. *)
+let fp_token tag s =
+  let h = ref (0x27d4eb2f + tag) in
+  String.iter (fun ch -> h := (!h * 0x100000001b3) lxor Char.code ch) s;
+  fp_mix !h
+
+let rule_contribution (r : Cfg.rule) =
+  let n_nt =
+    List.fold_left (fun a s -> match s with Cfg.NT _ -> a + 1 | Cfg.T _ -> a) 0 r.rhs
+  in
+  let toks =
+    List.filter_map
+      (function
+        | Cfg.T (Cfg.Tok_tensor _ as t) -> Some (fp_token 1 (Cfg.term_to_string t))
+        | Cfg.T Cfg.Tok_const -> Some (fp_token 2 "Const")
+        | Cfg.T (Cfg.Tok_op op) -> Some (fp_token 3 (Ast.op_to_string op))
+        | Cfg.T Cfg.Tok_neg -> Some (fp_token 4 "-")
+        | Cfg.T (Cfg.Tok_assign | Cfg.Tok_lparen | Cfg.Tok_rparen) | Cfg.NT _ -> None)
+      r.rhs
+  in
+  if n_nt >= 2 then fp_branch :: toks else toks
+
+let fingerprints g =
+  let n = Cfg.size g in
+  let mult = Array.make n 1 and addend = Array.make n 0 in
+  let d_branch = Array.make n false and d_gain = Array.make n false in
+  let static = ref true in
+  for id = 0 to n - 1 do
+    let r = Cfg.rule g id in
+    let m, a =
+      List.fold_left (fun (m, a) v -> (m * fp_k, (a * fp_k) + v)) (1, 0) (rule_contribution r)
+    in
+    mult.(id) <- m;
+    addend.(id) <- a;
+    (* [deep] counts rhs items whose subtree always reaches depth ≥1:
+       tensor/const terminals, and expression/tensor nonterminals (whose
+       invariant is checked below). Everything the count treats as 0 must
+       provably stay 0 (operator subtrees) or never occur where it matters
+       (tail/program nonterminals under an expression lhs) — otherwise the
+       grammar is flagged non-static and searches fall back to [depth]. *)
+    let lhs_cat = Cfg.category g r.lhs in
+    let deep = ref 0 in
+    List.iter
+      (fun sym ->
+        match sym with
+        | Cfg.T (Cfg.Tok_tensor _ | Cfg.Tok_const) -> incr deep
+        | Cfg.T _ -> ()
+        | Cfg.NT nt -> (
+            match Cfg.category g nt with
+            | Cfg.Cat_expr | Cfg.Cat_tensor -> incr deep
+            | Cfg.Cat_op -> ()
+            | Cfg.Cat_tail | Cfg.Cat_program ->
+                if lhs_cat = Cfg.Cat_expr then static := false))
+      r.rhs;
+    d_gain.(id) <- !deep >= 1;
+    d_branch.(id) <- lhs_cat = Cfg.Cat_expr && !deep >= 2;
+    (match lhs_cat with
+    | Cfg.Cat_expr | Cfg.Cat_tensor ->
+        (* every expression/tensor expansion must keep a depth-1 item below *)
+        if !deep = 0 then static := false
+    | Cfg.Cat_op ->
+        (* operator subtrees must never grow depth *)
+        if
+          List.exists
+            (function
+              | Cfg.T (Cfg.Tok_tensor _ | Cfg.Tok_const) -> true
+              | Cfg.T _ -> false
+              | Cfg.NT nt -> Cfg.category g nt <> Cfg.Cat_op)
+            r.rhs
+        then static := false
+    | Cfg.Cat_program | Cfg.Cat_tail -> ())
+  done;
+  { mult; addend; d_branch; d_gain; depth_static = !static }
+
+let rec fp_scan fps acc = function
+  | Leaf _ | Open _ -> acc
+  | Node (id, ch) -> List.fold_left (fp_scan fps) ((acc * fps.mult.(id)) + fps.addend.(id)) ch
+
+let fingerprint fps x = fp_scan fps fp_seed x
 
 type metrics = {
   tensor_leaves : (string * string list) list;
   n_tensors : int;
   n_unique : int;
+  firsts_rev : string list;
+  sorted_firsts : bool;
+  n_index_i : int;
   has_const_leaf : bool;
   distinct_ops : Ast.op list;
   complete : bool;
 }
 
+(* Shared accumulator for the full scan and the incremental extension, so
+   the two agree field for field. Leaves must be fed left to right. *)
+type macc = {
+  mutable m_tensors : (string * string list) list;  (** reversed *)
+  mutable m_n_tensors : int;
+  mutable m_firsts : string list;  (** reversed *)
+  mutable m_sorted : bool;
+  mutable m_n_index_i : int;
+  mutable m_has_const : bool;  (** a [Tok_const] leaf was seen *)
+  mutable m_const_sym : bool;  (** the symbol "Const" was seen (leaf or tensor) *)
+  mutable m_n_unique : int;
+}
+
+let macc_add_leaf a n idxs =
+  a.m_tensors <- (n, idxs) :: a.m_tensors;
+  a.m_n_tensors <- a.m_n_tensors + 1;
+  if List.mem "i" idxs then a.m_n_index_i <- a.m_n_index_i + 1;
+  if String.equal n "Const" then begin
+    (* Const does not participate in the alphabetical-order criterion and
+       counts once toward [n_unique], whether it came from the dedicated
+       terminal or a pathological tensor of that name *)
+    if not a.m_const_sym then begin
+      a.m_const_sym <- true;
+      a.m_n_unique <- a.m_n_unique + 1
+    end
+  end
+  else if not (List.mem n a.m_firsts) then begin
+    (match a.m_firsts with
+    | [] -> ()
+    | prev :: _ -> if String.compare prev n >= 0 then a.m_sorted <- false);
+    a.m_firsts <- n :: a.m_firsts;
+    a.m_n_unique <- a.m_n_unique + 1
+  end
+
 let metrics _g x =
   (* single left-to-right scan over the frontier *)
-  let tensors = ref [] in
+  let a =
+    {
+      m_tensors = [];
+      m_n_tensors = 0;
+      m_firsts = [];
+      m_sorted = true;
+      m_n_index_i = 0;
+      m_has_const = false;
+      m_const_sym = false;
+      m_n_unique = 0;
+    }
+  in
   let ops = ref [] in
-  let has_const = ref false in
   let complete = ref true in
   let rec scan = function
     | Open _ -> complete := false
-    | Leaf (Cfg.Tok_tensor (n, idxs)) -> tensors := (n, idxs) :: !tensors
+    | Leaf (Cfg.Tok_tensor (n, idxs)) -> macc_add_leaf a n idxs
     | Leaf Cfg.Tok_const ->
-        tensors := ("Const", []) :: !tensors;
-        has_const := true
+        macc_add_leaf a "Const" [];
+        a.m_has_const <- true
     | Leaf (Cfg.Tok_op op) -> if not (List.mem op !ops) then ops := op :: !ops
     | Leaf Cfg.Tok_neg -> if not (List.mem Ast.Sub !ops) then ops := Ast.Sub :: !ops
-    | Leaf (Cfg.Tok_assign | Cfg.Tok_lparen | Cfg.Tok_rparen) -> ()
+    | Leaf (Cfg.Tok_assign | Cfg.Tok_rparen | Cfg.Tok_lparen) -> ()
     | Node (_, ch) -> List.iter scan ch
   in
   scan x;
-  let tensor_leaves = List.rev !tensors in
-  let n_unique =
-    List.length
-      (List.sort_uniq String.compare (List.map fst tensor_leaves))
-  in
   {
-    tensor_leaves;
-    n_tensors = List.length tensor_leaves;
-    n_unique;
-    has_const_leaf = !has_const;
+    tensor_leaves = List.rev a.m_tensors;
+    n_tensors = a.m_n_tensors;
+    n_unique = a.m_n_unique;
+    firsts_rev = a.m_firsts;
+    sorted_firsts = a.m_sorted;
+    n_index_i = a.m_n_index_i;
+    has_const_leaf = a.m_has_const;
     distinct_ops = List.rev !ops;
     complete = !complete;
   }
@@ -132,7 +308,14 @@ let metrics _g x =
    that; [incremental_safe] checks the grammar-level precondition once so
    exotic grammars fall back to the full scan. *)
 
-type annotated = { metrics : metrics; n_open : int; opens : string list }
+type annotated = {
+  metrics : metrics;
+  n_open : int;
+  opens : string list;
+  open_paths : int list;
+  depth : int;
+  fp : int;
+}
 
 let collect_opens x =
   let rec go acc = function
@@ -142,9 +325,31 @@ let collect_opens x =
   in
   List.rev (go [] x)
 
-let annotate g x =
+(* Branching-ancestor count per open leaf, in the same left-to-right order
+   as [collect_opens]. For a depth-static grammar, the depth of a partial
+   tree is the max over "candidates": each tensor/const leaf and each
+   expression/tensor open contributes its path count + 1, so the stored
+   [depth] can be pushed forward one rule application at a time. *)
+let collect_open_paths fps x =
+  let rec go p acc = function
+    | Open _ -> p :: acc
+    | Leaf _ -> acc
+    | Node (id, ch) ->
+        let p = if fps.d_branch.(id) then p + 1 else p in
+        List.fold_left (go p) acc ch
+  in
+  List.rev (go 0 [] x)
+
+let annotate g fps x =
   let opens = collect_opens x in
-  { metrics = metrics g x; n_open = List.length opens; opens }
+  {
+    metrics = metrics g x;
+    n_open = List.length opens;
+    opens;
+    open_paths = collect_open_paths fps x;
+    depth = depth g x;
+    fp = fingerprint fps x;
+  }
 
 let rule_safe (r : Cfg.rule) =
   let rec go seen_nt = function
@@ -162,33 +367,49 @@ let expand1 x (r : Cfg.rule) =
   assert ok;
   x'
 
-let expand_metrics _g (parent : annotated) (r : Cfg.rule) : annotated =
+let expand_metrics fps (parent : annotated) (r : Cfg.rule) : annotated =
   begin
     let pm = parent.metrics in
-    let new_leaves = ref [] and new_const = ref false and new_ops = ref [] in
+    (* the accumulator resumes from the parent's per-leaf facts;
+       [m_tensors] starts empty so it collects just the rule's new leaves
+       (reversed), keeping the [tensor_leaves] append below cheap *)
+    let a =
+      {
+        m_tensors = [];
+        m_n_tensors = pm.n_tensors;
+        m_firsts = pm.firsts_rev;
+        m_sorted = pm.sorted_firsts;
+        m_n_index_i = pm.n_index_i;
+        m_has_const = pm.has_const_leaf;
+        m_const_sym = pm.n_unique > List.length pm.firsts_rev;
+        m_n_unique = pm.n_unique;
+      }
+    in
+    let new_ops = ref [] in
     let new_nts = ref [] in
     let n_open = ref (parent.n_open - 1) in
+    (* path count of the node the rule creates (it replaces the head open) *)
+    let p' =
+      match parent.open_paths with
+      | [] -> assert false
+      | p :: _ -> if fps.d_branch.(r.id) then p + 1 else p
+    in
     List.iter
       (function
         | Cfg.NT n ->
             incr n_open;
             new_nts := n :: !new_nts
-        | Cfg.T (Cfg.Tok_tensor (n, idxs)) -> new_leaves := (n, idxs) :: !new_leaves
+        | Cfg.T (Cfg.Tok_tensor (n, idxs)) -> macc_add_leaf a n idxs
         | Cfg.T Cfg.Tok_const ->
-            new_leaves := ("Const", []) :: !new_leaves;
-            new_const := true
+            macc_add_leaf a "Const" [];
+            a.m_has_const <- true
         | Cfg.T (Cfg.Tok_op op) -> if not (List.mem op !new_ops) then new_ops := op :: !new_ops
         | Cfg.T Cfg.Tok_neg ->
             if not (List.mem Ast.Sub !new_ops) then new_ops := Ast.Sub :: !new_ops
         | Cfg.T (Cfg.Tok_assign | Cfg.Tok_lparen | Cfg.Tok_rparen) -> ())
       r.rhs;
     let tensor_leaves =
-      match !new_leaves with [] -> pm.tensor_leaves | l -> pm.tensor_leaves @ List.rev l
-    in
-    let n_tensors = pm.n_tensors + List.length !new_leaves in
-    let n_unique =
-      if !new_leaves = [] then pm.n_unique
-      else List.length (List.sort_uniq String.compare (List.map fst tensor_leaves))
+      match a.m_tensors with [] -> pm.tensor_leaves | l -> pm.tensor_leaves @ List.rev l
     in
     (* first-appearance order may differ from a fresh scan when an op
        terminal sits right of a nonterminal (EXPR -> EXPR op EXPR); the
@@ -202,9 +423,12 @@ let expand_metrics _g (parent : annotated) (r : Cfg.rule) : annotated =
       metrics =
         {
           tensor_leaves;
-          n_tensors;
-          n_unique;
-          has_const_leaf = pm.has_const_leaf || !new_const;
+          n_tensors = a.m_n_tensors;
+          n_unique = a.m_n_unique;
+          firsts_rev = a.m_firsts;
+          sorted_firsts = a.m_sorted;
+          n_index_i = a.m_n_index_i;
+          has_const_leaf = a.m_has_const;
           distinct_ops;
           complete = !n_open = 0;
         };
@@ -216,6 +440,16 @@ let expand_metrics _g (parent : annotated) (r : Cfg.rule) : annotated =
         (match parent.opens with
         | [] -> assert false
         | _ :: rest -> List.rev !new_nts @ rest);
+      open_paths =
+        (match parent.open_paths with
+        | [] -> assert false
+        | _ :: rest ->
+            let rec add n acc = if n = 0 then acc else add (n - 1) (p' :: acc) in
+            add (List.length !new_nts) rest);
+      (* only depth-1 items can raise the max: a weight-0 candidate sits at
+         p' ≤ parent.depth (the expanded open's own candidate bounded it) *)
+      depth = (if fps.d_gain.(r.id) && p' + 1 > parent.depth then p' + 1 else parent.depth);
+      fp = (parent.fp * fps.mult.(r.id)) + fps.addend.(r.id);
     }
   end
 

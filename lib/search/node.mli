@@ -45,6 +45,34 @@ val g_cost_opens : Pcfg.t -> string list -> float
     prune), not per push. *)
 val depth : Cfg.t -> t -> int
 
+(** Per-grammar tables for the canonical template fingerprint: a 63-bit
+    polynomial hash of the rule-contribution sequence in
+    leftmost-derivation (= preorder) order. Two complete trees of the
+    same grammar have equal fingerprints iff their {!Stagg_taco.Pretty}
+    canonical strings are equal, up to hash collisions (~2⁻⁶³ per pair) —
+    rules contribute exactly their AST-carrying terminals plus a
+    branching marker, and printing round-trips the AST. The A* [seen]
+    probe keys on this instead of printed templates. *)
+type fingerprints
+
+(** Precompute the per-rule tables; O(grammar size), once per search. *)
+val fingerprints : Cfg.t -> fingerprints
+
+(** Full-tree fingerprint by preorder rescan. Agrees with the
+    incrementally-maintained {!annotated}[.fp] on every tree built by
+    leftmost expansion. *)
+val fingerprint : fingerprints -> t -> int
+
+(** Whether the grammar supports incrementally-maintained depth (see
+    {!annotated}[.depth]): operator subtrees provably stay at depth 0,
+    expression/tensor subtrees provably reach depth ≥1, and no
+    tail/program nonterminal appears under an expression lhs — so each
+    rule's contribution to {!depth} is a per-rule constant. Holds for
+    every top-down grammar this project generates; the right-linear
+    bottom-up grammars fail it (a TAIL's depth depends on where ε is
+    taken), but the bottom-up search never prunes on depth. *)
+val depth_static : fingerprints -> bool
+
 (** Facts the penalty functions need, computable on partial trees. *)
 type metrics = {
   tensor_leaves : (string * string list) list;
@@ -54,6 +82,13 @@ type metrics = {
   n_unique : int;
       (** distinct tensor symbols (Const counts once) — the quantity a
           dimension list has one entry per, hence the paper's "length" *)
+  firsts_rev : string list;
+      (** distinct non-Const tensor symbols, most recent first (reverse
+          first-appearance order) *)
+  sorted_firsts : bool;
+      (** the first-appearance sequence of non-Const symbols is strictly
+          sorted — the a3/b1 criterion, maintained in O(1) per leaf *)
+  n_index_i : int;  (** leaves whose index list contains ["i"] (a1) *)
   has_const_leaf : bool;
   distinct_ops : Stagg_taco.Ast.op list;
   complete : bool;
@@ -62,14 +97,34 @@ type metrics = {
 val metrics : Cfg.t -> t -> metrics
 
 (** Metrics plus the open leaves — count and ordered (left-to-right)
-    nonterminal names — carried in the A* queue payload so neither pops
-    nor the g(x) of a push rescan the tree. [opens] is maintained
-    incrementally for every grammar: expansion always rewrites the
-    leftmost open leaf, i.e. the list's head. *)
-type annotated = { metrics : metrics; n_open : int; opens : string list }
+    nonterminal names — and the running fingerprint, carried in the A*
+    queue payload so neither pops nor the g(x) of a push rescan the
+    tree. [opens] and [fp] are maintained incrementally for every
+    grammar: expansion always rewrites the leftmost open leaf, i.e. the
+    list's head / the next preorder slot.
+
+    [open_paths] pairs each open leaf with its branching-ancestor count
+    (the number of {e depth-adding} rule applications on the path to the
+    root), and [depth] carries {!val-depth} of the partial tree forward:
+    for a {!depth_static} grammar a rule applied at an open with path
+    count [p] yields depth [max parent (p' + 1)] whenever its rhs holds a
+    depth-1 item, where [p'] adds the rule's own branch bit — letting the
+    top-down search prune on depth without materializing or walking the
+    popped tree. For non-static grammars both fields are still maintained
+    (and [open_paths] still matches the full-scan walk over the same
+    static tables), but [depth] may drift from {!val-depth} and must not
+    be used. *)
+type annotated = {
+  metrics : metrics;
+  n_open : int;
+  opens : string list;
+  open_paths : int list;
+  depth : int;
+  fp : int;
+}
 
 (** Full-scan annotation (the initial node, and the fallback). *)
-val annotate : Cfg.t -> t -> annotated
+val annotate : Cfg.t -> fingerprints -> t -> annotated
 
 (** Does every rule keep tensor/constant terminals left of any
     nonterminal in its rhs? True for all grammars this project generates;
@@ -77,7 +132,7 @@ val annotate : Cfg.t -> t -> annotated
     per search. *)
 val incremental_safe : Cfg.t -> bool
 
-(** [expand_metrics g parent r] — the annotation of the tree obtained
+(** [expand_metrics fps parent r] — the annotation of the tree obtained
     from [parent]'s tree by applying rule [r] at the leftmost open leaf,
     computed from [parent]'s annotation and [r]'s rhs alone — O(|rhs| +
     tensor leaves), no child tree needed, so pushes don't materialize
@@ -86,7 +141,7 @@ val incremental_safe : Cfg.t -> bool
     to [annotate] on that child except that [distinct_ops] may list the
     same ops in a different first-appearance order (the penalties use
     only membership/length). *)
-val expand_metrics : Cfg.t -> annotated -> Cfg.rule -> annotated
+val expand_metrics : fingerprints -> annotated -> Cfg.rule -> annotated
 
 (** [to_program g x] rebuilds the TACO template AST from a complete tree.
     [None] if [x] has open leaves or an unrecognized rule shape. *)

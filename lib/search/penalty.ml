@@ -21,26 +21,6 @@ type ctx = {
   enabled : criterion list;
 }
 
-(* a3/b1: tensor symbols in alphabetical order by first appearance — i.e.
-   the first-appearance sequence is sorted. "Sorted", not "consecutive":
-   when a Const occupies a dimension-list slot the solution may legally
-   skip that slot's letter (a(i) = Const - c(i)). Const itself does not
-   participate. The point of the rule is to avoid enumerating templates
-   that differ only by symbol permutation (§5.1). *)
-let alphabetical_order (m : Node.metrics) =
-  let firsts =
-    List.fold_left
-      (fun acc (n, _) ->
-        if String.equal n "Const" || List.mem n acc then acc else n :: acc)
-      [] m.tensor_leaves
-    |> List.rev
-  in
-  let rec sorted = function
-    | a :: (b :: _ as rest) -> String.compare a b < 0 && sorted rest
-    | _ -> true
-  in
-  sorted firsts
-
 (* a4: some +, − or / applied to two syntactically identical operands. *)
 let rec same_operand_addsubdiv (e : Ast.expr) =
   match e with
@@ -52,22 +32,47 @@ let rec same_operand_addsubdiv (e : Ast.expr) =
       | Ast.Mul -> false)
       || same_operand_addsubdiv l || same_operand_addsubdiv r
 
-(* a5/b2: uses fewer than half of the operations available. *)
-let too_few_ops ctx (m : Node.metrics) =
-  2 * List.length m.distinct_ops < List.length ctx.ops_available
+(* [score] runs once per queue push — the searches' innermost loop — so
+   the context is compiled once per search into flat fields: criterion
+   membership becomes a bool read instead of seven [List.mem]s, and the
+   list lengths are taken up front. The per-call arithmetic below is
+   kept term for term (order and all) so the total is bit-identical to
+   the uncompiled scorer. *)
+type compiled = {
+  k_len_l : int;
+  k_n_ops : int;  (** [List.length ops_available] *)
+  k_const : bool;
+  k_a1 : bool;
+  k_a2 : bool;
+  k_a3 : bool;
+  k_a4 : bool;
+  k_a5 : bool;
+  k_b1 : bool;
+  k_b2 : bool;
+}
 
-let count_with_index_i (m : Node.metrics) =
-  List.length (List.filter (fun (_, idxs) -> List.mem "i" idxs) m.tensor_leaves)
+let compile ctx =
+  let on c = List.mem c ctx.enabled in
+  {
+    k_len_l = List.length ctx.dim_list;
+    k_n_ops = List.length ctx.ops_available;
+    k_const = ctx.grammar_has_const;
+    k_a1 = on A1;
+    k_a2 = on A2;
+    k_a3 = on A3;
+    k_a4 = on A4;
+    k_a5 = on A5;
+    k_b1 = on B1;
+    k_b2 = on B2;
+  }
 
-let score ctx (m : Node.metrics) ~program =
-  let len_l = List.length ctx.dim_list in
-  let on c v = if List.mem c ctx.enabled then v else 0. in
+let score_compiled k (m : Node.metrics) ~program =
+  let too_few = 2 * List.length m.distinct_ops < k.k_n_ops in
   let a1 =
     (* grammar includes a constant expression, length exceeds 3, and the
        expression has poor index variety or lacks the constant *)
     if
-      ctx.grammar_has_const && m.n_tensors > 3
-      && (count_with_index_i m < 2 || not m.has_const_leaf)
+      k.k_a1 && k.k_const && m.n_tensors > 3 && (m.n_index_i < 2 || not m.has_const_leaf)
     then 10.
     else 0.
   in
@@ -76,16 +81,29 @@ let score ctx (m : Node.metrics) ~program =
        length (a symbol may be used several times: (b-c)*(b-c) has three
        unique symbols). A partial template can still grow, so it is only
        penalized once it is already too long. *)
-    if (m.complete && m.n_unique <> len_l) || ((not m.complete) && m.n_unique > len_l) then 100.
+    if
+      k.k_a2
+      && ((m.complete && m.n_unique <> k.k_len_l)
+         || ((not m.complete) && m.n_unique > k.k_len_l))
+    then 100.
     else 0.
   in
-  let a3 = if alphabetical_order m then 0. else infinity in
+  (* a3/b1: tensor symbols in alphabetical order by first appearance —
+     i.e. the first-appearance sequence is sorted. "Sorted", not
+     "consecutive": when a Const occupies a dimension-list slot the
+     solution may legally skip that slot's letter (a(i) = Const - c(i));
+     Const itself does not participate. The point of the rule is to avoid
+     enumerating templates that differ only by symbol permutation (§5.1).
+     [Node] maintains the answer in [sorted_firsts], O(1) per leaf. *)
+  let a3 = if k.k_a3 && not m.sorted_firsts then infinity else 0. in
   let a4 =
     match program with
-    | Some p when m.complete && same_operand_addsubdiv p.Ast.rhs -> infinity
+    | Some p when k.k_a4 && m.complete && same_operand_addsubdiv p.Ast.rhs -> infinity
     | _ -> 0.
   in
-  let a5 = if m.complete && too_few_ops ctx m then infinity else 0. in
-  let b1 = if alphabetical_order m then 0. else 100. in
-  let b2 = if m.n_tensors >= len_l && too_few_ops ctx m then infinity else 0. in
-  on A1 a1 +. on A2 a2 +. on A3 a3 +. on A4 a4 +. on A5 a5 +. on B1 b1 +. on B2 b2
+  let a5 = if k.k_a5 && m.complete && too_few then infinity else 0. in
+  let b1 = if k.k_b1 && not m.sorted_firsts then 100. else 0. in
+  let b2 = if k.k_b2 && m.n_tensors >= k.k_len_l && too_few then infinity else 0. in
+  a1 +. a2 +. a3 +. a4 +. a5 +. b1 +. b2
+
+let score ctx m ~program = score_compiled (compile ctx) m ~program

@@ -21,7 +21,18 @@ type ctx = {
   enabled : criterion list;
 }
 
-(** [score ctx m ~program] — the total penalty X(x). [program] is the
-    rebuilt template AST when [x] is complete ([None] on partials); a4's
-    structural "same tensor under +,−,/" check needs it. *)
+(** A context compiled for the search hot loop: criterion membership as
+    flat bools, list lengths precomputed. Scoring with it is
+    bit-identical to {!score} on the originating context. *)
+type compiled
+
+val compile : ctx -> compiled
+
+(** [score_compiled k m ~program] — the total penalty X(x). [program] is
+    the rebuilt template AST when [x] is complete ([None] on partials);
+    a4's structural "same tensor under +,−,/" check needs it. *)
+val score_compiled : compiled -> Node.metrics -> program:Stagg_taco.Ast.program option -> float
+
+(** [score ctx m ~program] — [score_compiled] after a one-shot
+    {!compile}; for tests and one-off calls. *)
 val score : ctx -> Node.metrics -> program:Stagg_taco.Ast.program option -> float

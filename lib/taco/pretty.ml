@@ -4,12 +4,23 @@ open Stagg_util
 (* Precedence levels: additive = 1, multiplicative = 2, atoms = 3. *)
 let prec_of = function Add | Sub -> 1 | Mul | Div -> 2
 
-let access_to_string name idxs =
-  match idxs with [] -> name | _ -> Printf.sprintf "%s(%s)" name (String.concat ", " idxs)
+let add_access buf name idxs =
+  Buffer.add_string buf name;
+  match idxs with
+  | [] -> ()
+  | first :: rest ->
+      Buffer.add_char buf '(';
+      Buffer.add_string buf first;
+      List.iter
+        (fun i ->
+          Buffer.add_string buf ", ";
+          Buffer.add_string buf i)
+        rest;
+      Buffer.add_char buf ')'
 
 let rec go buf parent_prec right_side e =
   match e with
-  | Access (t, idxs) -> Buffer.add_string buf (access_to_string t idxs)
+  | Access (t, idxs) -> add_access buf t idxs
   | Const c ->
       if Rat.sign c < 0 then begin
         (* negative literal: parenthesize so "a - -1" never prints *)
@@ -19,7 +30,7 @@ let rec go buf parent_prec right_side e =
       end
       else Buffer.add_string buf (Rat.to_string c)
   | Neg inner ->
-      Buffer.add_string buf "-";
+      Buffer.add_char buf '-';
       go buf 3 false inner
   | Bin (op, l, r) ->
       let p = prec_of op in
@@ -28,7 +39,9 @@ let rec go buf parent_prec right_side e =
       let needs = p < parent_prec || (p = parent_prec && right_side) in
       if needs then Buffer.add_char buf '(';
       go buf p false l;
-      Buffer.add_string buf (Printf.sprintf " %s " (op_to_string op));
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (op_to_string op);
+      Buffer.add_char buf ' ';
       go buf p true r;
       if needs then Buffer.add_char buf ')'
 
@@ -37,9 +50,15 @@ let expr_to_string e =
   go buf 0 false e;
   Buffer.contents buf
 
+(* The whole statement goes through one buffer: this string is the §4.4
+   canonical template key, built once per validated candidate. *)
 let program_to_string (p : program) =
   let name, idxs = p.lhs in
-  Printf.sprintf "%s = %s" (access_to_string name idxs) (expr_to_string p.rhs)
+  let buf = Buffer.create 48 in
+  add_access buf name idxs;
+  Buffer.add_string buf " = ";
+  go buf 0 false p.rhs;
+  Buffer.contents buf
 
 let pp_expr fmt e = Format.pp_print_string fmt (expr_to_string e)
 let pp_program fmt p = Format.pp_print_string fmt (program_to_string p)

@@ -1,73 +1,101 @@
-(* Binary min-heap over (priority, seq, value); [seq] breaks ties FIFO. *)
+(* Binary min-heap over (priority, seq, value); [seq] breaks ties FIFO.
 
-type 'a entry = { prio : float; seq : int; value : 'a }
+   Stored as parallel arrays rather than an array of records: the
+   priorities live in an unboxed float array, so a push allocates nothing
+   (a record with a float field would box the float on every push — the
+   searches push tens of millions of frontier entries), and the sift
+   comparisons walk one contiguous float array. *)
 
-type 'a t = { mutable data : 'a entry array; mutable size : int; mutable next_seq : int }
+type 'a t = {
+  mutable prio : float array;
+  mutable seq : int array;
+  mutable value : 'a array;
+  mutable size : int;
+  mutable next_seq : int;
+}
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { prio = [||]; seq = [||]; value = [||]; size = 0; next_seq = 0 }
 let is_empty q = q.size = 0
 let length q = q.size
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let less q i j = q.prio.(i) < q.prio.(j) || (q.prio.(i) = q.prio.(j) && q.seq.(i) < q.seq.(j))
 
-let grow q e =
-  let cap = Array.length q.data in
+let swap q i j =
+  let p = q.prio.(i) in
+  q.prio.(i) <- q.prio.(j);
+  q.prio.(j) <- p;
+  let s = q.seq.(i) in
+  q.seq.(i) <- q.seq.(j);
+  q.seq.(j) <- s;
+  let v = q.value.(i) in
+  q.value.(i) <- q.value.(j);
+  q.value.(j) <- v
+
+let grow q v =
+  let cap = Array.length q.prio in
   if q.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let nd = Array.make ncap e in
-    Array.blit q.data 0 nd 0 q.size;
-    q.data <- nd
+    let np = Array.make ncap 0. in
+    Array.blit q.prio 0 np 0 q.size;
+    q.prio <- np;
+    let ns = Array.make ncap 0 in
+    Array.blit q.seq 0 ns 0 q.size;
+    q.seq <- ns;
+    let nv = Array.make ncap v in
+    Array.blit q.value 0 nv 0 q.size;
+    q.value <- nv
   end
 
 let push q prio value =
-  let e = { prio; seq = q.next_seq; value } in
-  q.next_seq <- q.next_seq + 1;
-  grow q e;
+  grow q value;
   let i = ref q.size in
+  q.prio.(!i) <- prio;
+  q.seq.(!i) <- q.next_seq;
+  q.value.(!i) <- value;
+  q.next_seq <- q.next_seq + 1;
   q.size <- q.size + 1;
-  q.data.(!i) <- e;
   (* sift up *)
   let continue_ = ref true in
   while !continue_ && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less q.data.(!i) q.data.(parent) then begin
-      let tmp = q.data.(parent) in
-      q.data.(parent) <- q.data.(!i);
-      q.data.(!i) <- tmp;
+    if less q !i parent then begin
+      swap q !i parent;
       i := parent
     end
     else continue_ := false
   done
 
-let peek q = if q.size = 0 then None else Some (q.data.(0).prio, q.data.(0).value)
+let peek q = if q.size = 0 then None else Some (q.prio.(0), q.value.(0))
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.data.(0) in
+    let prio = q.prio.(0) and value = q.value.(0) in
     q.size <- q.size - 1;
     if q.size > 0 then begin
-      q.data.(0) <- q.data.(q.size);
+      q.prio.(0) <- q.prio.(q.size);
+      q.seq.(0) <- q.seq.(q.size);
+      q.value.(0) <- q.value.(q.size);
       (* sift down *)
       let i = ref 0 in
       let continue_ = ref true in
       while !continue_ do
         let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
         let smallest = ref !i in
-        if l < q.size && less q.data.(l) q.data.(!smallest) then smallest := l;
-        if r < q.size && less q.data.(r) q.data.(!smallest) then smallest := r;
+        if l < q.size && less q l !smallest then smallest := l;
+        if r < q.size && less q r !smallest then smallest := r;
         if !smallest <> !i then begin
-          let tmp = q.data.(!smallest) in
-          q.data.(!smallest) <- q.data.(!i);
-          q.data.(!i) <- tmp;
+          swap q !smallest !i;
           i := !smallest
         end
         else continue_ := false
       done
     end;
-    Some (top.prio, top.value)
+    Some (prio, value)
   end
 
 let clear q =
   q.size <- 0;
-  q.data <- [||]
+  q.prio <- [||];
+  q.seq <- [||];
+  q.value <- [||]

@@ -90,6 +90,7 @@ let inv t = make t.den t.num
 let div a b = mul a (inv b)
 let sign t = Bigint.sign t.num
 let is_zero t = Bigint.is_zero t.num
+let is_one t = Bigint.equal t.num Bigint.one && Bigint.equal t.den Bigint.one
 
 let compare a b =
   let an = small a.num and ad = small a.den and bn = small b.num and bd = small b.den in

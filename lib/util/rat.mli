@@ -43,6 +43,10 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val sign : t -> int
 val is_zero : t -> bool
+
+(** [is_one t] — O(1) test for the constant 1, used by the polynomial
+    layer to skip no-op scalings. *)
+val is_one : t -> bool
 val is_integer : t -> bool
 val min : t -> t -> t
 val max : t -> t -> t

@@ -28,6 +28,9 @@ val is_const : t -> Rat.t option
 
 val is_zero : t -> bool
 
+(** [is_one p] — O(1) test for the constant polynomial 1. *)
+val is_one : t -> bool
+
 (** Number of monomials. *)
 val n_terms : t -> int
 

@@ -8,6 +8,7 @@ let den t = t.den
 let make num den =
   if Poly.is_zero den then raise Division_by_zero
   else if Poly.is_zero num then { num = Poly.zero; den = Poly.one }
+  else if Poly.is_one den then { num; den = Poly.one }
   else
     (* cheap normalization: a constant denominator is folded into the
        numerator's coefficients *)
@@ -23,13 +24,23 @@ let one = of_poly Poly.one
 let of_int n = of_poly (Poly.of_int n)
 let of_rat c = of_poly (Poly.const c)
 
+(* Polynomial-only states (denominator 1 on both sides) dominate BMC runs
+   — division by a symbolic expression is rare in the benchmark kernels —
+   so [add]/[mul] skip the cross-multiplication and [make]'s re-checks
+   entirely in that case. *)
 let add a b =
-  if Poly.equal a.den b.den then make (Poly.add a.num b.num) a.den
+  if Poly.is_one a.den && Poly.is_one b.den then
+    { num = Poly.add a.num b.num; den = Poly.one }
+  else if Poly.equal a.den b.den then make (Poly.add a.num b.num) a.den
   else make (Poly.add (Poly.mul a.num b.den) (Poly.mul b.num a.den)) (Poly.mul a.den b.den)
 
 let neg a = { a with num = Poly.neg a.num }
 let sub a b = add a (neg b)
-let mul a b = make (Poly.mul a.num b.num) (Poly.mul a.den b.den)
+
+let mul a b =
+  if Poly.is_one a.den && Poly.is_one b.den then
+    { num = Poly.mul a.num b.num; den = Poly.one }
+  else make (Poly.mul a.num b.num) (Poly.mul a.den b.den)
 let div a b = make (Poly.mul a.num b.den) (Poly.mul a.den b.num)
 
 (* p1/q1 = p2/q2  ⟺  p1·q2 = p2·q1 (denominators formally nonzero) *)

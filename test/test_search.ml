@@ -116,6 +116,12 @@ let test_incremental_metrics_agree () =
     (fun (label, g) ->
       let safe = Node.incremental_safe g in
       check_bool (label ^ ": grammar is incremental-safe") true safe;
+      let fps = Node.fingerprints g in
+      (* the top-down grammars carry static depth tables; the right-linear
+         bottom-up one must be rejected (a TAIL's depth depends on ε) *)
+      check_bool
+        (label ^ ": depth-static iff top-down")
+        (label <> "dot bu") (Node.depth_static fps);
       for _walk = 1 to 20 do
         let rec go ann x steps =
           if steps > 0 then
@@ -124,26 +130,45 @@ let test_incremental_metrics_agree () =
             | exps ->
                 List.iter
                   (fun ((r : Cfg.rule), x') ->
-                    let inc = Node.expand_metrics g ann r in
-                    let scan = Node.annotate g x' in
+                    let inc = Node.expand_metrics fps ann r in
+                    let scan = Node.annotate g fps x' in
                     let im = inc.Node.metrics and sm = scan.Node.metrics in
                     check_bool (label ^ ": leaves") true
                       (im.Node.tensor_leaves = sm.Node.tensor_leaves);
                     check_int (label ^ ": n_tensors") sm.Node.n_tensors im.Node.n_tensors;
                     check_int (label ^ ": n_unique") sm.Node.n_unique im.Node.n_unique;
+                    check_bool (label ^ ": firsts_rev") true
+                      (List.equal String.equal sm.Node.firsts_rev im.Node.firsts_rev);
+                    check_bool (label ^ ": sorted_firsts") sm.Node.sorted_firsts
+                      im.Node.sorted_firsts;
+                    check_int (label ^ ": n_index_i") sm.Node.n_index_i im.Node.n_index_i;
                     check_bool (label ^ ": has_const_leaf") sm.Node.has_const_leaf
                       im.Node.has_const_leaf;
                     check_bool (label ^ ": distinct_ops") true (sorted_ops im = sorted_ops sm);
                     check_bool (label ^ ": complete") sm.Node.complete im.Node.complete;
                     check_int (label ^ ": n_open") scan.Node.n_open inc.Node.n_open;
                     check_bool (label ^ ": opens") true
-                      (List.equal String.equal scan.Node.opens inc.Node.opens))
+                      (List.equal String.equal scan.Node.opens inc.Node.opens);
+                    (* the rolling fingerprint must agree with a preorder
+                       rescan of the child tree *)
+                    check_bool (label ^ ": fp") true
+                      (inc.Node.fp = scan.Node.fp && scan.Node.fp = Node.fingerprint fps x');
+                    (* branching-ancestor paths agree with the full-scan
+                       walk on every grammar; the carried depth must equal
+                       a [Node.depth] rescan whenever the grammar's tables
+                       are static (the only case searches read it) *)
+                    check_bool (label ^ ": open_paths") true
+                      (List.equal Int.equal scan.Node.open_paths inc.Node.open_paths);
+                    if Node.depth_static fps then begin
+                      check_int (label ^ ": depth") (Node.depth g x') inc.Node.depth;
+                      check_int (label ^ ": depth scan") (Node.depth g x') scan.Node.depth
+                    end)
                   exps;
                 let r, x' = List.nth exps (next_int (List.length exps)) in
-                go (Node.expand_metrics g ann r) x' (steps - 1)
+                go (Node.expand_metrics fps ann r) x' (steps - 1)
         in
         let x0 = Node.initial g in
-        go (Node.annotate g x0) x0 12
+        go (Node.annotate g fps x0) x0 12
       done)
     grammars
 
@@ -151,6 +176,33 @@ let test_incremental_metrics_agree () =
 
 let ctx ?(enabled = Penalty.all_topdown) ?(dims = [ 1; 2; 1 ]) ?(ops = [ Ast.Mul ]) ?(const = false) () =
   { Penalty.dim_list = dims; ops_available = ops; grammar_has_const = const; enabled }
+
+(* Build a consistent metrics record from a leaf list: the incremental
+   fields (firsts_rev, sorted_firsts, n_index_i, n_unique) are derived
+   the way a left-to-right scan would. *)
+let mk_metrics ?(has_const = false) ?(ops = []) ~complete leaves =
+  let firsts_rev =
+    List.fold_left
+      (fun acc (n, _) ->
+        if String.equal n "Const" || List.mem n acc then acc else n :: acc)
+      [] leaves
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> String.compare a b < 0 && sorted rest
+    | _ -> true
+  in
+  let const_sym = List.exists (fun (n, _) -> String.equal n "Const") leaves in
+  {
+    Node.tensor_leaves = leaves;
+    n_tensors = List.length leaves;
+    n_unique = (List.length firsts_rev + if const_sym then 1 else 0);
+    firsts_rev;
+    sorted_firsts = sorted (List.rev firsts_rev);
+    n_index_i = List.length (List.filter (fun (_, idxs) -> List.mem "i" idxs) leaves);
+    has_const_leaf = has_const;
+    distinct_ops = ops;
+    complete;
+  }
 
 let metrics_of_template g src =
   (* drive the search tree by hand is tedious; reuse Node.metrics on a tree
@@ -177,33 +229,22 @@ let test_penalty_a2 () =
 
 let test_penalty_a3_sorted () =
   let m =
-    {
-      Node.tensor_leaves = [ ("a", [ "i" ]); ("b", [ "i" ]); ("c", [ "i" ]) ];
-      n_tensors = 3;
-      n_unique = 3;
-      has_const_leaf = false;
-      distinct_ops = [ Ast.Mul ];
-      complete = true;
-    }
+    mk_metrics ~ops:[ Ast.Mul ] ~complete:true
+      [ ("a", [ "i" ]); ("b", [ "i" ]); ("c", [ "i" ]) ]
   in
   check_bool "sorted ok" true (Penalty.score (ctx ~enabled:[ Penalty.A3 ] ()) m ~program:None = 0.);
-  let bad = { m with Node.tensor_leaves = [ ("a", []); ("c", []); ("b", []) ] } in
+  let bad = mk_metrics ~ops:[ Ast.Mul ] ~complete:true [ ("a", []); ("c", []); ("b", []) ] in
   check_bool "unsorted infinite" true
     (Penalty.score (ctx ~enabled:[ Penalty.A3 ] ()) bad ~program:None = infinity);
   (* gaps are fine: a then c (Const took b's slot) *)
-  let gap = { m with Node.tensor_leaves = [ ("a", []); ("Const", []); ("c", []) ] } in
+  let gap =
+    mk_metrics ~ops:[ Ast.Mul ] ~complete:true [ ("a", []); ("Const", []); ("c", []) ]
+  in
   check_bool "gap ok" true (Penalty.score (ctx ~enabled:[ Penalty.A3 ] ()) gap ~program:None = 0.)
 
 let test_penalty_a4 () =
   let m =
-    {
-      Node.tensor_leaves = [ ("a", []); ("b", [ "i" ]); ("b", [ "i" ]) ];
-      n_tensors = 3;
-      n_unique = 2;
-      has_const_leaf = false;
-      distinct_ops = [ Ast.Add ];
-      complete = true;
-    }
+    mk_metrics ~ops:[ Ast.Add ] ~complete:true [ ("a", []); ("b", [ "i" ]); ("b", [ "i" ]) ]
   in
   let p_add = parse "a = b(i) + b(i)" in
   let p_mul = parse "a = b(i) * b(i)" in
@@ -215,16 +256,7 @@ let test_penalty_a4 () =
     = 0.)
 
 let test_penalty_a5_b2 () =
-  let m =
-    {
-      Node.tensor_leaves = [ ("a", []); ("b", [ "i" ]) ];
-      n_tensors = 2;
-      n_unique = 2;
-      has_const_leaf = false;
-      distinct_ops = [];
-      complete = true;
-    }
-  in
+  let m = mk_metrics ~complete:true [ ("a", []); ("b", [ "i" ]) ] in
   (* no ops used, two available → fewer than half *)
   check_bool "a5 fires" true
     (Penalty.score (ctx ~enabled:[ Penalty.A5 ] ~ops:[ Ast.Mul; Ast.Add ] ~dims:[ 0; 1 ] ()) m
@@ -239,14 +271,8 @@ let test_penalty_a5_b2 () =
 
 let test_penalty_a1 () =
   let m =
-    {
-      Node.tensor_leaves = [ ("a", [ "i" ]); ("b", [ "i" ]); ("c", [ "j" ]); ("d", [ "j" ]) ];
-      n_tensors = 4;
-      n_unique = 4;
-      has_const_leaf = false;
-      distinct_ops = [ Ast.Add ];
-      complete = false;
-    }
+    mk_metrics ~ops:[ Ast.Add ] ~complete:false
+      [ ("a", [ "i" ]); ("b", [ "i" ]); ("c", [ "j" ]); ("d", [ "j" ]) ]
   in
   (* grammar has Const, length > 3, fewer than 2 tensors with index i... the
      leaves have 2 with i, but no Const leaf → still fires via branch 2 *)
@@ -256,16 +282,7 @@ let test_penalty_a1 () =
     (Penalty.score (ctx ~enabled:[ Penalty.A1 ] ~const:false ()) m ~program:None = 0.)
 
 let test_penalty_disabled () =
-  let m =
-    {
-      Node.tensor_leaves = [ ("a", []); ("c", []); ("b", []) ];
-      n_tensors = 3;
-      n_unique = 3;
-      has_const_leaf = false;
-      distinct_ops = [];
-      complete = true;
-    }
-  in
+  let m = mk_metrics ~complete:true [ ("a", []); ("c", []); ("b", []) ] in
   check_bool "everything off scores 0" true
     (Penalty.score (ctx ~enabled:[] ()) m ~program:None = 0.)
 
@@ -361,6 +378,22 @@ let test_bottomup_cannot_nest () =
   | Astar.Exhausted _ -> ()
   | Astar.Budget_exceeded _ -> Alcotest.fail "space should be finite"
 
+let test_timeout_poll () =
+  (* the wall clock is polled every 64 pops; with unbounded count caps and a
+     near-zero timeout the search must stop at the first poll past the
+     deadline — i.e. on a pop-count multiple of 64 — and report [Timeout] *)
+  let g = Taco_grammar.generate ~n_rhs_tensors:3 ~max_rank:2 ~n_indices:3 () in
+  let pcfg = Pcfg.uniform g in
+  let budget = { Astar.max_attempts = max_int; max_expansions = max_int; timeout_s = 0.05 } in
+  match
+    Astar.search_topdown ~pcfg ~penalty_ctx:(ctx ~enabled:[] ()) ~budget
+      ~validate:(fun _ -> None) ()
+  with
+  | Astar.Budget_exceeded (Astar.Timeout, st) ->
+      check_bool "made progress before the deadline" true (st.expansions > 0);
+      check_int "stopped on a poll boundary" 0 (st.expansions mod 64)
+  | _ -> Alcotest.fail "expected a Timeout stop"
+
 let test_search_dedup () =
   (* associativity makes EXPR OP EXPR ambiguous: b+c+d has two parses but
      must be validated at most... well, each distinct printed form once *)
@@ -412,5 +445,6 @@ let () =
           Alcotest.test_case "bottom-up finds target" `Quick test_bottomup_finds_target;
           Alcotest.test_case "bottom-up cannot right-nest" `Quick test_bottomup_cannot_nest;
           Alcotest.test_case "duplicate templates validated once" `Quick test_search_dedup;
+          Alcotest.test_case "timeout fires on a 64-pop poll boundary" `Quick test_timeout_poll;
         ] );
     ]

@@ -48,6 +48,196 @@ let qcheck_poly_semantics =
       Rat.equal (Poly.eval (Poly.add p q) env) (Rat.add (Poly.eval p env) (Poly.eval q env))
       && Rat.equal (Poly.eval (Poly.mul p q) env) (Rat.mul (Poly.eval p env) (Poly.eval q env)))
 
+(* ---- Poly/Ratfunc parity against a naive reference ---- *)
+
+(* The pre-rewrite polynomial representation, kept verbatim as an
+   executable specification: an association list re-normalized (hash
+   table + sort) after every ring operation. The production [Poly] must
+   produce the same canonical form — same printing, same term count —
+   and the same values at any rational point. *)
+module Ref_poly = struct
+  type t = (string list * Rat.t) list
+
+  let normalize terms : t =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (m, c) ->
+        let m = List.sort String.compare m in
+        let prev = Option.value ~default:Rat.zero (Hashtbl.find_opt tbl m) in
+        Hashtbl.replace tbl m (Rat.add prev c))
+      terms;
+    Hashtbl.fold (fun m c acc -> if Rat.is_zero c then acc else (m, c) :: acc) tbl []
+    |> List.sort (fun (m1, _) (m2, _) -> compare m1 m2)
+
+  let const c = normalize [ ([], c) ]
+  let var v = [ ([ v ], Rat.one) ]
+  let add a b = normalize (a @ b)
+  let neg a = List.map (fun (m, c) -> (m, Rat.neg c)) a
+  let sub a b = add a (neg b)
+
+  let mul a b =
+    normalize
+      (List.concat_map (fun (ma, ca) -> List.map (fun (mb, cb) -> (ma @ mb, Rat.mul ca cb)) b) a)
+
+  let is_zero p = p = []
+
+  let to_string p =
+    if p = [] then "0"
+    else
+      String.concat " + "
+        (List.map
+           (fun (m, c) ->
+             match m with
+             | [] -> Rat.to_string c
+             | _ when Rat.equal c Rat.one -> String.concat "*" m
+             | _ -> Rat.to_string c ^ "*" ^ String.concat "*" m)
+           p)
+
+  let eval p env =
+    List.fold_left
+      (fun acc (m, c) -> Rat.add acc (List.fold_left (fun v x -> Rat.mul v (env x)) c m))
+      Rat.zero p
+end
+
+type exp =
+  | C of Rat.t
+  | V of string
+  | Eadd of exp * exp
+  | Esub of exp * exp
+  | Emul of exp * exp
+  | Eneg of exp
+  | Ediv of exp * exp
+
+let rec exp_to_string = function
+  | C c -> Rat.to_string c
+  | V v -> v
+  | Eadd (a, b) -> Printf.sprintf "(%s + %s)" (exp_to_string a) (exp_to_string b)
+  | Esub (a, b) -> Printf.sprintf "(%s - %s)" (exp_to_string a) (exp_to_string b)
+  | Emul (a, b) -> Printf.sprintf "(%s * %s)" (exp_to_string a) (exp_to_string b)
+  | Eneg a -> Printf.sprintf "(-%s)" (exp_to_string a)
+  | Ediv (a, b) -> Printf.sprintf "(%s / %s)" (exp_to_string a) (exp_to_string b)
+
+(* constants include zero, negatives, and denominators past the 2^30
+   machine-int limb bound, so the Rat bigint slow path is exercised too *)
+let big_den = (1 lsl 31) + 1
+
+let gen_rat =
+  let open QCheck.Gen in
+  oneof
+    [
+      map Rat.of_int (int_range (-5) 5);
+      map2 (fun n d -> Rat.of_ints n d) (int_range (-9) 9) (oneofl [ 1; 2; 3; 7; big_den ]);
+      return Rat.zero;
+    ]
+
+let gen_exp ~div depth =
+  let open QCheck.Gen in
+  let rec gen n =
+    if n = 0 then oneof [ map (fun c -> C c) gen_rat; map (fun v -> V v) (oneofl [ "x"; "y"; "z" ]) ]
+    else
+      oneof
+        (List.filter_map Fun.id
+           [
+             Some (map2 (fun a b -> Eadd (a, b)) (gen (n - 1)) (gen (n - 1)));
+             Some (map2 (fun a b -> Esub (a, b)) (gen (n - 1)) (gen (n - 1)));
+             Some (map2 (fun a b -> Emul (a, b)) (gen (n - 1)) (gen (n - 1)));
+             Some (map (fun a -> Eneg a) (gen (n - 1)));
+             (if div then Some (map2 (fun a b -> Ediv (a, b)) (gen (n - 1)) (gen (n - 1)))
+              else None);
+           ])
+  in
+  gen depth
+
+let rec poly_of_exp = function
+  | C c -> Poly.const c
+  | V v -> Poly.var v
+  | Eadd (a, b) -> Poly.add (poly_of_exp a) (poly_of_exp b)
+  | Esub (a, b) -> Poly.sub (poly_of_exp a) (poly_of_exp b)
+  | Emul (a, b) -> Poly.mul (poly_of_exp a) (poly_of_exp b)
+  | Eneg a -> Poly.neg (poly_of_exp a)
+  | Ediv _ -> invalid_arg "poly_of_exp: division"
+
+let rec ref_of_exp = function
+  | C c -> Ref_poly.const c
+  | V v -> Ref_poly.var v
+  | Eadd (a, b) -> Ref_poly.add (ref_of_exp a) (ref_of_exp b)
+  | Esub (a, b) -> Ref_poly.sub (ref_of_exp a) (ref_of_exp b)
+  | Emul (a, b) -> Ref_poly.mul (ref_of_exp a) (ref_of_exp b)
+  | Eneg a -> Ref_poly.neg (ref_of_exp a)
+  | Ediv _ -> invalid_arg "ref_of_exp: division"
+
+(* three adversarial points: all-zero, negatives, and bigint denominators *)
+let envs =
+  [
+    (fun _ -> Rat.zero);
+    (function "x" -> Rat.of_int (-2) | "y" -> Rat.of_int (-1) | _ -> Rat.of_ints (-1) 3);
+    (function
+    | "x" -> Rat.of_ints 1 big_den
+    | "y" -> Rat.of_ints (-7) big_den
+    | _ -> Rat.of_int 4);
+  ]
+
+let arb_exp ~div = QCheck.make (gen_exp ~div 4) ~print:exp_to_string
+
+let qcheck_poly_parity =
+  QCheck.Test.make ~name:"Poly matches the naive normalize-per-op reference" ~count:500
+    (arb_exp ~div:false) (fun e ->
+      let p = poly_of_exp e and r = ref_of_exp e in
+      String.equal (Poly.to_string p) (Ref_poly.to_string r)
+      && Poly.n_terms p = List.length r
+      && Poly.is_zero p = Ref_poly.is_zero r
+      && List.for_all (fun env -> Rat.equal (Poly.eval p env) (Ref_poly.eval r env)) envs)
+
+(* reference rational functions: textbook cross-multiplication over
+   reference polynomials, never normalized *)
+let rec ref_rf_of_exp = function
+  | C c -> (Ref_poly.const c, Ref_poly.const Rat.one)
+  | V v -> (Ref_poly.var v, Ref_poly.const Rat.one)
+  | Eadd (a, b) ->
+      let n1, d1 = ref_rf_of_exp a and n2, d2 = ref_rf_of_exp b in
+      (Ref_poly.add (Ref_poly.mul n1 d2) (Ref_poly.mul n2 d1), Ref_poly.mul d1 d2)
+  | Esub (a, b) -> ref_rf_of_exp (Eadd (a, Eneg b))
+  | Emul (a, b) ->
+      let n1, d1 = ref_rf_of_exp a and n2, d2 = ref_rf_of_exp b in
+      (Ref_poly.mul n1 n2, Ref_poly.mul d1 d2)
+  | Eneg a ->
+      let n, d = ref_rf_of_exp a in
+      (Ref_poly.neg n, d)
+  | Ediv (a, b) ->
+      let n1, d1 = ref_rf_of_exp a and n2, d2 = ref_rf_of_exp b in
+      if Ref_poly.is_zero (Ref_poly.mul d1 n2) then raise Division_by_zero
+      else (Ref_poly.mul n1 d2, Ref_poly.mul d1 n2)
+
+let rec rf_of_exp = function
+  | C c -> Ratfunc.of_rat c
+  | V v -> Ratfunc.var v
+  | Eadd (a, b) -> Ratfunc.add (rf_of_exp a) (rf_of_exp b)
+  | Esub (a, b) -> Ratfunc.sub (rf_of_exp a) (rf_of_exp b)
+  | Emul (a, b) -> Ratfunc.mul (rf_of_exp a) (rf_of_exp b)
+  | Eneg a -> Ratfunc.neg (rf_of_exp a)
+  | Ediv (a, b) -> Ratfunc.div (rf_of_exp a) (rf_of_exp b)
+
+let qcheck_ratfunc_parity =
+  QCheck.Test.make ~name:"Ratfunc matches cross-multiplied reference fractions" ~count:500
+    (arb_exp ~div:true) (fun e ->
+      match
+        ( (try Ok (rf_of_exp e) with Division_by_zero -> Error ()),
+          try Ok (ref_rf_of_exp e) with Division_by_zero -> Error () )
+      with
+      | Error (), Error () -> true (* both reject the same syntactic zero divisor *)
+      | Ok rf, Ok (rn, rd) ->
+          List.for_all
+            (fun env ->
+              let dv = Poly.eval (Ratfunc.den rf) env and rdv = Ref_poly.eval rd env in
+              (* a vanishing denominator at a probe point is undefined on
+                 both sides of the comparison; skip that point *)
+              Rat.is_zero dv || Rat.is_zero rdv
+              || Rat.equal
+                   (Rat.div (Poly.eval (Ratfunc.num rf) env) dv)
+                   (Rat.div (Ref_poly.eval rn env) rdv))
+            envs
+      | _ -> false)
+
 (* ---- Ratfunc ---- *)
 
 let rx = Ratfunc.var "x"
@@ -175,12 +365,14 @@ let () =
           Alcotest.test_case "basics" `Quick test_poly_basic;
           Alcotest.test_case "evaluation" `Quick test_poly_eval;
           qc qcheck_poly_semantics;
+          qc qcheck_poly_parity;
         ] );
       ( "ratfunc",
         [
           Alcotest.test_case "cross-multiplied equality" `Quick test_ratfunc_equality_cross_mul;
           Alcotest.test_case "Value.S interface" `Quick test_ratfunc_value_interface;
           Alcotest.test_case "zero divisor" `Quick test_ratfunc_div_by_zero_const;
+          qc qcheck_ratfunc_parity;
         ] );
       ( "bmc",
         [
