@@ -167,9 +167,25 @@ let run_smoke ~json_file () =
       close_out oc;
       Printf.eprintf "[bench] wrote %s\n%!" file
 
+(* ---- liftability diagnostics: the analyzer's fail-fast path ----
+
+   Runs STAGG^TD over the deliberately-unliftable demo kernels
+   ([Suite.diagnostics], not part of the 77): each is rejected by the
+   static analysis before any search, with a diagnostic naming the
+   offending construct. Kept out of the smoke sweep (and of every
+   table) — this is a demonstration, not a measurement. *)
+let run_diagnostics () =
+  print_endline "== liftability diagnostics (unliftable demo kernels, rejected before search) ==";
+  List.iter
+    (fun b ->
+      let r = Stagg.Pipeline.run Stagg.Method_.stagg_td b in
+      Format.printf "%a@." Stagg.Result_.pp r)
+    Stagg_benchsuite.Suite.diagnostics;
+  print_newline ()
+
 let usage () =
   prerr_endline
-    "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--jobs N | -j N] [--json FILE]";
+    "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--no-analysis] [--jobs N | -j N] [--json FILE]";
   exit 2
 
 let () =
@@ -182,6 +198,7 @@ let () =
   let skip_ablations = ref false
   and skip_bechamel = ref false
   and smoke = ref false
+  and analysis = ref true
   and jobs = ref (Stagg_util.Pool.default_jobs ())
   and json_file = ref None in
   let rec parse = function
@@ -194,6 +211,9 @@ let () =
         parse rest
     | "--skip-bechamel" :: rest ->
         skip_bechamel := true;
+        parse rest
+    | "--no-analysis" :: rest ->
+        analysis := false;
         parse rest
     | ("--jobs" | "-j") :: n :: rest -> (
         match int_of_string_opt n with
@@ -218,16 +238,21 @@ let () =
     run_smoke ~json_file:!json_file ();
     exit 0
   end;
-  let skip_ablations = !skip_ablations and skip_bechamel = !skip_bechamel and jobs = !jobs in
+  let skip_ablations = !skip_ablations
+  and skip_bechamel = !skip_bechamel
+  and analysis = !analysis
+  and jobs = !jobs in
   let progress msg = Printf.eprintf "[bench] %s\n%!" msg in
   let t0 = Unix.gettimeofday () in
   let runs =
-    if skip_ablations then Experiments.run_core ~progress ~jobs ()
-    else Experiments.run_all ~progress ~jobs ()
+    if skip_ablations then Experiments.run_core ~progress ~jobs ~analysis ()
+    else Experiments.run_all ~progress ~jobs ~analysis ()
   in
-  Printf.printf "Guided Tensor Lifting — experiment harness (suite of %d queries, seed %d)\n\n"
+  Printf.printf "Guided Tensor Lifting — experiment harness (suite of %d queries, seed %d%s)\n\n"
     (List.length Stagg_benchsuite.Suite.all)
-    runs.seed;
+    runs.seed
+    (if analysis then "" else ", static analysis off");
+  if analysis then run_diagnostics ();
   print_string (Experiments.table1 runs);
   print_newline ();
   print_string (Experiments.fig9 runs);

@@ -59,10 +59,21 @@ let method_arg =
     & info [ "m"; "method" ] ~docv:"METHOD"
         ~doc:"Search method: td, bu, td-equal, td-llm-grammar, td-full-grammar, bu-equal, ...")
 
+let no_analysis_arg =
+  Arg.(
+    value & flag
+    & info [ "no-analysis" ]
+        ~doc:
+          "Disable the static liftability analysis (fail-fast and search pruning). \
+           Solved/attempt outcomes are byte-identical either way; this is the \
+           differential-testing baseline.")
+
+let with_analysis no_analysis m = if no_analysis then Stagg.Method_.without_analysis m else m
+
 let lift_cmd =
-  let run name meth =
+  let run name meth no_analysis =
     let b = find_bench_exn name in
-    let r = Stagg.Pipeline.run (method_of_string meth) b in
+    let r = Stagg.Pipeline.run (with_analysis no_analysis (method_of_string meth)) b in
     Format.printf "%a@." Stagg.Result_.pp r;
     (match r.solution with
     | Some sol ->
@@ -73,7 +84,7 @@ let lift_cmd =
   in
   Cmd.v
     (Cmd.info "lift" ~doc:"Lift one benchmark to TACO and print the verified solution.")
-    Term.(const run $ name_arg $ method_arg)
+    Term.(const run $ name_arg $ method_arg $ no_analysis_arg)
 
 (* ---- show ---- *)
 
@@ -100,6 +111,41 @@ let show_cmd =
   Cmd.v
     (Cmd.info "show"
        ~doc:"Dump the pipeline's intermediate artifacts for one benchmark (Fig. 1 stages ①–②).")
+    Term.(const run $ name_arg $ method_arg)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let run name meth =
+    let b = find_bench_exn name in
+    let m = method_of_string meth in
+    let facts = Stagg_minic.Facts.analyze (Bench.func b) in
+    Format.printf "%a@." Stagg_minic.Facts.pp facts;
+    (match facts.ft_verdict with
+    | Error _ -> ()
+    | Ok () -> (
+        (* the analysis passed: show what it buys the search *)
+        match Stagg.Pipeline.prepare m b with
+        | Error e -> Printf.printf "grammar pruning: n/a (preparation failed: %s)\n" e
+        | Ok prep ->
+            let q = Stagg.Pipeline.query_of_bench m b in
+            let consts = Stagg_minic.Ast.constants (Bench.func b) in
+            (match Stagg.Pipeline.prune_of m q ~consts prep with
+            | None -> Printf.printf "grammar pruning: off (analysis or fingerprint dedup disabled)\n"
+            | Some pr ->
+                Printf.printf "grammar pruning (%s): %d/%d rules doomed%s\n" m.label
+                  (Stagg_grammar.Prune.n_doomed pr) (Stagg_grammar.Prune.n_rules pr)
+                  (if Stagg_grammar.Prune.tracks_arity pr then ", arity tracking on" else "");
+                List.iter
+                  (fun (reason, n) -> Printf.printf "  %-28s %d\n" reason n)
+                  (Stagg_grammar.Prune.doomed_counts pr))));
+    exit (match facts.ft_verdict with Ok () -> 0 | Error _ -> 1)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static liftability analysis on one benchmark: access patterns, dependence \
+          classes, operator facts, warnings, verdict, and the grammar rules it dooms.")
     Term.(const run $ name_arg $ method_arg)
 
 (* ---- kernel ---- *)
@@ -132,7 +178,7 @@ let jobs_arg =
            $(docv) (modulo per-query times); 1 runs sequentially on the calling domain.")
 
 let suite_cmd =
-  let run meth jobs =
+  let run meth jobs no_analysis =
     let results =
       match meth with
       | "llm" -> Stagg_baselines.Llm_only.run_suite ~jobs ~seed:20250604 Suite.all
@@ -141,7 +187,8 @@ let suite_cmd =
       | "c2taco-noh" ->
           Stagg_baselines.C2taco.run_suite ~jobs ~seed:20250604 ~heuristics:false Suite.all
       | "tenspiler" -> Stagg_baselines.Tenspiler.run_suite ~jobs ~seed:20250604 Suite.real_world
-      | m -> Stagg.Pipeline.run_suite ~jobs (method_of_string m) Suite.all
+      | m ->
+          Stagg.Pipeline.run_suite ~jobs (with_analysis no_analysis (method_of_string m)) Suite.all
     in
     List.iter (fun r -> Format.printf "%a@." Stagg.Result_.pp r) results;
     let solved = List.filter (fun r -> r.Stagg.Result_.solved) results in
@@ -149,7 +196,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run one method over the whole suite and print per-query results.")
-    Term.(const run $ method_arg $ jobs_arg)
+    Term.(const run $ method_arg $ jobs_arg $ no_analysis_arg)
 
 (* ---- lift-file: arbitrary C + signature spec + recorded LLM transcript ---- *)
 
@@ -292,4 +339,5 @@ let () =
       ~doc:"Guided tensor lifting: synthesize TACO programs from legacy C (PLDI 2025 reproduction)."
   in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; lift_cmd; lift_file_cmd; export_cmd; show_cmd; kernel_cmd; suite_cmd; experiments_cmd ]))
+       [ list_cmd; lift_cmd; lift_file_cmd; export_cmd; show_cmd; analyze_cmd; kernel_cmd;
+         suite_cmd; experiments_cmd ]))

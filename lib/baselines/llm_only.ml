@@ -17,10 +17,13 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
       time_s = Unix.gettimeofday () -. started;
       attempts;
       expansions = 0;
+      pruned = 0;
+      pruned_rules = 0;
       n_candidates;
       validate_s = !validate_s;
       verify_s = !verify_s;
       instantiations = !instantiations;
+      warnings = [];
       failure;
     }
   in

@@ -5,7 +5,15 @@ let all =
 let real_world = List.filter Bench.is_real_world all
 let artificial = List.filter (fun b -> not (Bench.is_real_world b)) all
 let by_category c = List.filter (fun (b : Bench.t) -> b.category = c) all
-let find name = List.find_opt (fun (b : Bench.t) -> String.equal b.name name) all
+
+(* Unliftable demo kernels for the analyzer's fail-fast path; not part of
+   the 77-query suite (they would break the paper's counts), but
+   reachable by name through [find]. *)
+let diagnostics = Suite_diagnostic.all
+
+let find name =
+  List.find_opt (fun (b : Bench.t) -> String.equal b.name name) (all @ diagnostics)
+
 let names = List.map (fun (b : Bench.t) -> b.name) all
 
 let self_check () =

@@ -9,7 +9,15 @@ val real_world : Bench.t list
 
 val artificial : Bench.t list
 val by_category : Bench.category -> Bench.t list
+
+(** Deliberately-unliftable kernels (mod, ternary, scan, no store)
+    demonstrating the static analyzer's fail-fast diagnostics. Not
+    included in {!all}; {!find} resolves their names. *)
+val diagnostics : Bench.t list
+
+(** Looks a benchmark up by name in {!all} and {!diagnostics}. *)
 val find : string -> Bench.t option
+
 val names : string list
 
 (** Suite self-check: every benchmark parses, its ground truth parses, and

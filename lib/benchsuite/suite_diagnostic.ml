@@ -1,0 +1,66 @@
+(** Deliberately-unliftable kernels exercising the fail-fast path of the
+    static liftability analysis ({!Stagg_minic.Facts}). They are kept out
+    of {!Suite.all} — the paper's 77-query suite stays untouched — and
+    carry no ground truth: each one is *supposed* to be rejected before
+    search, with a diagnostic naming the offending construct. *)
+
+open Bench
+open Stagg_oracle.Llm_client
+
+let mk = mk ~category:Artificial ~quality:Exact ~truth:""
+
+let all =
+  [
+    (* modulo in a data position: TACO index expressions have no [%] *)
+    mk ~name:"diag_mod"
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R"
+      {|
+void mod_by_three(int N, int* A, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] % 3;
+  }
+}
+|};
+    (* data-dependent select (ReLU): needs a conditional, not a tensor
+       contraction *)
+    mk ~name:"diag_relu"
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R"
+      {|
+void relu(int N, int* A, int* R) {
+  int i;
+  for (i = 0; i < N; i++) {
+    R[i] = A[i] > 0 ? A[i] : 0;
+  }
+}
+|};
+    (* loop-carried flow dependence: R[i] reads R[i-1] written by the
+       previous iteration — a scan, not a pointwise/reduction kernel *)
+    mk ~name:"diag_prefix_sum"
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R"
+      {|
+void prefix_sum(int N, int* A, int* R) {
+  int i;
+  R[0] = A[0];
+  for (i = 1; i < N; i++) {
+    R[i] = R[i - 1] + A[i];
+  }
+}
+|};
+    (* never stores to an array parameter: nothing to lift *)
+    mk ~name:"diag_no_store"
+      ~args:[ size "N"; arr "A" [ "N" ]; arr "R" [ "N" ] ]
+      ~out:"R"
+      {|
+void sum_locally(int N, int* A, int* R) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < N; i++) {
+    acc += A[i];
+  }
+}
+|};
+  ]

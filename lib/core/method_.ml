@@ -20,6 +20,12 @@ type t = {
   max_depth : int;  (** top-down depth limit (§5.1) *)
   dedup : Astar.dedup;  (** frontier/seen dedup scheme (fingerprints by default) *)
   verify : bool;  (** bounded verification of validated candidates (§7) *)
+  analysis : bool;
+      (** static liftability analysis: fail fast on unliftable kernels and
+          prune provably-doomed templates from the search. Solved/attempt
+          outcomes are byte-identical either way (only expansions/time
+          drop); [false] reproduces the pre-analysis behaviour for
+          differential testing. *)
   seed : int;  (** drives the mock LLM and example generation *)
 }
 
@@ -38,8 +44,14 @@ let base search grammar penalties label =
     max_depth = 6;
     dedup = Astar.Fingerprint;
     verify = true;
+    analysis = true;
     seed = 20250604;
   }
+
+(** The same method without the static-analysis layer (the [--no-analysis]
+    differential mode); the label is unchanged so sweep outputs diff
+    cleanly against analysis-on runs. *)
+let without_analysis m = { m with analysis = false }
 
 let stagg_td = base Top_down Refined Penalty.all_topdown "STAGG^TD"
 let stagg_bu = base Bottom_up Refined Penalty.all_bottomup "STAGG^BU"

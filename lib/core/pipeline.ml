@@ -149,11 +149,52 @@ let prepare_query (m : Method_.t) (q : query) : (prepared, string) result =
 
 let prepare m b = prepare_query m (query_of_bench m b)
 
+(* The static-analysis half of stage ② bis: facts for fail-fast and
+   warnings, plus the sound grammar restriction handed to the search.
+   The prune context is built from the SIGNATURE (the validator's own
+   rank source), never from inferred ranks — inferred-vs-signature
+   disagreements are recorded as warnings instead. *)
+let facts_warnings (q : query) (facts : Stagg_minic.Facts.t) ~(dim_list : int list option) :
+    string list =
+  let sig_out_rank = Stagg_minic.Signature.rank_of_spec (Stagg_minic.Signature.out_spec q.signature) in
+  let extra = ref [] in
+  (match facts.ft_out_rank with
+  | Some r when r <> sig_out_rank ->
+      extra :=
+        Printf.sprintf "analysis: inferred output rank %d disagrees with signature rank %d" r
+          sig_out_rank
+        :: !extra
+  | _ -> ());
+  (match dim_list with
+  | Some (lhs :: _) when lhs <> sig_out_rank ->
+      extra :=
+        Printf.sprintf "analysis: predicted LHS dimension %d disagrees with signature output rank %d"
+          lhs sig_out_rank
+        :: !extra
+  | _ -> ());
+  facts.ft_warnings @ List.rev !extra
+
+let prune_of (m : Method_.t) (q : query) ~(consts : 'a list) (prep : prepared) :
+    Stagg_grammar.Prune.t option =
+  if not (m.analysis && m.dedup = Astar.Fingerprint) then None
+  else
+    let module Sig = Stagg_minic.Signature in
+    Some
+      (Prune.restrict (Pcfg.cfg prep.pcfg)
+         {
+           Prune.out_rank = Some (Sig.rank_of_spec (Sig.out_spec q.signature));
+           arg_ranks = Some (List.map (fun (_, s) -> Sig.rank_of_spec s) q.signature.Sig.args);
+           no_consts = consts = [];
+           lhs_name = Genlib.tensor_name 0;
+         })
+
 let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) result) : Result_.t =
   let started = Unix.gettimeofday () in
   (* per-phase accumulators (one run = one domain; plain refs are fine) *)
   let validate_s = ref 0. and verify_s = ref 0. and instantiations = ref 0 in
-  let finish ~solved ~solution ~attempts ~expansions ~n_candidates ~failure =
+  let facts = if m.analysis then Some (Stagg_minic.Facts.analyze q.func) else None in
+  let finish ?(pruned = 0) ?(pruned_rules = 0) ?(warnings = []) ~solved ~solution ~attempts
+      ~expansions ~n_candidates ~failure () =
     {
       Result_.bench = q.qname;
       method_label = m.label;
@@ -162,26 +203,46 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
       time_s = Unix.gettimeofday () -. started;
       attempts;
       expansions;
+      pruned;
+      pruned_rules;
       n_candidates;
       validate_s = !validate_s;
       verify_s = !verify_s;
       instantiations = !instantiations;
+      warnings;
       failure;
     }
   in
+  match facts with
+  | Some f when Result.is_error f.ft_verdict ->
+      (* fail fast: no grammar, no search — the diagnostic is the result *)
+      let diag = match f.ft_verdict with Error d -> d | Ok () -> assert false in
+      finish ~solved:false ~solution:None ~attempts:0 ~expansions:0 ~n_candidates:0
+        ~warnings:(facts_warnings q f ~dim_list:None)
+        ~failure:(Some ("not liftable: " ^ diag))
+        ()
+  | _ -> (
   match Result.map (prepared_of_prefix m) prefix_r with
   | Error reason ->
-      finish ~solved:false ~solution:None ~attempts:0 ~expansions:0 ~n_candidates:0
-        ~failure:(Some reason)
+      let warnings =
+        match facts with None -> [] | Some f -> facts_warnings q f ~dim_list:None
+      in
+      finish ~solved:false ~solution:None ~attempts:0 ~expansions:0 ~n_candidates:0 ~warnings
+        ~failure:(Some reason) ()
   | Ok prep -> (
       let n_candidates = List.length prep.candidates in
       let func = q.func in
+      let warnings =
+        match facts with
+        | None -> []
+        | Some f -> facts_warnings q f ~dim_list:(Some prep.dim_list)
+      in
       let example_seed = m.seed lxor Hashtbl.hash (q.qname, "examples") in
       let prng = Prng.create ~seed:example_seed in
       match Examples.generate ~func ~signature:q.signature ~prng () with
       | Error msg ->
-          finish ~solved:false ~solution:None ~attempts:0 ~expansions:0 ~n_candidates
-            ~failure:(Some msg)
+          finish ~solved:false ~solution:None ~attempts:0 ~expansions:0 ~n_candidates ~warnings
+            ~failure:(Some msg) ()
       | Ok examples -> (
           let verify concrete =
             if not m.verify then true
@@ -210,29 +271,34 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
             instantiations := !instantiations + n;
             sol
           in
+          let prune = prune_of m q ~consts prep in
+          let pruned_rules =
+            match prune with Some pr -> Prune.n_doomed pr | None -> 0
+          in
           let outcome =
             match m.search with
             | Method_.Top_down ->
                 Astar.search_topdown ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
-                  ~max_depth:m.max_depth ~dedup:m.dedup ~budget:m.budget ~validate ()
+                  ~max_depth:m.max_depth ~dedup:m.dedup ?prune ~budget:m.budget ~validate ()
             | Method_.Bottom_up ->
                 Astar.search_bottomup ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
-                  ~dim_list:prep.dim_list ~dedup:m.dedup ~budget:m.budget ~validate ()
+                  ~dim_list:prep.dim_list ~dedup:m.dedup ?prune ~budget:m.budget ~validate ()
           in
           let stats = Astar.stats_of outcome in
+          let finish = finish ~pruned:stats.pruned ~pruned_rules ~warnings ~n_candidates in
           match outcome with
           | Astar.Solved (sol, _) ->
               finish ~solved:true ~solution:(Some sol) ~attempts:stats.attempts
-                ~expansions:stats.expansions ~n_candidates ~failure:None
+                ~expansions:stats.expansions ~failure:None ()
           | Astar.Exhausted _ ->
               finish ~solved:false ~solution:None ~attempts:stats.attempts
-                ~expansions:stats.expansions ~n_candidates ~failure:(Some "search space exhausted")
+                ~expansions:stats.expansions ~failure:(Some "search space exhausted") ()
           | Astar.Budget_exceeded (Astar.Timeout, _) ->
               finish ~solved:false ~solution:None ~attempts:stats.attempts
-                ~expansions:stats.expansions ~n_candidates ~failure:(Some "timeout")
+                ~expansions:stats.expansions ~failure:(Some "timeout") ()
           | Astar.Budget_exceeded (_, _) ->
               finish ~solved:false ~solution:None ~attempts:stats.attempts
-                ~expansions:stats.expansions ~n_candidates ~failure:(Some "budget exceeded")))
+                ~expansions:stats.expansions ~failure:(Some "budget exceeded") ())))
 
 let lift (m : Method_.t) (q : query) : Result_.t = lift_prefixed m q (prefix_of_query q)
 

@@ -8,11 +8,14 @@ type t = {
   solution : Stagg_validate.Validator.solution option;
   time_s : float;
   attempts : int;  (** templates sent to validation (Table 1/3 "attempts") *)
-  expansions : int;  (** queue pops *)
+  expansions : int;  (** queue pops doing real work (excludes [pruned]) *)
+  pruned : int;  (** pops skipped as provably-doomed by the static analysis *)
+  pruned_rules : int;  (** grammar rules the analysis marked doomed up front *)
   n_candidates : int;  (** syntactically valid LLM candidates parsed *)
   validate_s : float;  (** wall time inside the validator, incl. [verify_s] *)
   verify_s : float;  (** wall time inside the BMC verify hook *)
   instantiations : int;  (** concrete substitution instantiations executed *)
+  warnings : string list;  (** static-analysis warnings (precision losses etc.) *)
   failure : string option;  (** reason when unsolved *)
 }
 
@@ -28,4 +31,5 @@ let pp fmt r =
     r.time_s r.attempts
     (match (r.solved, r.solution) with
     | true, Some s -> "  " ^ Stagg_taco.Pretty.program_to_string s.concrete
-    | _, _ -> Option.fold ~none:"" ~some:(fun m -> "  (" ^ m ^ ")") r.failure)
+    | _, _ -> Option.fold ~none:"" ~some:(fun m -> "  (" ^ m ^ ")") r.failure);
+  List.iter (fun w -> Format.fprintf fmt "@\n%-22s   warning: %s" "" w) r.warnings

@@ -1,0 +1,122 @@
+(* Analysis-guided grammar pruning. See prune.mli for the soundness
+   contract: a template is "doomed" only when [Subst.enumerate] is
+   guaranteed to return zero substitutions for it, i.e. validation is a
+   structural no-op. Three of the conditions are per-rule (a token's
+   arity against the signature ranks, a Const token against an empty
+   constant pool); the fourth — the same tensor name at two different
+   arities — is detected incrementally over the rule sequence of a
+   derivation through a packed name→arity map. *)
+
+type reason = Lhs_rank | Arg_rank | Const_pool
+
+let reason_to_string = function
+  | Lhs_rank -> "LHS rank mismatch"
+  | Arg_rank -> "no argument of matching rank"
+  | Const_pool -> "empty constant pool"
+
+type ctx = {
+  out_rank : int option;
+  arg_ranks : int list option;
+  no_consts : bool;
+  lhs_name : string;
+}
+
+(* [rule_sym.(id)]: -1 when rule [id] carries no tensor token, otherwise
+   [(name_idx lsl 4) lor arity] for the incremental arity-clash tracker.
+   The packed search state gives each of up to [max_names] names a 4-bit
+   field holding (arity + 1), 0 = unseen; -1 is the doomed sink. *)
+let max_names = 15
+let max_arity = 14
+
+type t = {
+  rule_doomed : reason option array;
+  rule_sym : int array;
+  track : bool;  (** arity-clash tracking available for this grammar *)
+  n_rules : int;
+  n_doomed : int;
+}
+
+type state = int
+
+let root : state = 0
+let is_doomed (st : state) = st < 0
+
+let step (t : t) (st : state) (rule_id : int) : state =
+  if st < 0 then st
+  else if t.rule_doomed.(rule_id) <> None then -1
+  else
+    let s = t.rule_sym.(rule_id) in
+    if s < 0 then st
+    else
+      let shift = (s lsr 4) * 4 in
+      let stored = (st lsr shift) land 15 in
+      let arity1 = (s land 15) + 1 in
+      if stored = 0 then st lor (arity1 lsl shift)
+      else if stored = arity1 then st
+      else -1
+
+let restrict (g : Cfg.t) (ctx : ctx) : t =
+  let n = Cfg.size g in
+  let rule_doomed = Array.make n None in
+  let rule_sym = Array.make n (-1) in
+  let names : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let track = ref true in
+  let name_idx name =
+    match Hashtbl.find_opt names name with
+    | Some i -> Some i
+    | None ->
+        let i = Hashtbl.length names in
+        if i >= max_names then None
+        else begin
+          Hashtbl.add names name i;
+          Some i
+        end
+  in
+  Array.iter
+    (fun (r : Cfg.rule) ->
+      let tokens_seen = ref 0 in
+      List.iter
+        (fun (s : Cfg.sym) ->
+          match s with
+          | Cfg.NT _ -> ()
+          | Cfg.T (Cfg.Tok_tensor (name, idxs)) -> (
+              incr tokens_seen;
+              let arity = List.length idxs in
+              (if String.equal name ctx.lhs_name then (
+                 match ctx.out_rank with
+                 | Some rk when arity <> rk && rule_doomed.(r.id) = None ->
+                     rule_doomed.(r.id) <- Some Lhs_rank
+                 | _ -> ())
+               else
+                 match ctx.arg_ranks with
+                 | Some ranks when (not (List.mem arity ranks)) && rule_doomed.(r.id) = None ->
+                     rule_doomed.(r.id) <- Some Arg_rank
+                 | _ -> ());
+              if !tokens_seen > 1 || arity > max_arity then track := false
+              else
+                match name_idx name with
+                | None -> track := false
+                | Some i -> rule_sym.(r.id) <- (i lsl 4) lor arity)
+          | Cfg.T Cfg.Tok_const ->
+              if ctx.no_consts && rule_doomed.(r.id) = None then
+                rule_doomed.(r.id) <- Some Const_pool
+          | Cfg.T _ -> ())
+        r.rhs)
+    (Cfg.rules g);
+  if not !track then Array.fill rule_sym 0 n (-1);
+  let n_doomed = Array.fold_left (fun a d -> if d = None then a else a + 1) 0 rule_doomed in
+  { rule_doomed; rule_sym; track = !track; n_rules = n; n_doomed }
+
+let n_rules t = t.n_rules
+let n_doomed t = t.n_doomed
+let tracks_arity t = t.track
+
+let doomed_counts (t : t) : (string * int) list =
+  let tally r =
+    Array.fold_left (fun a d -> if d = Some r then a + 1 else a) 0 t.rule_doomed
+  in
+  List.filter_map
+    (fun r ->
+      let n = tally r in
+      if n = 0 then None else Some (reason_to_string r, n))
+    [ Lhs_rank; Arg_rank; Const_pool ]

@@ -1,0 +1,70 @@
+(** Analysis-guided grammar pruning: which derivations are {e doomed}.
+
+    A complete template is doomed when the validator's substitution
+    enumerator ({!Stagg_template.Subst.enumerate}) is guaranteed to
+    return the empty list for it — zero instantiations, zero work — so
+    the search may skip its validation without changing any observable
+    count. Four structural conditions have this property, mirroring
+    [enumerate]'s own early exits:
+
+    - the LHS tensor token's arity differs from the output's signature
+      rank ([lhs_arity <> out_rank]);
+    - some RHS tensor token's arity matches no signature argument's rank
+      ([candidates_for arity = \[\]] — every pipeline argument carries a
+      concrete rank);
+    - the template mentions [Const] but the source constant pool is
+      empty ([needs_const && consts = \[\]]);
+    - the same tensor name occurs at two different arities
+      ([not (arity_consistent template)]).
+
+    The first three are per-rule facts over the rule's terminal tokens;
+    the fourth is tracked incrementally over a derivation's rule sequence
+    by a packed name→arity map (4 bits per name), threaded through the
+    A* frontier as an [int].
+
+    Deliberately NOT here: pruning on which {e operators} occur in the C
+    source, or capping index-variable counts. Both can be semantically
+    wrong — [(b*c)/c] validates wherever [b] does, and index variables do
+    not affect substitution enumeration at all — so dropping such
+    templates could steal attempts from (or reorder) the byte-identical
+    replay. They are facts ({!Stagg_minic.Facts}), not prunes. *)
+
+type reason = Lhs_rank | Arg_rank | Const_pool
+
+val reason_to_string : reason -> string
+
+type ctx = {
+  out_rank : int option;  (** signature rank of the output parameter *)
+  arg_ranks : int list option;  (** signature ranks of all arguments *)
+  no_consts : bool;  (** the source constant pool is empty *)
+  lhs_name : string;  (** the LHS tensor symbol (["a"]) *)
+}
+
+type t
+
+(** Classify every rule of [g] once, before the search starts. *)
+val restrict : Cfg.t -> ctx -> t
+
+val n_rules : t -> int
+
+(** Rules doomed in isolation (rank/constant conditions). *)
+val n_doomed : t -> int
+
+(** Per-reason doomed-rule tally, for reporting. *)
+val doomed_counts : t -> (string * int) list
+
+(** Whether arity-clash tracking is active (it degrades gracefully to
+    off on grammars with too many tensor names, arities above 14, or
+    several tensor tokens in one rule — none generated here). *)
+val tracks_arity : t -> bool
+
+(** The derivation state: a packed name→arity map, or the doomed sink.
+    Order-insensitive — any permutation of the same rule multiset reaches
+    the same verdict. *)
+type state = int
+
+val root : state
+val is_doomed : state -> bool
+
+(** [step t st rule_id] — the state after applying one more rule. *)
+val step : t -> state -> int -> state

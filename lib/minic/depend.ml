@@ -1,0 +1,143 @@
+(* Loop-carried dependence classification of recovered stores. See
+   depend.mli for the contract; the arithmetic lives entirely in the
+   Affine polynomial domain that Recover already produces. *)
+
+type classification =
+  | Pointwise
+  | Reduction of string list
+  | Unknown of string
+
+type store_info = {
+  st_base : string;
+  st_loop_vars : string list;
+  st_index : Affine.t option;
+  st_class : classification;
+  st_stencils : (string * int) list;
+  st_may_alias : string list;
+}
+
+let classification_to_string = function
+  | Pointwise -> "pointwise"
+  | Reduction vs -> Printf.sprintf "reduction over {%s}" (String.concat ", " vs)
+  | Unknown reason -> Printf.sprintf "unsupported (%s)" reason
+
+(* [linear_coeff p v] — [Some c] iff [p] is linear in [v], i.e.
+   p = c·v + p|v=0 holds exactly in the polynomial ring. The check is by
+   reconstruction, so degree-2 cross terms like i·M yield their symbolic
+   coefficient while i² is rejected. *)
+let linear_coeff (p : Affine.t) (v : string) : Affine.t option =
+  if not (Affine.mentions p v) then Some Affine.zero
+  else
+    let p0 = Affine.subst p v (Affine.const 0) in
+    let c = Affine.sub (Affine.subst p v (Affine.const 1)) p0 in
+    if Affine.equal p (Affine.add (Affine.mul c (Affine.var v)) p0) then Some c else None
+
+(* Split a distance polynomial into integer coefficients per loop variable
+   plus a loop-invariant remainder. [None] when some coefficient is
+   symbolic or nonlinear — the tests below must then stay conservative. *)
+let split_linear (d : Affine.t) ~(loop_vars : string list) :
+    ((string * int) list * Affine.t) option =
+  let rec go rest acc = function
+    | [] -> Some (List.rev acc, rest)
+    | v :: vs -> (
+        match linear_coeff rest v with
+        | None -> None
+        | Some c -> (
+            match Affine.is_const c with
+            | None -> None
+            | Some k -> go (Affine.subst rest v (Affine.const 0)) ((v, k) :: acc) vs))
+  in
+  go d [] (List.sort_uniq compare loop_vars)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let gcd_independent (d : Affine.t) ~(loop_vars : string list) : bool =
+  match split_linear d ~loop_vars with
+  | None -> false
+  | Some (coeffs, rest) -> (
+      match Affine.is_const rest with
+      | None -> false
+      | Some k ->
+          let g = List.fold_left (fun acc (_, c) -> gcd acc c) 0 coeffs in
+          if g = 0 then k <> 0 else k mod g <> 0)
+
+let banerjee_independent (d : Affine.t) ~(loop_vars : string list) : bool =
+  match split_linear d ~loop_vars with
+  | None -> false
+  | Some (coeffs, rest) -> (
+      match Affine.is_const rest with
+      | None -> false
+      | Some k ->
+          (* counters range over [0, N): with all coefficients of one sign
+             the distance is bounded away from 0 by the constant term *)
+          let all_nonneg = List.for_all (fun (_, c) -> c >= 0) coeffs in
+          let all_nonpos = List.for_all (fun (_, c) -> c <= 0) coeffs in
+          (all_nonneg && k > 0) || (all_nonpos && k < 0))
+
+let independent d ~loop_vars = gcd_independent d ~loop_vars || banerjee_independent d ~loop_vars
+
+let classify (accesses : Recover.access list) : store_info list =
+  let loads = List.filter (fun (a : Recover.access) -> a.kind = Recover.Load) accesses in
+  List.filter_map
+    (fun (a : Recover.access) ->
+      if a.kind <> Recover.Store then None
+      else
+        let st_class =
+          match a.index with
+          | None -> Unknown "index expression not recovered"
+          | Some idx -> (
+              match List.filter (fun v -> not (Affine.mentions idx v)) a.loop_vars with
+              | [] -> Pointwise
+              | reduced -> Reduction reduced)
+        in
+        let st_stencils, st_may_alias =
+          match a.index with
+          | None ->
+              (* nothing provable: every same-base load may alias *)
+              ( [],
+                List.sort_uniq compare
+                  (List.filter_map
+                     (fun (l : Recover.access) ->
+                       if String.equal l.base a.base then Some l.base else None)
+                     loads) )
+          | Some sidx ->
+              let stencils = ref [] and alias = ref [] in
+              List.iter
+                (fun (l : Recover.access) ->
+                  if String.equal l.base a.base then
+                    match l.index with
+                    | None -> if not (List.mem l.base !alias) then alias := l.base :: !alias
+                    | Some lidx -> (
+                        let d = Affine.sub sidx lidx in
+                        match Affine.is_const d with
+                        | Some 0 -> ()
+                        | Some k ->
+                            if not (List.mem (l.base, k) !stencils) then
+                              stencils := (l.base, k) :: !stencils
+                        | None ->
+                            let vars = List.sort_uniq compare (a.loop_vars @ l.loop_vars) in
+                            if
+                              (not (independent d ~loop_vars:vars))
+                              && not (List.mem l.base !alias)
+                            then alias := l.base :: !alias))
+                loads;
+              (List.rev !stencils, List.rev !alias)
+        in
+        Some
+          {
+            st_base = a.base;
+            st_loop_vars = a.loop_vars;
+            st_index = a.index;
+            st_class;
+            st_stencils;
+            st_may_alias;
+          })
+    accesses
+
+let pp_store fmt (s : store_info) =
+  Format.fprintf fmt "store %s[%s] in (%s): %s" s.st_base
+    (match s.st_index with None -> "?" | Some p -> Affine.to_string p)
+    (String.concat ", " s.st_loop_vars)
+    (classification_to_string s.st_class);
+  List.iter (fun (b, k) -> Format.fprintf fmt ", stencil %s@%+d" b k) s.st_stencils;
+  List.iter (fun b -> Format.fprintf fmt ", may-alias %s" b) s.st_may_alias

@@ -1,0 +1,232 @@
+(* The liftability fact set: everything the pipeline wants to know about a
+   kernel before spending any search budget on it. See facts.mli. *)
+
+open Stagg_util
+
+type access_summary = {
+  sm_param : string;
+  sm_reads : int;
+  sm_writes : int;
+  sm_imprecise : int;
+  sm_rank : int option;
+  sm_index_forms : string list;
+}
+
+type t = {
+  ft_name : string;
+  ft_summaries : access_summary list;
+  ft_stores : Depend.store_info list;
+  ft_ops : Ast.binop list;
+  ft_unsupported : string list;
+  ft_constants : Rat.t list;
+  ft_out_param : string option;
+  ft_out_rank : int option;
+  ft_loop_vars : string list;
+  ft_warnings : string list;
+  ft_verdict : (unit, string) result;
+}
+
+(* Constructs with no dense-tensor counterpart, in data (value-carrying)
+   position. Mirrors the [~data] discipline of [Ast.constants]: loop
+   headers, subscripts and branch conditions are control, not data. *)
+let unsupported_data_constructs (f : Ast.func) : string list =
+  let acc = ref [] in
+  let add s = if not (List.mem s !acc) then acc := s :: !acc in
+  let open Ast in
+  let rec go_expr ~data = function
+    | Num _ | Var _ | Post_incr _ | Post_decr _ -> ()
+    | Bin (o, a, b) ->
+        (match o with
+        | Add | Sub | Mul | Div -> ()
+        | (Mod | Lt | Le | Gt | Ge | Eq | Ne | And | Or) as o ->
+            if data then add (Printf.sprintf "operator '%s' in a data position" (binop_to_string o)));
+        go_expr ~data a;
+        go_expr ~data b
+    | Neg e -> go_expr ~data e
+    | Not e ->
+        if data then add "logical negation in a data position";
+        go_expr ~data e
+    | Deref e -> go_expr ~data e
+    | Index (a, b) | Addr_index (a, b) ->
+        go_expr ~data a;
+        go_expr ~data:false b
+    | Ternary (c, a, b) ->
+        if data then add "ternary conditional in a data position";
+        go_expr ~data:false c;
+        go_expr ~data a;
+        go_expr ~data b
+  and go_lv = function
+    | Lvar _ -> ()
+    | Lderef e -> go_expr ~data:false e
+    | Lindex (a, b) ->
+        go_expr ~data:false a;
+        go_expr ~data:false b
+  and go_stmt = function
+    | Decl (_, _, e) -> Option.iter (go_expr ~data:true) e
+    | Assign (lv, e) ->
+        go_lv lv;
+        go_expr ~data:true e
+    | Op_assign (lv, o, e) ->
+        (match o with
+        | Add | Sub | Mul | Div -> ()
+        | o -> add (Printf.sprintf "compound assignment '%s='" (binop_to_string o)));
+        go_lv lv;
+        go_expr ~data:true e
+    | Incr_stmt lv | Decr_stmt lv -> go_lv lv
+    | For (h, body) ->
+        Option.iter go_stmt h.init;
+        List.iter go_stmt body
+    | If (_, _, _) -> add "conditional statement"
+    | Block b -> List.iter go_stmt b
+    | Expr_stmt e -> go_expr ~data:true e
+    | Return e -> Option.iter (go_expr ~data:true) e
+  in
+  List.iter go_stmt f.body;
+  List.rev !acc
+
+let access_rank (a : Recover.access) =
+  match a.index with
+  | None -> None
+  | Some idx -> Some (List.length (List.filter (Affine.mentions idx) a.loop_vars))
+
+let summarize (params : string list) (accesses : Recover.access list) : access_summary list =
+  List.filter_map
+    (fun p ->
+      let mine = List.filter (fun (a : Recover.access) -> String.equal a.base p) accesses in
+      if mine = [] then None
+      else
+        let count k = List.length (List.filter (fun (a : Recover.access) -> a.kind = k) mine) in
+        let imprecise =
+          List.length (List.filter (fun (a : Recover.access) -> a.index = None) mine)
+        in
+        let rank =
+          List.fold_left
+            (fun acc a ->
+              match (acc, access_rank a) with
+              | None, r | r, None -> if r = None then acc else r
+              | Some x, Some y -> Some (max x y))
+            None mine
+        in
+        let forms =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (a : Recover.access) -> Option.map Affine.to_string a.index)
+               mine)
+        in
+        Some
+          {
+            sm_param = p;
+            sm_reads = count Recover.Load;
+            sm_writes = count Recover.Store;
+            sm_imprecise = imprecise;
+            sm_rank = rank;
+            sm_index_forms = forms;
+          })
+    params
+
+let analyze (f : Ast.func) : t =
+  let accesses = Recover.analyze f in
+  let params = List.map (fun (p : Ast.param) -> p.pname) f.params in
+  let summaries = summarize params accesses in
+  let stores = Depend.classify accesses in
+  let unsupported = unsupported_data_constructs f in
+  let loop_vars =
+    let seen = ref [] in
+    List.iter
+      (fun (a : Recover.access) ->
+        List.iter (fun v -> if not (List.mem v !seen) then seen := v :: !seen) a.loop_vars)
+      accesses;
+    List.rev !seen
+  in
+  let warnings = ref [] in
+  let warn w = if not (List.mem w !warnings) then warnings := w :: !warnings in
+  List.iter
+    (fun (s : access_summary) ->
+      if s.sm_imprecise > 0 then
+        warn
+          (Printf.sprintf "array recovery lost the index expression for %d access(es) to '%s'"
+             s.sm_imprecise s.sm_param))
+    summaries;
+  List.iter
+    (fun (s : Depend.store_info) ->
+      List.iter
+        (fun (b, k) ->
+          warn
+            (Printf.sprintf "store to '%s' reads '%s' at constant offset %+d (stencil)"
+               s.st_base b k))
+        s.st_stencils;
+      List.iter
+        (fun b ->
+          warn
+            (Printf.sprintf "store to '%s' may alias loads of '%s' at loop-varying distance"
+               s.st_base b))
+        s.st_may_alias)
+    stores;
+  let flow_dep =
+    (* a same-base load at positive distance reads a cell written by an
+       earlier iteration: the loop is a scan, not a tensor assignment *)
+    List.find_map
+      (fun (s : Depend.store_info) ->
+        List.find_map
+          (fun (b, k) ->
+            if k > 0 then
+              Some
+                (Printf.sprintf
+                   "loop-carried flow dependence on '%s' (store reads '%s' written %d iteration(s) earlier)"
+                   s.st_base b k)
+            else None)
+          s.st_stencils)
+      stores
+  in
+  let verdict =
+    match unsupported with
+    | u :: _ -> Error u
+    | [] -> (
+        if stores = [] then Error "no store to an array parameter — nothing to lift"
+        else match flow_dep with Some d -> Error d | None -> Ok ())
+  in
+  {
+    ft_name = f.fname;
+    ft_summaries = summaries;
+    ft_stores = stores;
+    ft_ops = Ast.arith_ops_used f;
+    ft_unsupported = unsupported;
+    ft_constants = Ast.constants f;
+    ft_out_param = Dims.output_param f;
+    ft_out_rank = Dims.lhs_dim f;
+    ft_loop_vars = loop_vars;
+    ft_warnings = List.rev !warnings;
+    ft_verdict = verdict;
+  }
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "@[<v>facts for %s:@," t.ft_name;
+  Format.fprintf fmt "  loop vars: %s@,"
+    (if t.ft_loop_vars = [] then "(none)" else String.concat ", " t.ft_loop_vars);
+  Format.fprintf fmt "  data ops: %s%s@,"
+    (String.concat " " (List.map Ast.binop_to_string t.ft_ops))
+    (if t.ft_constants = [] then ""
+     else
+       Printf.sprintf "   constants: %s"
+         (String.concat ", " (List.map Rat.to_string t.ft_constants)));
+  List.iter
+    (fun (s : access_summary) ->
+      Format.fprintf fmt "  %s: %d read(s), %d write(s), rank %s%s%s@," s.sm_param s.sm_reads
+        s.sm_writes
+        (match s.sm_rank with None -> "?" | Some r -> string_of_int r)
+        (if s.sm_index_forms = [] then ""
+         else Printf.sprintf ", index %s" (String.concat " | " s.sm_index_forms))
+        (if s.sm_imprecise = 0 then ""
+         else Printf.sprintf " (%d imprecise)" s.sm_imprecise))
+    t.ft_summaries;
+  List.iter (fun s -> Format.fprintf fmt "  %a@," Depend.pp_store s) t.ft_stores;
+  (match t.ft_out_param with
+  | Some p ->
+      Format.fprintf fmt "  output: %s (rank %s)@," p
+        (match t.ft_out_rank with None -> "?" | Some r -> string_of_int r)
+  | None -> Format.fprintf fmt "  output: (none attributed)@,");
+  List.iter (fun w -> Format.fprintf fmt "  warning: %s@," w) t.ft_warnings;
+  (match t.ft_verdict with
+  | Ok () -> Format.fprintf fmt "  verdict: liftable"
+  | Error d -> Format.fprintf fmt "  verdict: NOT liftable — %s" d);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** The static liftability fact set (extends paper §4.2.3).
+
+    One [analyze] call over the Mini-C AST collects everything the
+    pipeline wants to know before spending search budget: per-parameter
+    access-pattern summaries (reads/writes/imprecision/rank from the
+    recovered index polynomials), the {!Depend} classification of every
+    store, the operator and constant fact set, and a liftability verdict
+    with a human-readable diagnostic when the kernel cannot be a dense
+    tensor operation. The verdict is deliberately conservative: it only
+    rejects kernels on {e structural} evidence (an unsupported data
+    construct, no store to a parameter, a loop-carried flow dependence);
+    mere precision loss surfaces as a warning, never a rejection. *)
+
+open Stagg_util
+
+type access_summary = {
+  sm_param : string;
+  sm_reads : int;
+  sm_writes : int;
+  sm_imprecise : int;  (** accesses whose index polynomial was lost *)
+  sm_rank : int option;
+      (** distinct enclosing-loop counters in a recovered index polynomial
+          (max over accesses) — the delinearized rank *)
+  sm_index_forms : string list;  (** distinct printed index polynomials *)
+}
+
+type t = {
+  ft_name : string;
+  ft_summaries : access_summary list;  (** one per accessed parameter *)
+  ft_stores : Depend.store_info list;
+  ft_ops : Ast.binop list;  (** of [+ - * /], those occurring in data positions *)
+  ft_unsupported : string list;  (** unsupported data constructs found *)
+  ft_constants : Rat.t list;  (** the [Const] instantiation pool *)
+  ft_out_param : string option;
+  ft_out_rank : int option;  (** inferred output rank (delinearization) *)
+  ft_loop_vars : string list;  (** all loop counters, first-appearance order *)
+  ft_warnings : string list;  (** precision losses, stencils, may-alias *)
+  ft_verdict : (unit, string) result;  (** [Error diagnostic] = not liftable *)
+}
+
+val analyze : Ast.func -> t
+
+(** The unsupported-construct scan alone ([%], comparisons, logical
+    operators, ternaries and [if] in data position), exposed for tests. *)
+val unsupported_data_constructs : Ast.func -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -59,10 +59,10 @@ let sweep_timed ~progress label f =
        (Unix.gettimeofday () -. t0));
   r
 
-let run_core_cached ?jobs ~seed ~progress (cache : prep) =
+let run_core_cached ?jobs ?(analysis = true) ~seed ~progress (cache : prep) =
   let all = Suite.all and rw = Suite.real_world in
   let sweep = sweep_timed ~progress in
-  let with_seed m = { m with Method_.seed } in
+  let with_seed m = { m with Method_.seed; analysis } in
   let sweep_m m = sweep m.Method_.label (fun () -> sweep_prepared ?jobs (with_seed m) cache) in
   let td = sweep_m Method_.stagg_td in
   let bu = sweep_m Method_.stagg_bu in
@@ -95,13 +95,13 @@ let run_core_cached ?jobs ~seed ~progress (cache : prep) =
     bu_full_grammar = [];
   }
 
-let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs () =
-  run_core_cached ?jobs ~seed ~progress (prepare_suite ?jobs ~seed Suite.all)
+let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?analysis () =
+  run_core_cached ?jobs ?analysis ~seed ~progress (prepare_suite ?jobs ~seed Suite.all)
 
-let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs () =
+let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?(analysis = true) () =
   let cache = prepare_suite ?jobs ~seed Suite.all in
-  let core = run_core_cached ?jobs ~seed ~progress cache in
-  let with_seed m = { m with Method_.seed } in
+  let core = run_core_cached ?jobs ~analysis ~seed ~progress cache in
+  let with_seed m = { m with Method_.seed; analysis } in
   let sweep m =
     sweep_timed ~progress m.Method_.label (fun () ->
         sweep_prepared ?jobs (with_seed m) cache)
@@ -370,10 +370,14 @@ let json_summary ?(jobs = 1) ~wall_s runs =
     (fun i (label, rs) ->
       Printf.bprintf buf
         "    {\"method\": \"%s\", \"solved\": %d, \"total\": %d, \"avg_time_s\": %.6f, \
-         \"avg_attempts\": %.2f, \"total_attempts\": %d, \"search_s\": %.3f, \
+         \"avg_attempts\": %.2f, \"total_attempts\": %d, \"total_expansions\": %d, \
+         \"total_pruned\": %d, \"pruned_rules\": %d, \"search_s\": %.3f, \
          \"validate_s\": %.3f, \"verify_s\": %.3f, \"instantiations\": %d}%s\n"
         (json_escape label) (n_solved rs) (List.length rs) (avg_time rs) (avg_attempts rs)
         (List.fold_left (fun a (r : Result_.t) -> a + r.attempts) 0 rs)
+        (List.fold_left (fun a (r : Result_.t) -> a + r.expansions) 0 rs)
+        (List.fold_left (fun a (r : Result_.t) -> a + r.pruned) 0 rs)
+        (List.fold_left (fun a (r : Result_.t) -> a + r.pruned_rules) 0 rs)
         (sum Result_.search_s rs)
         (sum (fun (r : Result_.t) -> r.validate_s) rs)
         (sum (fun (r : Result_.t) -> r.verify_s) rs)

@@ -6,7 +6,7 @@ type budget = { max_attempts : int; max_expansions : int; timeout_s : float }
 
 let default_budget = { max_attempts = 2_000; max_expansions = 200_000; timeout_s = 10. }
 
-type stats = { attempts : int; expansions : int; elapsed_s : float }
+type stats = { attempts : int; expansions : int; pruned : int; elapsed_s : float }
 
 type stop_reason = Attempts | Expansions | Frontier | Timeout
 
@@ -42,13 +42,24 @@ type entry = {
   tree : tree_src;
   ann : Node.annotated;
   program : Stagg_taco.Ast.program option;  (** Some iff complete *)
+  pst : Prune.state;  (** analysis-prune state of the applied-rule multiset *)
 }
 
 (* [Ghost] replays the pop of a complete duplicate of an
    already-validated template without carrying (or ever building) the
    tree: its pop only counts an expansion, exactly what the popped
-   duplicate would have done. *)
-type item = Entry of entry | Ghost
+   duplicate would have done.
+
+   [Pruned] replays the pop of a complete template the analysis proved
+   doomed — [Subst.enumerate] returns zero substitutions for it — also
+   without carrying the tree. Its pop re-enacts the baseline pop
+   byte-for-byte (the first-seen one marks the fingerprint and counts the
+   attempt; validation itself was a structural no-op) but is tallied
+   separately, so reported expansions count only real work. *)
+type item =
+  | Entry of entry
+  | Ghost
+  | Pruned of { p_fp : int; p_depth : int; p_n_tensors : int }
 
 let materialize = function Built x -> x | Expand (p, r) -> Node.expand1 p r
 
@@ -68,20 +79,23 @@ type 'sol engine = {
   rule_cost : float array;  (** [Pcfg.cost] per rule, precomputed *)
   h_memo : (string, float) Hashtbl.t;  (** [Pcfg.h_cost] per nonterminal, precomputed *)
   inc_safe : bool;  (** grammar admits incremental metrics *)
+  prune : Prune.t option;  (** analysis-guided pruning (Fingerprint mode only) *)
   started : float;
   mutable attempts : int;
   mutable expansions : int;
+  mutable pruned : int;  (** pops of [Pruned] items *)
   mutable timed_out : bool;  (** latched by the periodic clock check *)
   mutable stop : stop_reason;  (** which limit fired, for [Budget_exceeded] *)
 }
 
-let make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup =
+let make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune =
   let g = Pcfg.cfg pcfg in
   let queue = Pqueue.create () in
   let x0 = Node.initial g in
   let fps = Node.fingerprints g in
   Pqueue.push queue 0.
-    (Entry { c = 0.; tree = Built x0; ann = Node.annotate g fps x0; program = None });
+    (Entry
+       { c = 0.; tree = Built x0; ann = Node.annotate g fps x0; program = None; pst = Prune.root });
   let rule_cost = Array.init (Cfg.size g) (fun id -> Pcfg.cost pcfg (Cfg.rule g id)) in
   let h_memo = Hashtbl.create 16 in
   List.iter (fun nt -> Hashtbl.replace h_memo nt (Pcfg.h_cost pcfg nt)) (Cfg.nonterminals g);
@@ -99,16 +113,21 @@ let make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup =
     rule_cost;
     h_memo;
     inc_safe = Node.incremental_safe g;
+    (* the duplicate/doomed replay protocol marks [seen_fp], so pruning
+       only composes with fingerprint dedup *)
+    prune = (if dedup = Fingerprint then prune else None);
     started = Unix.gettimeofday ();
     attempts = 0;
     expansions = 0;
+    pruned = 0;
     timed_out = false;
     stop = Expansions;
   }
 
 let elapsed e = Unix.gettimeofday () -. e.started
 
-let stats e = { attempts = e.attempts; expansions = e.expansions; elapsed_s = elapsed e }
+let stats e =
+  { attempts = e.attempts; expansions = e.expansions; pruned = e.pruned; elapsed_s = elapsed e }
 
 (* Same per-nonterminal values and the same left-to-right summation as
    [Node.g_cost_opens], with the log₂ precomputed per nonterminal. *)
@@ -123,12 +142,18 @@ let max_frontier = 1_500_000
    deterministic outcome); the wall clock is only a backstop, so the
    [gettimeofday] syscall is polled every 64 pops and latched, keeping it
    out of the hot loop. *)
+(* Budget accounting runs on TOTAL pops — real expansions plus pruned
+   replays — so enabling the analysis prune moves no stop point: the
+   pop sequence, and hence where a cap or the 64-pop clock poll lands,
+   is position-for-position the baseline's. Only the REPORTED expansion
+   count shrinks. *)
 let over_budget e =
+  let pops = e.expansions + e.pruned in
   if e.attempts >= e.budget.max_attempts then begin
     e.stop <- Attempts;
     true
   end
-  else if e.expansions >= e.budget.max_expansions then begin
+  else if pops >= e.budget.max_expansions then begin
     e.stop <- Expansions;
     true
   end
@@ -137,7 +162,7 @@ let over_budget e =
     true
   end
   else begin
-    if (not e.timed_out) && e.expansions land 63 = 0 then
+    if (not e.timed_out) && pops land 63 = 0 then
       e.timed_out <- elapsed e > e.budget.timeout_s;
     if e.timed_out then e.stop <- Timeout;
     e.timed_out
@@ -227,39 +252,90 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
               | _ -> false
             in
             if not ghosted then begin
-              let tree, ann, program =
-                match inc_ann with
-                | Some ann ->
-                    if ann.Node.metrics.complete then
-                      let x' = Node.expand1 px r in
-                      (Built x', ann, Node.to_program g x')
-                    else (Expand (px, r), ann, None)
-                | None ->
-                    let x' = Node.expand1 px r in
-                    let ann = Node.annotate g e.fps x' in
-                    let program =
-                      if ann.Node.metrics.complete then Node.to_program g x' else None
-                    in
-                    (Built x', ann, program)
+              let pst' =
+                match e.prune with
+                | None -> Prune.root
+                | Some pr -> Prune.step pr parent.pst r.id
               in
-              let pen = Penalty.score_compiled e.penalty ann.Node.metrics ~program in
-              if pen < infinity then begin
-                if e.dedup = Fingerprint && ann.Node.metrics.complete then
-                  Hashtbl.replace e.pen_memo ann.Node.fp pen;
-                let f = c' +. g_of ann.Node.opens +. pen in
-                Pqueue.push e.queue f (Entry { c = c'; tree; ann; program })
+              let pruned_away =
+                (* a DOOMED complete child — the analysis proved its
+                   validation enumerates zero substitutions — is replaced
+                   by a tree-less [Pruned] item at bit-identical f. The
+                   penalty is rescored the baseline way (rebuilding the
+                   program only if a criterion reads it), and [pen_memo]
+                   is still fed so later twins ghost exactly as before.
+                   Incomplete doomed children stay ordinary entries:
+                   their pops never validate anyway, and their children
+                   inherit the doomed state through [pst]. *)
+                match (e.prune, inc_ann) with
+                | Some _, Some ann when ann.Node.metrics.complete && Prune.is_doomed pst' ->
+                    let program =
+                      if Penalty.needs_program e.penalty then
+                        Node.to_program g (Node.expand1 px r)
+                      else None
+                    in
+                    let pen = Penalty.score_compiled e.penalty ann.Node.metrics ~program in
+                    if pen < infinity then begin
+                      Hashtbl.replace e.pen_memo ann.Node.fp pen;
+                      Pqueue.push e.queue (c' +. 0. +. pen)
+                        (Pruned
+                           {
+                             p_fp = ann.Node.fp;
+                             p_depth = ann.Node.depth;
+                             p_n_tensors = ann.Node.metrics.n_tensors;
+                           })
+                    end;
+                    true
+                | _ -> false
+              in
+              if not pruned_away then begin
+                let tree, ann, program =
+                  match inc_ann with
+                  | Some ann ->
+                      if ann.Node.metrics.complete then
+                        let x' = Node.expand1 px r in
+                        (Built x', ann, Node.to_program g x')
+                      else (Expand (px, r), ann, None)
+                  | None ->
+                      let x' = Node.expand1 px r in
+                      let ann = Node.annotate g e.fps x' in
+                      let program =
+                        if ann.Node.metrics.complete then Node.to_program g x' else None
+                      in
+                      (Built x', ann, program)
+                in
+                let pen = Penalty.score_compiled e.penalty ann.Node.metrics ~program in
+                if pen < infinity then begin
+                  if e.dedup = Fingerprint && ann.Node.metrics.complete then
+                    Hashtbl.replace e.pen_memo ann.Node.fp pen;
+                  let f = c' +. g_of ann.Node.opens +. pen in
+                  Pqueue.push e.queue f (Entry { c = c'; tree; ann; program; pst = pst' })
+                end
               end
             end
           end)
         (Cfg.rules_for g nt)
 
-let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ~budget
+(* A [Pruned] pop replays what the baseline pop of the suppressed entry
+   would have observably done: count the attempt and mark the template
+   seen the first time it survives the same guards (the TD depth prune /
+   the BU tensor-count gate) — validating it was a structural no-op. *)
+let replay_pruned e ~fp =
+  if not (Hashtbl.mem e.seen_fp fp) then begin
+    Hashtbl.add e.seen_fp fp ();
+    e.attempts <- e.attempts + 1
+  end
+
+let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ?prune ~budget
     ~validate () =
-  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup in
+  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune in
   let g = Pcfg.cfg pcfg in
   (* with static depth tables the prune reads the annotation, so depth-dead
      pops never materialize (or walk) their tree at all *)
   let inc_depth = Node.depth_static e.fps in
+  (* the Pruned replay needs the annotation's depth to equal the walked
+     depth, so analysis pruning rides on the same static tables *)
+  let e = if inc_depth then e else { e with prune = None } in
   let too_deep (en : entry) =
     if inc_depth then en.ann.Node.depth > max_depth
     else Node.depth g (materialize en.tree) > max_depth
@@ -271,6 +347,10 @@ let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ~b
       | None -> Exhausted (stats e)
       | Some (_f, Ghost) ->
           e.expansions <- e.expansions + 1;
+          loop ()
+      | Some (_f, Pruned p) ->
+          e.pruned <- e.pruned + 1;
+          if p.p_depth <= max_depth then replay_pruned e ~fp:p.p_fp;
           loop ()
       | Some (_f, Entry en) ->
           e.expansions <- e.expansions + 1;
@@ -287,9 +367,9 @@ let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ~b
   in
   loop ()
 
-let search_bottomup ~pcfg ~penalty_ctx ~dim_list ?(dedup = Fingerprint) ~budget ~validate
-    () =
-  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup in
+let search_bottomup ~pcfg ~penalty_ctx ~dim_list ?(dedup = Fingerprint) ?prune ~budget
+    ~validate () =
+  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune in
   let g = Pcfg.cfg pcfg in
   let n_predicted = List.length dim_list in
   let rec loop () =
@@ -301,6 +381,13 @@ let search_bottomup ~pcfg ~penalty_ctx ~dim_list ?(dedup = Fingerprint) ~budget 
           (* ghosts are only pushed for complete children (no open tails),
              whose pop expands nothing — exactly this no-op *)
           e.expansions <- e.expansions + 1;
+          loop ()
+      | Some (_f, Pruned p) ->
+          e.pruned <- e.pruned + 1;
+          (* the baseline pop validates (a no-op here) only when the
+             complete tree carries exactly the predicted tensor count,
+             and expands nothing *)
+          if p.p_n_tensors = n_predicted then replay_pruned e ~fp:p.p_fp;
           loop ()
       | Some (_f, Entry en) ->
           e.expansions <- e.expansions + 1;

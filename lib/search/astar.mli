@@ -14,7 +14,17 @@ type budget = {
 
 val default_budget : budget
 
-type stats = { attempts : int; expansions : int; elapsed_s : float }
+type stats = {
+  attempts : int;
+  expansions : int;
+      (** pops doing real work (entries and ghosts); excludes [pruned] *)
+  pruned : int;
+      (** pops of analysis-pruned complete templates — provably
+          zero-substitution validations skipped. Budget caps and the
+          timeout poll tick on [expansions + pruned] (total pops), so
+          enabling pruning moves no stop point; see {!search_topdown}. *)
+  elapsed_s : float;
+}
 
 (** Which limit ended an unsuccessful search: the deterministic caps
     (validator attempts, queue pops, frontier size) or the wall-clock
@@ -44,12 +54,22 @@ type dedup = Fingerprint | Pretty_key
 (** Top-down search (Algorithm 1): validates templates when a complete
     tree is dequeued; trees deeper than [max_depth] (default 6, §5.1) are
     discarded. The [validate] callback receives the template AST and
-    returns a solution to stop the search. *)
+    returns a solution to stop the search.
+
+    [?prune] enables analysis-guided pruning ({!Stagg_grammar.Prune}):
+    complete children whose template is provably a zero-substitution
+    validation are pushed as tree-less pruned items at bit-identical f.
+    Their pops replay the baseline's observable effects (attempt counts,
+    dedup marks, budget ticks) exactly, so solved/attempt outcomes are
+    byte-identical with pruning on or off — only reported [expansions]
+    (and time) drop. Requires [Fingerprint] dedup (and, top-down, static
+    depth tables); silently off otherwise. *)
 val search_topdown :
   pcfg:Stagg_grammar.Pcfg.t ->
   penalty_ctx:Penalty.ctx ->
   ?max_depth:int ->
   ?dedup:dedup ->
+  ?prune:Stagg_grammar.Prune.t ->
   budget:budget ->
   validate:(Stagg_taco.Ast.program -> 'sol option) ->
   unit ->
@@ -58,12 +78,15 @@ val search_topdown :
 (** Bottom-up search (Algorithm 2): when a dequeued tree has exactly the
     predicted number of tensors, its trailing TAIL nonterminals are erased
     (RemoveTail) and the completed template is validated; expansion then
-    continues regardless. *)
+    continues regardless. [?prune] as in {!search_topdown}; the bottom-up
+    penalties never read the rebuilt AST, so pruned completions skip
+    materialization entirely. *)
 val search_bottomup :
   pcfg:Stagg_grammar.Pcfg.t ->
   penalty_ctx:Penalty.ctx ->
   dim_list:int list ->
   ?dedup:dedup ->
+  ?prune:Stagg_grammar.Prune.t ->
   budget:budget ->
   validate:(Stagg_taco.Ast.program -> 'sol option) ->
   unit ->

@@ -107,3 +107,8 @@ let score_compiled k (m : Node.metrics) ~program =
   a1 +. a2 +. a3 +. a4 +. a5 +. b1 +. b2
 
 let score ctx m ~program = score_compiled (compile ctx) m ~program
+
+(* a4 is the only criterion that looks at the rebuilt AST; when it is off
+   (every bottom-up method), scoring with [~program:None] is bit-identical
+   to scoring with the real program — callers may skip the rebuild. *)
+let needs_program k = k.k_a4

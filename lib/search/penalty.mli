@@ -36,3 +36,8 @@ val score_compiled : compiled -> Node.metrics -> program:Stagg_taco.Ast.program 
 (** [score ctx m ~program] — [score_compiled] after a one-shot
     {!compile}; for tests and one-off calls. *)
 val score : ctx -> Node.metrics -> program:Stagg_taco.Ast.program option -> float
+
+(** Does {!score_compiled} ever read [~program]? Only a4 does; when it is
+    disabled, scoring with [~program:None] is bit-identical to scoring
+    with the rebuilt AST, so callers may skip the rebuild. *)
+val needs_program : compiled -> bool

@@ -39,10 +39,13 @@ let fake name solved time =
     time_s = time;
     attempts = 1;
     expansions = 1;
+    pruned = 0;
+    pruned_rules = 0;
     n_candidates = 0;
     validate_s = 0.;
     verify_s = 0.;
     instantiations = 1;
+    warnings = [];
     failure = None;
   }
 
