@@ -144,12 +144,12 @@ let smoke_json rows =
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
-let run_smoke ~json_file () =
+let run_smoke ~json_file ~heap_ceiling ~tune () =
   let benches = Stagg_benchsuite.Suite.artificial in
   let t0 = Unix.gettimeofday () in
   let rows =
     List.map
-      (fun (m : Stagg.Method_.t) -> (m.label, Stagg.Pipeline.run_suite m benches))
+      (fun (m : Stagg.Method_.t) -> (m.label, Stagg.Pipeline.run_suite (tune m) benches))
       smoke_methods
   in
   Printf.printf "== smoke sweep (artificial suite, %d queries) ==\n" (List.length benches);
@@ -159,13 +159,27 @@ let run_smoke ~json_file () =
       Printf.printf "  %-24s solved %2d/%d\n" label solved (List.length rs))
     rows;
   Printf.printf "smoke wall: %.1fs\n" (Unix.gettimeofday () -. t0);
-  match json_file with
+  (match json_file with
   | None -> ()
   | Some file ->
       let oc = open_out file in
       output_string oc (smoke_json rows);
       close_out oc;
-      Printf.eprintf "[bench] wrote %s\n%!" file
+      Printf.eprintf "[bench] wrote %s\n%!" file);
+  (* memory regression gate: the process-lifetime major-heap high-water
+     mark must stay under the recorded ceiling. Reported on stderr (and
+     asserted), never in the byte-diffed JSON — heap words are
+     deterministic for a given runtime build but not across them. *)
+  match heap_ceiling with
+  | None -> ()
+  | Some ceiling ->
+      let peak = (Gc.quick_stat ()).Gc.top_heap_words in
+      Printf.eprintf "[bench] peak heap: %d words (ceiling %d)\n%!" peak ceiling;
+      if peak > ceiling then begin
+        Printf.eprintf "[bench] FAIL: smoke peak heap %d words exceeds ceiling %d\n%!" peak
+          ceiling;
+        exit 1
+      end
 
 (* ---- liftability diagnostics: the analyzer's fail-fast path ----
 
@@ -185,7 +199,8 @@ let run_diagnostics () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--no-analysis] [--jobs N | -j N] [--json FILE]";
+    "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--no-analysis] \
+     [--prune-mode off|replay|admission] [--heap-ceiling WORDS] [--jobs N | -j N] [--json FILE]";
   exit 2
 
 let () =
@@ -199,6 +214,8 @@ let () =
   and skip_bechamel = ref false
   and smoke = ref false
   and analysis = ref true
+  and prune_mode = ref Stagg_search.Astar.Prune_admission
+  and heap_ceiling = ref None
   and jobs = ref (Stagg_util.Pool.default_jobs ())
   and json_file = ref None in
   let rec parse = function
@@ -215,6 +232,26 @@ let () =
     | "--no-analysis" :: rest ->
         analysis := false;
         parse rest
+    | "--prune-mode" :: mode :: rest ->
+        (* [off] = the --no-analysis differential baseline; [replay] keeps
+           doomed children on the frontier as tree-less replay items;
+           [admission] (default) never enqueues them *)
+        (match mode with
+        | "off" -> analysis := false
+        | "replay" -> prune_mode := Stagg_search.Astar.Prune_replay
+        | "admission" -> prune_mode := Stagg_search.Astar.Prune_admission
+        | m ->
+            Printf.eprintf "--prune-mode expects off|replay|admission, got %s\n" m;
+            usage ());
+        parse rest
+    | "--heap-ceiling" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            heap_ceiling := Some n;
+            parse rest
+        | _ ->
+            Printf.eprintf "--heap-ceiling expects a positive word count, got %s\n" n;
+            usage ())
     | ("--jobs" | "-j") :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 1 ->
@@ -226,7 +263,7 @@ let () =
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse rest
-    | [ (("--jobs" | "-j" | "--json") as flag) ] ->
+    | [ (("--jobs" | "-j" | "--json" | "--prune-mode" | "--heap-ceiling") as flag) ] ->
         Printf.eprintf "%s expects a value\n" flag;
         usage ()
     | arg :: _ ->
@@ -235,18 +272,23 @@ let () =
   in
   parse args;
   if !smoke then begin
-    run_smoke ~json_file:!json_file ();
+    let analysis = !analysis and prune_mode = !prune_mode in
+    let tune (m : Stagg.Method_.t) =
+      Stagg.Method_.with_prune_mode { m with analysis } prune_mode
+    in
+    run_smoke ~json_file:!json_file ~heap_ceiling:!heap_ceiling ~tune ();
     exit 0
   end;
   let skip_ablations = !skip_ablations
   and skip_bechamel = !skip_bechamel
   and analysis = !analysis
+  and prune_mode = !prune_mode
   and jobs = !jobs in
   let progress msg = Printf.eprintf "[bench] %s\n%!" msg in
   let t0 = Unix.gettimeofday () in
   let runs =
-    if skip_ablations then Experiments.run_core ~progress ~jobs ~analysis ()
-    else Experiments.run_all ~progress ~jobs ~analysis ()
+    if skip_ablations then Experiments.run_core ~progress ~jobs ~analysis ~prune_mode ()
+    else Experiments.run_all ~progress ~jobs ~analysis ~prune_mode ()
   in
   Printf.printf "Guided Tensor Lifting — experiment harness (suite of %d queries, seed %d%s)\n\n"
     (List.length Stagg_benchsuite.Suite.all)

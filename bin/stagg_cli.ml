@@ -70,10 +70,34 @@ let no_analysis_arg =
 
 let with_analysis no_analysis m = if no_analysis then Stagg.Method_.without_analysis m else m
 
+let prune_mode_arg =
+  Arg.(
+    value
+    & opt string "admission"
+    & info [ "prune-mode" ] ~docv:"MODE"
+        ~doc:
+          "How the analysis prune absorbs provably-doomed templates: $(b,admission) (default) \
+           never enqueues them, $(b,replay) keeps them on the frontier as tree-less replay \
+           items, $(b,off) disables the analysis entirely (alias of $(b,--no-analysis)). \
+           Solved/attempt outcomes are byte-identical across all three.")
+
+let with_prune_mode mode m =
+  match mode with
+  | "admission" -> Stagg.Method_.with_prune_mode m Stagg_search.Astar.Prune_admission
+  | "replay" -> Stagg.Method_.with_prune_mode m Stagg_search.Astar.Prune_replay
+  | "off" -> Stagg.Method_.without_analysis m
+  | s ->
+      Printf.eprintf "unknown prune mode %s (expected off|replay|admission)\n" s;
+      exit 2
+
 let lift_cmd =
-  let run name meth no_analysis =
+  let run name meth no_analysis prune_mode =
     let b = find_bench_exn name in
-    let r = Stagg.Pipeline.run (with_analysis no_analysis (method_of_string meth)) b in
+    let r =
+      Stagg.Pipeline.run
+        (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string meth)))
+        b
+    in
     Format.printf "%a@." Stagg.Result_.pp r;
     (match r.solution with
     | Some sol ->
@@ -84,7 +108,7 @@ let lift_cmd =
   in
   Cmd.v
     (Cmd.info "lift" ~doc:"Lift one benchmark to TACO and print the verified solution.")
-    Term.(const run $ name_arg $ method_arg $ no_analysis_arg)
+    Term.(const run $ name_arg $ method_arg $ no_analysis_arg $ prune_mode_arg)
 
 (* ---- show ---- *)
 
@@ -178,7 +202,7 @@ let jobs_arg =
            $(docv) (modulo per-query times); 1 runs sequentially on the calling domain.")
 
 let suite_cmd =
-  let run meth jobs no_analysis =
+  let run meth jobs no_analysis prune_mode =
     let results =
       match meth with
       | "llm" -> Stagg_baselines.Llm_only.run_suite ~jobs ~seed:20250604 Suite.all
@@ -188,7 +212,9 @@ let suite_cmd =
           Stagg_baselines.C2taco.run_suite ~jobs ~seed:20250604 ~heuristics:false Suite.all
       | "tenspiler" -> Stagg_baselines.Tenspiler.run_suite ~jobs ~seed:20250604 Suite.real_world
       | m ->
-          Stagg.Pipeline.run_suite ~jobs (with_analysis no_analysis (method_of_string m)) Suite.all
+          Stagg.Pipeline.run_suite ~jobs
+            (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string m)))
+            Suite.all
     in
     List.iter (fun r -> Format.printf "%a@." Stagg.Result_.pp r) results;
     let solved = List.filter (fun r -> r.Stagg.Result_.solved) results in
@@ -196,7 +222,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run one method over the whole suite and print per-query results.")
-    Term.(const run $ method_arg $ jobs_arg $ no_analysis_arg)
+    Term.(const run $ method_arg $ jobs_arg $ no_analysis_arg $ prune_mode_arg)
 
 (* ---- lift-file: arbitrary C + signature spec + recorded LLM transcript ---- *)
 

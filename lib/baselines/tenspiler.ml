@@ -92,6 +92,7 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
       attempts;
       expansions = attempts;
       pruned = 0;
+      suppressed = 0;
       pruned_rules = 0;
       n_candidates = 0;
       validate_s = !validate_s;

@@ -26,6 +26,12 @@ type t = {
           outcomes are byte-identical either way (only expansions/time
           drop); [false] reproduces the pre-analysis behaviour for
           differential testing. *)
+  prune_mode : Astar.prune_mode;
+      (** how the analysis prune absorbs doomed children when [analysis]
+          is on: [Prune_replay] enqueues tree-less replay items,
+          [Prune_admission] (default) never enqueues them and charges
+          their budget ticks through the admission ledger. Irrelevant
+          when [analysis = false]. *)
   seed : int;  (** drives the mock LLM and example generation *)
 }
 
@@ -45,6 +51,7 @@ let base search grammar penalties label =
     dedup = Astar.Fingerprint;
     verify = true;
     analysis = true;
+    prune_mode = Astar.Prune_admission;
     seed = 20250604;
   }
 
@@ -52,6 +59,10 @@ let base search grammar penalties label =
     differential mode); the label is unchanged so sweep outputs diff
     cleanly against analysis-on runs. *)
 let without_analysis m = { m with analysis = false }
+
+(** The same method with the given doomed-child absorption mode; label
+    unchanged so sweep outputs diff cleanly across modes. *)
+let with_prune_mode m prune_mode = { m with prune_mode }
 
 let stagg_td = base Top_down Refined Penalty.all_topdown "STAGG^TD"
 let stagg_bu = base Bottom_up Refined Penalty.all_bottomup "STAGG^BU"

@@ -193,8 +193,8 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
   (* per-phase accumulators (one run = one domain; plain refs are fine) *)
   let validate_s = ref 0. and verify_s = ref 0. and instantiations = ref 0 in
   let facts = if m.analysis then Some (Stagg_minic.Facts.analyze q.func) else None in
-  let finish ?(pruned = 0) ?(pruned_rules = 0) ?(warnings = []) ~solved ~solution ~attempts
-      ~expansions ~n_candidates ~failure () =
+  let finish ?(pruned = 0) ?(suppressed = 0) ?(pruned_rules = 0) ?(warnings = []) ~solved
+      ~solution ~attempts ~expansions ~n_candidates ~failure () =
     {
       Result_.bench = q.qname;
       method_label = m.label;
@@ -204,6 +204,7 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
       attempts;
       expansions;
       pruned;
+      suppressed;
       pruned_rules;
       n_candidates;
       validate_s = !validate_s;
@@ -279,13 +280,18 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
             match m.search with
             | Method_.Top_down ->
                 Astar.search_topdown ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
-                  ~max_depth:m.max_depth ~dedup:m.dedup ?prune ~budget:m.budget ~validate ()
+                  ~max_depth:m.max_depth ~dedup:m.dedup ?prune ~prune_mode:m.prune_mode
+                  ~budget:m.budget ~validate ()
             | Method_.Bottom_up ->
                 Astar.search_bottomup ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
-                  ~dim_list:prep.dim_list ~dedup:m.dedup ?prune ~budget:m.budget ~validate ()
+                  ~dim_list:prep.dim_list ~dedup:m.dedup ?prune ~prune_mode:m.prune_mode
+                  ~budget:m.budget ~validate ()
           in
           let stats = Astar.stats_of outcome in
-          let finish = finish ~pruned:stats.pruned ~pruned_rules ~warnings ~n_candidates in
+          let finish =
+            finish ~pruned:stats.pruned ~suppressed:stats.suppressed ~pruned_rules ~warnings
+              ~n_candidates
+          in
           match outcome with
           | Astar.Solved (sol, _) ->
               finish ~solved:true ~solution:(Some sol) ~attempts:stats.attempts

@@ -21,6 +21,13 @@ type runs = {
   bu_equal : Result_.t list;
   bu_llm_grammar : Result_.t list;
   bu_full_grammar : Result_.t list;
+  sweeps : (string * float * int) list;
+      (** per-sweep measurement log, in execution order: (sweep label,
+          wall seconds, [Gc.quick_stat] major-heap size in words when the
+          sweep finished). Each sweep starts from a compacted heap
+          ({!sweep_timed}) and the heap only grows between compactions,
+          so the end-of-sweep size approximates the sweep's own
+          high-water mark. *)
 }
 
 let default_seed = 20250604
@@ -46,23 +53,31 @@ let prepare_suite ?jobs ~seed benches : prep =
 let sweep_prepared ?jobs m (cache : prep) =
   Pool.map ?jobs (fun (q, pr) -> Pipeline.lift_prefixed m q pr) cache
 
-let sweep_timed ~progress label f =
+let sweep_timed ?log ~progress label f =
   (* settle the heap before timing: without this, a sweep pays major-GC
      marking for the previous sweep's garbage (frontiers run to ~10⁶ live
      entries), and the per-sweep times depend on sweep order *)
   Gc.compact ();
   let t0 = Unix.gettimeofday () in
   let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  (* heap size BEFORE the next sweep's compaction: with a compacted
+     start, this is the sweep's own high-water footprint *)
+  (match log with
+  | Some l -> l := (label, dt, (Gc.quick_stat ()).Gc.heap_words) :: !l
+  | None -> ());
   progress
     (Printf.sprintf "%-28s %2d solved  (%.1fs)" label
        (List.length (List.filter (fun (x : Result_.t) -> x.solved) r))
-       (Unix.gettimeofday () -. t0));
+       dt);
   r
 
-let run_core_cached ?jobs ?(analysis = true) ~seed ~progress (cache : prep) =
+let run_core_cached ?jobs ?(analysis = true)
+    ?(prune_mode = Stagg_search.Astar.Prune_admission) ~seed ~progress (cache : prep) =
   let all = Suite.all and rw = Suite.real_world in
-  let sweep = sweep_timed ~progress in
-  let with_seed m = { m with Method_.seed; analysis } in
+  let sweep_log = ref [] in
+  let sweep = sweep_timed ~log:sweep_log ~progress in
+  let with_seed m = { m with Method_.seed; analysis; prune_mode } in
   let sweep_m m = sweep m.Method_.label (fun () -> sweep_prepared ?jobs (with_seed m) cache) in
   let td = sweep_m Method_.stagg_td in
   let bu = sweep_m Method_.stagg_bu in
@@ -93,34 +108,49 @@ let run_core_cached ?jobs ?(analysis = true) ~seed ~progress (cache : prep) =
     bu_equal = [];
     bu_llm_grammar = [];
     bu_full_grammar = [];
+    sweeps = List.rev !sweep_log;
   }
 
-let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?analysis () =
-  run_core_cached ?jobs ?analysis ~seed ~progress (prepare_suite ?jobs ~seed Suite.all)
+let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?analysis ?prune_mode () =
+  run_core_cached ?jobs ?analysis ?prune_mode ~seed ~progress
+    (prepare_suite ?jobs ~seed Suite.all)
 
-let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?(analysis = true) () =
+let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?(analysis = true)
+    ?(prune_mode = Stagg_search.Astar.Prune_admission) () =
   let cache = prepare_suite ?jobs ~seed Suite.all in
-  let core = run_core_cached ?jobs ~analysis ~seed ~progress cache in
-  let with_seed m = { m with Method_.seed; analysis } in
+  let core = run_core_cached ?jobs ~analysis ~prune_mode ~seed ~progress cache in
+  let with_seed m = { m with Method_.seed; analysis; prune_mode } in
+  let sweep_log = ref [] in
   let sweep m =
-    sweep_timed ~progress m.Method_.label (fun () ->
+    sweep_timed ~log:sweep_log ~progress m.Method_.label (fun () ->
         sweep_prepared ?jobs (with_seed m) cache)
   in
   let drop base c = sweep (Method_.drop_penalty base c) in
+  (* ablation sweeps run in this binding order, so the sweep log stays in
+     execution order regardless of record-field evaluation order *)
+  let td_drop_all = sweep (Method_.drop_all_penalties Method_.stagg_td "A") in
+  let td_drops = List.map (fun c -> (c, drop Method_.stagg_td c)) Penalty.all_topdown in
+  let bu_drop_all = sweep (Method_.drop_all_penalties Method_.stagg_bu "B") in
+  let bu_drops = List.map (fun c -> (c, drop Method_.stagg_bu c)) Penalty.all_bottomup in
+  let td_equal = sweep Method_.td_equal_probability in
+  let td_llm_grammar = sweep Method_.td_llm_grammar in
+  let td_full_grammar = sweep Method_.td_full_grammar in
+  let bu_equal = sweep Method_.bu_equal_probability in
+  let bu_llm_grammar = sweep Method_.bu_llm_grammar in
+  let bu_full_grammar = sweep Method_.bu_full_grammar in
   {
     core with
-    td_drop_all = sweep (Method_.drop_all_penalties Method_.stagg_td "A");
-    td_drops =
-      List.map (fun c -> (c, drop Method_.stagg_td c)) Penalty.all_topdown;
-    bu_drop_all = sweep (Method_.drop_all_penalties Method_.stagg_bu "B");
-    bu_drops =
-      List.map (fun c -> (c, drop Method_.stagg_bu c)) Penalty.all_bottomup;
-    td_equal = sweep Method_.td_equal_probability;
-    td_llm_grammar = sweep Method_.td_llm_grammar;
-    td_full_grammar = sweep Method_.td_full_grammar;
-    bu_equal = sweep Method_.bu_equal_probability;
-    bu_llm_grammar = sweep Method_.bu_llm_grammar;
-    bu_full_grammar = sweep Method_.bu_full_grammar;
+    td_drop_all;
+    td_drops;
+    bu_drop_all;
+    bu_drops;
+    td_equal;
+    td_llm_grammar;
+    td_full_grammar;
+    bu_equal;
+    bu_llm_grammar;
+    bu_full_grammar;
+    sweeps = core.sweeps @ List.rev !sweep_log;
   }
 
 (* ---- statistics ---- *)
@@ -371,12 +401,14 @@ let json_summary ?(jobs = 1) ~wall_s runs =
       Printf.bprintf buf
         "    {\"method\": \"%s\", \"solved\": %d, \"total\": %d, \"avg_time_s\": %.6f, \
          \"avg_attempts\": %.2f, \"total_attempts\": %d, \"total_expansions\": %d, \
-         \"total_pruned\": %d, \"pruned_rules\": %d, \"search_s\": %.3f, \
-         \"validate_s\": %.3f, \"verify_s\": %.3f, \"instantiations\": %d}%s\n"
+         \"total_pruned\": %d, \"total_suppressed\": %d, \"pruned_rules\": %d, \
+         \"search_s\": %.3f, \"validate_s\": %.3f, \"verify_s\": %.3f, \
+         \"instantiations\": %d}%s\n"
         (json_escape label) (n_solved rs) (List.length rs) (avg_time rs) (avg_attempts rs)
         (List.fold_left (fun a (r : Result_.t) -> a + r.attempts) 0 rs)
         (List.fold_left (fun a (r : Result_.t) -> a + r.expansions) 0 rs)
         (List.fold_left (fun a (r : Result_.t) -> a + r.pruned) 0 rs)
+        (List.fold_left (fun a (r : Result_.t) -> a + r.suppressed) 0 rs)
         (List.fold_left (fun a (r : Result_.t) -> a + r.pruned_rules) 0 rs)
         (sum Result_.search_s rs)
         (sum (fun (r : Result_.t) -> r.validate_s) rs)
@@ -384,5 +416,13 @@ let json_summary ?(jobs = 1) ~wall_s runs =
         (List.fold_left (fun a (r : Result_.t) -> a + r.instantiations) 0 rs)
         (if i = last then "" else ","))
     rows;
+  Buffer.add_string buf "  ],\n  \"sweeps\": [\n";
+  let nsweeps = List.length runs.sweeps in
+  List.iteri
+    (fun i (label, wall_s, heap_words) ->
+      Printf.bprintf buf "    {\"sweep\": \"%s\", \"wall_s\": %.3f, \"heap_words\": %d}%s\n"
+        (json_escape label) wall_s heap_words
+        (if i = nsweeps - 1 then "" else ","))
+    runs.sweeps;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf

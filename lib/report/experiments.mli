@@ -24,6 +24,10 @@ type runs = {
   bu_equal : Result_.t list;
   bu_llm_grammar : Result_.t list;
   bu_full_grammar : Result_.t list;
+  sweeps : (string * float * int) list;
+      (** per-sweep measurement log, in execution order: (sweep label,
+          wall seconds, major-heap words at sweep end, each sweep
+          starting from a compacted heap). *)
 }
 
 (** [run_all ()] — the full campaign (≈20 suite sweeps). [progress] is
@@ -43,13 +47,28 @@ type runs = {
     pruning) on the STAGG methods; solved/attempt outcomes are
     byte-identical either way — only expansions and time drop — so
     [~analysis:false] is the differential baseline behind the bench
-    driver's [--no-analysis] flag. *)
+    driver's [--no-analysis] flag. [prune_mode] (default
+    [Prune_admission]) picks how the prune absorbs doomed children
+    ({!Stagg_search.Astar.prune_mode}); it too leaves solved/attempt
+    outcomes byte-identical. *)
 val run_all :
-  ?seed:int -> ?progress:(string -> unit) -> ?jobs:int -> ?analysis:bool -> unit -> runs
+  ?seed:int ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  ?analysis:bool ->
+  ?prune_mode:Stagg_search.Astar.prune_mode ->
+  unit ->
+  runs
 
 (** Core methods only (Table 1 / Figs. 9–10), without the ablations. *)
 val run_core :
-  ?seed:int -> ?progress:(string -> unit) -> ?jobs:int -> ?analysis:bool -> unit -> runs
+  ?seed:int ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  ?analysis:bool ->
+  ?prune_mode:Stagg_search.Astar.prune_mode ->
+  unit ->
+  runs
 
 val table1 : runs -> string
 val table2 : runs -> string
@@ -68,8 +87,9 @@ val summary_rows : runs -> (string * Result_.t list) list
 
 (** [json_summary ~jobs ~wall_s runs] — the {!summary} data as a JSON
     document (per method: solved count, suite size, avg time and
-    attempts over solved queries, total attempts), plus the harness wall
-    time and the [jobs] the campaign ran with. Written by
+    attempts over solved queries, total attempts/expansions/pruned/
+    suppressed), the per-sweep wall/heap log ([sweeps]), plus the harness
+    wall time and the [jobs] the campaign ran with. Written by
     [bench/main.exe --json FILE] so successive PRs can track the perf
     trajectory. *)
 val json_summary : ?jobs:int -> wall_s:float -> runs -> string

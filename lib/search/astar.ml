@@ -6,7 +6,13 @@ type budget = { max_attempts : int; max_expansions : int; timeout_s : float }
 
 let default_budget = { max_attempts = 2_000; max_expansions = 200_000; timeout_s = 10. }
 
-type stats = { attempts : int; expansions : int; pruned : int; elapsed_s : float }
+type stats = {
+  attempts : int;
+  expansions : int;
+  pruned : int;
+  suppressed : int;
+  elapsed_s : float;
+}
 
 type stop_reason = Attempts | Expansions | Frontier | Timeout
 
@@ -24,6 +30,128 @@ type 'sol outcome =
 let stats_of = function Solved (_, s) | Exhausted s | Budget_exceeded (_, s) -> s
 
 type dedup = Fingerprint | Pretty_key
+
+type prune_mode = Prune_replay | Prune_admission
+
+let prune_mode_to_string = function
+  | Prune_replay -> "replay"
+  | Prune_admission -> "admission"
+
+(* ---- the admission ledger ----
+
+   Admission control at push time: a doomed complete child is never
+   enqueued — no entry record, no annotation kept alive, no frontier
+   traffic — but the pop the baseline would have spent on it must still
+   tick the budget and the 64-pop clock poll AT ITS BASELINE POSITION,
+   or the attempt/expansion caps would land on different templates (the
+   suppressed child is pushed long before the baseline pops it, so
+   counting it at push time front-loads the budget and stops the search
+   on earlier pops than the baseline's — observably different attempts
+   the moment a cap binds). The ledger keeps exactly the (f, seq) key of
+   every suppressed child in a scalar min-heap over unboxed float/int
+   arrays; the search drains it in lockstep with the frontier, charging
+   [suppressed] (and replaying the doomed pop's observable dedup/attempt
+   effects) precisely when (f, seq) says the baseline pop would have
+   happened. Frontier and ledger share one sequence counter, so the
+   interleaving — FIFO ties included — is the baseline's. *)
+module Ledger = struct
+  type t = {
+    mutable prio : float array;
+    mutable seq : int array;
+    mutable fp : int array;
+    mutable depth : int array;
+    mutable nt : int array;
+    mutable size : int;
+  }
+
+  let create () = { prio = [||]; seq = [||]; fp = [||]; depth = [||]; nt = [||]; size = 0 }
+  let is_empty l = l.size = 0
+  let length l = l.size
+  let top_prio l = l.prio.(0)
+  let top_seq l = l.seq.(0)
+
+  let less l i j = l.prio.(i) < l.prio.(j) || (l.prio.(i) = l.prio.(j) && l.seq.(i) < l.seq.(j))
+
+  let swap l i j =
+    let fswap (a : float array) =
+      let x = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- x
+    in
+    let iswap (a : int array) =
+      let x = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- x
+    in
+    fswap l.prio;
+    iswap l.seq;
+    iswap l.fp;
+    iswap l.depth;
+    iswap l.nt
+
+  let grow l =
+    let cap = Array.length l.prio in
+    if l.size = cap then begin
+      let ncap = if cap = 0 then 16 else cap * 2 in
+      let nf = Array.make ncap 0. in
+      Array.blit l.prio 0 nf 0 l.size;
+      l.prio <- nf;
+      let ni a =
+        let n = Array.make ncap 0 in
+        Array.blit a 0 n 0 l.size;
+        n
+      in
+      l.seq <- ni l.seq;
+      l.fp <- ni l.fp;
+      l.depth <- ni l.depth;
+      l.nt <- ni l.nt
+    end
+
+  let push l ~prio ~seq ~fp ~depth ~nt =
+    grow l;
+    let i = ref l.size in
+    l.prio.(!i) <- prio;
+    l.seq.(!i) <- seq;
+    l.fp.(!i) <- fp;
+    l.depth.(!i) <- depth;
+    l.nt.(!i) <- nt;
+    l.size <- l.size + 1;
+    let continue_ = ref true in
+    while !continue_ && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if less l !i parent then begin
+        swap l !i parent;
+        i := parent
+      end
+      else continue_ := false
+    done
+
+  (* remove the minimum; returns (fp, depth, n_tensors) *)
+  let pop l =
+    let fp = l.fp.(0) and depth = l.depth.(0) and nt = l.nt.(0) in
+    l.size <- l.size - 1;
+    if l.size > 0 then begin
+      l.prio.(0) <- l.prio.(l.size);
+      l.seq.(0) <- l.seq.(l.size);
+      l.fp.(0) <- l.fp.(l.size);
+      l.depth.(0) <- l.depth.(l.size);
+      l.nt.(0) <- l.nt.(l.size);
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let lc = (2 * !i) + 1 and rc = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if lc < l.size && less l lc !smallest then smallest := lc;
+        if rc < l.size && less l rc !smallest then smallest := rc;
+        if !smallest <> !i then begin
+          swap l !smallest !i;
+          i := !smallest
+        end
+        else continue_ := false
+      done
+    end;
+    (fp, depth, nt)
+end
 
 (* A frontier element carries everything the pop side needs — path cost,
    metrics, and (for complete trees) the rebuilt program. Incomplete
@@ -55,7 +183,9 @@ type entry = {
    without carrying the tree. Its pop re-enacts the baseline pop
    byte-for-byte (the first-seen one marks the fingerprint and counts the
    attempt; validation itself was a structural no-op) but is tallied
-   separately, so reported expansions count only real work. *)
+   separately, so reported expansions count only real work. [Pruned]
+   items exist only in [Prune_replay] mode; [Prune_admission] keeps the
+   same doomed completes out of the queue entirely (see {!Ledger}). *)
 type item =
   | Entry of entry
   | Ghost
@@ -69,6 +199,8 @@ type 'sol engine = {
   budget : budget;
   validate : Stagg_taco.Ast.program -> 'sol option;
   queue : item Pqueue.t;  (** priority f(x) *)
+  sup : Ledger.t;  (** admission-suppressed (f, seq, fp, guards) keys *)
+  mode : prune_mode;  (** how doomed complete children are absorbed *)
   dedup : dedup;
   seen_fp : (int, unit) Hashtbl.t;  (** validated templates, fingerprints *)
   seen_str : (string, unit) Hashtbl.t;  (** validated templates, printed form (legacy mode) *)
@@ -81,53 +213,77 @@ type 'sol engine = {
   inc_safe : bool;  (** grammar admits incremental metrics *)
   prune : Prune.t option;  (** analysis-guided pruning (Fingerprint mode only) *)
   started : float;
+  mutable eseq : int;  (** push sequence shared by [queue] and [sup] *)
   mutable attempts : int;
   mutable expansions : int;
-  mutable pruned : int;  (** pops of [Pruned] items *)
+  mutable pruned : int;  (** pops of [Pruned] items (replay mode) *)
+  mutable suppressed : int;  (** ledger drains (admission mode) *)
   mutable timed_out : bool;  (** latched by the periodic clock check *)
   mutable stop : stop_reason;  (** which limit fired, for [Budget_exceeded] *)
 }
 
-let make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune =
+(* every push — frontier or ledger — consumes one sequence number, so
+   the numbering is exactly the baseline's push order *)
+let take_seq e =
+  let s = e.eseq in
+  e.eseq <- s + 1;
+  s
+
+let qpush e f item = Pqueue.push_seq e.queue f (take_seq e) item
+
+let make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode =
   let g = Pcfg.cfg pcfg in
-  let queue = Pqueue.create () in
+  let queue = Pqueue.create ~dummy:Ghost in
   let x0 = Node.initial g in
   let fps = Node.fingerprints g in
-  Pqueue.push queue 0.
-    (Entry
-       { c = 0.; tree = Built x0; ann = Node.annotate g fps x0; program = None; pst = Prune.root });
   let rule_cost = Array.init (Cfg.size g) (fun id -> Pcfg.cost pcfg (Cfg.rule g id)) in
   let h_memo = Hashtbl.create 16 in
   List.iter (fun nt -> Hashtbl.replace h_memo nt (Pcfg.h_cost pcfg nt)) (Cfg.nonterminals g);
-  {
-    pcfg;
-    penalty = Penalty.compile penalty_ctx;
-    budget;
-    validate;
-    queue;
-    dedup;
-    seen_fp = Hashtbl.create 64;
-    seen_str = Hashtbl.create 64;
-    pen_memo = Hashtbl.create 64;
-    fps;
-    rule_cost;
-    h_memo;
-    inc_safe = Node.incremental_safe g;
-    (* the duplicate/doomed replay protocol marks [seen_fp], so pruning
-       only composes with fingerprint dedup *)
-    prune = (if dedup = Fingerprint then prune else None);
-    started = Unix.gettimeofday ();
-    attempts = 0;
-    expansions = 0;
-    pruned = 0;
-    timed_out = false;
-    stop = Expansions;
-  }
+  let e =
+    {
+      pcfg;
+      penalty = Penalty.compile penalty_ctx;
+      budget;
+      validate;
+      queue;
+      sup = Ledger.create ();
+      mode;
+      dedup;
+      seen_fp = Hashtbl.create 64;
+      seen_str = Hashtbl.create 64;
+      pen_memo = Hashtbl.create 64;
+      fps;
+      rule_cost;
+      h_memo;
+      inc_safe = Node.incremental_safe g;
+      (* the duplicate/doomed replay protocol marks [seen_fp], so pruning
+         only composes with fingerprint dedup *)
+      prune = (if dedup = Fingerprint then prune else None);
+      started = Unix.gettimeofday ();
+      eseq = 0;
+      attempts = 0;
+      expansions = 0;
+      pruned = 0;
+      suppressed = 0;
+      timed_out = false;
+      stop = Expansions;
+    }
+  in
+  qpush e 0.
+    (Entry
+       { c = 0.; tree = Built x0; ann = Node.annotate g fps x0; program = None; pst = Prune.root });
+  e
 
 let elapsed e = Unix.gettimeofday () -. e.started
 
 let stats e =
-  { attempts = e.attempts; expansions = e.expansions; pruned = e.pruned; elapsed_s = elapsed e }
+  {
+    attempts = e.attempts;
+    expansions = e.expansions;
+    pruned = e.pruned;
+    suppressed = e.suppressed;
+    elapsed_s = elapsed e;
+  }
 
 (* Same per-nonterminal values and the same left-to-right summation as
    [Node.g_cost_opens], with the log₂ precomputed per nonterminal. *)
@@ -142,13 +298,16 @@ let max_frontier = 1_500_000
    deterministic outcome); the wall clock is only a backstop, so the
    [gettimeofday] syscall is polled every 64 pops and latched, keeping it
    out of the hot loop. *)
-(* Budget accounting runs on TOTAL pops — real expansions plus pruned
-   replays — so enabling the analysis prune moves no stop point: the
-   pop sequence, and hence where a cap or the 64-pop clock poll lands,
-   is position-for-position the baseline's. Only the REPORTED expansion
-   count shrinks. *)
+(* Budget accounting runs on TOTAL baseline pops — real expansions plus
+   pruned replays plus admission-suppressed ledger drains — so enabling
+   the analysis prune in either mode moves no stop point: the tick
+   sequence, and hence where a cap or the 64-pop clock poll lands, is
+   position-for-position the baseline's. Only the REPORTED expansion
+   count shrinks. The frontier cap likewise counts ledger residents: the
+   baseline holds every suppressed child in its queue, so the cap must
+   see the same population. *)
 let over_budget e =
-  let pops = e.expansions + e.pruned in
+  let pops = e.expansions + e.pruned + e.suppressed in
   if e.attempts >= e.budget.max_attempts then begin
     e.stop <- Attempts;
     true
@@ -157,7 +316,7 @@ let over_budget e =
     e.stop <- Expansions;
     true
   end
-  else if Pqueue.length e.queue > max_frontier then begin
+  else if Pqueue.length e.queue + Ledger.length e.sup > max_frontier then begin
     e.stop <- Frontier;
     true
   end
@@ -167,6 +326,15 @@ let over_budget e =
     if e.timed_out then e.stop <- Timeout;
     e.timed_out
   end
+
+(* Would the baseline's next pop be a suppressed (never-enqueued) child?
+   Exact (f, seq) lexicographic comparison against the frontier head. *)
+let baseline_pops_suppressed e =
+  (not (Ledger.is_empty e.sup))
+  && (Pqueue.is_empty e.queue
+     ||
+     let sp = Ledger.top_prio e.sup and qp = Pqueue.top_prio e.queue in
+     sp < qp || (sp = qp && Ledger.top_seq e.sup < Pqueue.top_seq e.queue))
 
 (* Validate an already-rebuilt program. Duplicate templates — the EXPR OP
    EXPR rule makes the grammar ambiguous, and associative duplicates print
@@ -246,7 +414,7 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
                      && Hashtbl.mem e.seen_fp ann.Node.fp -> (
                   match Hashtbl.find_opt e.pen_memo ann.Node.fp with
                   | Some pen ->
-                      Pqueue.push e.queue (c' +. 0. +. pen) Ghost;
+                      qpush e (c' +. 0. +. pen) Ghost;
                       true
                   | None -> false)
               | _ -> false
@@ -259,11 +427,16 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
               in
               let pruned_away =
                 (* a DOOMED complete child — the analysis proved its
-                   validation enumerates zero substitutions — is replaced
-                   by a tree-less [Pruned] item at bit-identical f. The
-                   penalty is rescored the baseline way (rebuilding the
-                   program only if a criterion reads it), and [pen_memo]
-                   is still fed so later twins ghost exactly as before.
+                   validation enumerates zero substitutions — never
+                   becomes a real entry. The penalty is rescored the
+                   baseline way (rebuilding the program only if a
+                   criterion reads it) because f must be bit-identical,
+                   and [pen_memo] is still fed so later twins ghost
+                   exactly as before. In [Prune_replay] mode a tree-less
+                   [Pruned] item takes the entry's place on the frontier;
+                   in [Prune_admission] mode nothing is enqueued at all —
+                   the (f, seq) key goes to the ledger, which replays the
+                   pop's observable effects at its baseline position.
                    Incomplete doomed children stay ordinary entries:
                    their pops never validate anyway, and their children
                    inherit the doomed state through [pst]. *)
@@ -277,13 +450,19 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
                     let pen = Penalty.score_compiled e.penalty ann.Node.metrics ~program in
                     if pen < infinity then begin
                       Hashtbl.replace e.pen_memo ann.Node.fp pen;
-                      Pqueue.push e.queue (c' +. 0. +. pen)
-                        (Pruned
-                           {
-                             p_fp = ann.Node.fp;
-                             p_depth = ann.Node.depth;
-                             p_n_tensors = ann.Node.metrics.n_tensors;
-                           })
+                      let f = c' +. 0. +. pen in
+                      match e.mode with
+                      | Prune_replay ->
+                          qpush e f
+                            (Pruned
+                               {
+                                 p_fp = ann.Node.fp;
+                                 p_depth = ann.Node.depth;
+                                 p_n_tensors = ann.Node.metrics.n_tensors;
+                               })
+                      | Prune_admission ->
+                          Ledger.push e.sup ~prio:f ~seq:(take_seq e) ~fp:ann.Node.fp
+                            ~depth:ann.Node.depth ~nt:ann.Node.metrics.n_tensors
                     end;
                     true
                 | _ -> false
@@ -309,26 +488,27 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
                   if e.dedup = Fingerprint && ann.Node.metrics.complete then
                     Hashtbl.replace e.pen_memo ann.Node.fp pen;
                   let f = c' +. g_of ann.Node.opens +. pen in
-                  Pqueue.push e.queue f (Entry { c = c'; tree; ann; program; pst = pst' })
+                  qpush e f (Entry { c = c'; tree; ann; program; pst = pst' })
                 end
               end
             end
           end)
         (Cfg.rules_for g nt)
 
-(* A [Pruned] pop replays what the baseline pop of the suppressed entry
-   would have observably done: count the attempt and mark the template
-   seen the first time it survives the same guards (the TD depth prune /
-   the BU tensor-count gate) — validating it was a structural no-op. *)
+(* A [Pruned] pop — or an admission-ledger drain — replays what the
+   baseline pop of the suppressed entry would have observably done:
+   count the attempt and mark the template seen the first time it
+   survives the same guards (the TD depth prune / the BU tensor-count
+   gate) — validating it was a structural no-op. *)
 let replay_pruned e ~fp =
   if not (Hashtbl.mem e.seen_fp fp) then begin
     Hashtbl.add e.seen_fp fp ();
     e.attempts <- e.attempts + 1
   end
 
-let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ?prune ~budget
-    ~validate () =
-  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune in
+let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ?prune
+    ?(prune_mode = Prune_admission) ~budget ~validate () =
+  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode:prune_mode in
   let g = Pcfg.cfg pcfg in
   (* with static depth tables the prune reads the annotation, so depth-dead
      pops never materialize (or walk) their tree at all *)
@@ -341,7 +521,15 @@ let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ?p
     else Node.depth g (materialize en.tree) > max_depth
   in
   let rec loop () =
-    if over_budget e then Budget_exceeded (e.stop, stats e)
+    if baseline_pops_suppressed e then
+      if over_budget e then Budget_exceeded (e.stop, stats e)
+      else begin
+        let fp, depth, _nt = Ledger.pop e.sup in
+        e.suppressed <- e.suppressed + 1;
+        if depth <= max_depth then replay_pruned e ~fp;
+        loop ()
+      end
+    else if over_budget e then Budget_exceeded (e.stop, stats e)
     else
       match Pqueue.pop e.queue with
       | None -> Exhausted (stats e)
@@ -367,13 +555,23 @@ let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ?p
   in
   loop ()
 
-let search_bottomup ~pcfg ~penalty_ctx ~dim_list ?(dedup = Fingerprint) ?prune ~budget
-    ~validate () =
-  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune in
+let search_bottomup ~pcfg ~penalty_ctx ~dim_list ?(dedup = Fingerprint) ?prune
+    ?(prune_mode = Prune_admission) ~budget ~validate () =
+  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode:prune_mode in
   let g = Pcfg.cfg pcfg in
   let n_predicted = List.length dim_list in
   let rec loop () =
-    if over_budget e then Budget_exceeded (e.stop, stats e)
+    if baseline_pops_suppressed e then
+      if over_budget e then Budget_exceeded (e.stop, stats e)
+      else begin
+        let fp, _depth, nt = Ledger.pop e.sup in
+        e.suppressed <- e.suppressed + 1;
+        (* the baseline pop validates (a no-op here) only when the
+           complete tree carries exactly the predicted tensor count *)
+        if nt = n_predicted then replay_pruned e ~fp;
+        loop ()
+      end
+    else if over_budget e then Budget_exceeded (e.stop, stats e)
     else
       match Pqueue.pop e.queue with
       | None -> Exhausted (stats e)

@@ -25,7 +25,12 @@ let map ?jobs f xs =
             (slots.(i) <-
               (match f input.(i) with
               | v -> Done v
-              | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+              | exception e ->
+                  (* poison: park the cursor past the end so no domain
+                     claims further tasks (each in-flight task still
+                     finishes, and the map still re-raises below) *)
+                  Atomic.set cursor n;
+                  Failed (e, Printexc.get_raw_backtrace ())));
             drain ()
           end
         in
@@ -34,12 +39,21 @@ let map ?jobs f xs =
       let helpers = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
       worker ();
       List.iter Domain.join helpers;
+      (* re-raise the lowest-index failure that actually ran; slots after
+         the poison point may legitimately be [Empty] *)
+      let failure = ref None in
+      Array.iter
+        (fun s ->
+          match (s, !failure) with
+          | Failed (e, bt), None -> failure := Some (e, bt)
+          | _ -> ())
+        slots;
+      (match !failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
       Array.to_list
         (Array.map
-           (function
-             | Done v -> v
-             | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
-             | Empty -> assert false)
+           (function Done v -> v | Failed _ | Empty -> assert false)
            slots)
 
 let map_reduce ?jobs ~map:f ~init ~reduce xs = List.fold_left reduce init (map ?jobs f xs)

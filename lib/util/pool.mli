@@ -12,8 +12,10 @@
 
     [f] must not touch mutable state shared with other tasks: every task
     runs concurrently with the others when [jobs > 1]. An exception raised
-    by any task is re-raised (with its backtrace) on the calling domain
-    after all workers have drained. *)
+    by any task poisons the work queue: no domain claims further tasks
+    (those already in flight finish), and after all workers have stopped
+    the lowest-index failure among the tasks that ran is re-raised (with
+    its backtrace) on the calling domain. *)
 
 (** [default_jobs ()] is [Domain.recommended_domain_count () - 1], at
     least 1 — leave one core to the spawning domain's own bookkeeping. *)

@@ -4,7 +4,14 @@
    priorities live in an unboxed float array, so a push allocates nothing
    (a record with a float field would box the float on every push — the
    searches push tens of millions of frontier entries), and the sift
-   comparisons walk one contiguous float array. *)
+   comparisons walk one contiguous float array.
+
+   Every slot outside [0, size) holds [dummy]. Without that discipline a
+   pop leaves the vacated slot pointing at whatever lived there before
+   the swap, and [grow]'s [Array.make] pins the triggering push's value
+   in every unused slot — on a frontier that grew to millions of entries
+   the dead region retains popped values (trees, annotations) until
+   [clear], which the GC cannot see past. *)
 
 type 'a t = {
   mutable prio : float array;
@@ -12,11 +19,15 @@ type 'a t = {
   mutable value : 'a array;
   mutable size : int;
   mutable next_seq : int;
+  dummy : 'a;
 }
 
-let create () = { prio = [||]; seq = [||]; value = [||]; size = 0; next_seq = 0 }
+let create ~dummy = { prio = [||]; seq = [||]; value = [||]; size = 0; next_seq = 0; dummy }
 let is_empty q = q.size = 0
 let length q = q.size
+
+let top_prio q = q.prio.(0)
+let top_seq q = q.seq.(0)
 
 let less q i j = q.prio.(i) < q.prio.(j) || (q.prio.(i) = q.prio.(j) && q.seq.(i) < q.seq.(j))
 
@@ -31,7 +42,7 @@ let swap q i j =
   q.value.(i) <- q.value.(j);
   q.value.(j) <- v
 
-let grow q v =
+let grow q =
   let cap = Array.length q.prio in
   if q.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
@@ -41,18 +52,17 @@ let grow q v =
     let ns = Array.make ncap 0 in
     Array.blit q.seq 0 ns 0 q.size;
     q.seq <- ns;
-    let nv = Array.make ncap v in
+    let nv = Array.make ncap q.dummy in
     Array.blit q.value 0 nv 0 q.size;
     q.value <- nv
   end
 
-let push q prio value =
-  grow q value;
+let push_seq q prio seq value =
+  grow q;
   let i = ref q.size in
   q.prio.(!i) <- prio;
-  q.seq.(!i) <- q.next_seq;
+  q.seq.(!i) <- seq;
   q.value.(!i) <- value;
-  q.next_seq <- q.next_seq + 1;
   q.size <- q.size + 1;
   (* sift up *)
   let continue_ = ref true in
@@ -64,6 +74,10 @@ let push q prio value =
     end
     else continue_ := false
   done
+
+let push q prio value =
+  push_seq q prio q.next_seq value;
+  q.next_seq <- q.next_seq + 1
 
 let peek q = if q.size = 0 then None else Some (q.prio.(0), q.value.(0))
 
@@ -91,6 +105,9 @@ let pop q =
         else continue_ := false
       done
     end;
+    (* the vacated slot (or slot 0 when the heap just emptied) must not
+       keep the old value reachable *)
+    q.value.(q.size) <- q.dummy;
     Some (prio, value)
   end
 

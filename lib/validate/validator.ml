@@ -79,9 +79,14 @@ let check_concrete ~signature ~examples p = check (prepare ~signature ~examples)
    caller-supplied [memo_key] (benchmark + example seed) plus the printed
    concrete program; guarded by a mutex like [Bench.func_cache]. Only the
    example verdict is memoized — never the [verify] (BMC) outcome, which
-   is a per-method choice. *)
+   is a per-method choice.
 
-let memo : (string, bool) Hashtbl.t = Hashtbl.create 4096
+   Keyed by the (memo_key, printed program) PAIR, not their
+   concatenation: a separator-joined string is ambiguous the moment a
+   benchmark id contains the separator, silently sharing verdicts
+   between distinct (key, program) pairs. *)
+
+let memo : (string * string, bool) Hashtbl.t = Hashtbl.create 4096
 let memo_lock = Mutex.create ()
 let memo_enabled = Atomic.make true
 let set_memo_enabled b = Atomic.set memo_enabled b
@@ -128,7 +133,7 @@ let validate_counted ~signature ~examples ~consts ?(verify = fun _ -> true) ?mem
         let passes =
           match memo_key with
           | Some mk when Atomic.get memo_enabled -> (
-              let key = mk ^ "|" ^ Stagg_taco.Pretty.program_to_string concrete in
+              let key = (mk, Stagg_taco.Pretty.program_to_string concrete) in
               match memo_find key with
               | Some v -> v
               | None ->

@@ -40,6 +40,7 @@ let fake name solved time =
     attempts = 1;
     expansions = 1;
     pruned = 0;
+    suppressed = 0;
     pruned_rules = 0;
     n_candidates = 0;
     validate_s = 0.;
@@ -95,6 +96,7 @@ let synthetic_runs () =
     bu_equal = rs (fun _ -> true) 1.0;
     bu_llm_grammar = rs (fun _ -> false) 1.0;
     bu_full_grammar = rs (fun _ -> false) 1.0;
+    sweeps = [ ("STAGG^TD", 1.0, 1_000_000) ];
   }
 
 let test_table1_slicing () =

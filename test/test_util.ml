@@ -126,7 +126,7 @@ let qcheck_rat_compare_consistent =
 (* ---- Pqueue ---- *)
 
 let test_pqueue_order () =
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:"" in
   List.iter (fun (p, v) -> Pqueue.push q p v) [ (3., "c"); (1., "a"); (2., "b"); (0.5, "z") ];
   let drain () =
     let rec go acc = match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> go (v :: acc) in
@@ -135,7 +135,7 @@ let test_pqueue_order () =
   Alcotest.(check (list string)) "sorted by priority" [ "z"; "a"; "b"; "c" ] (drain ())
 
 let test_pqueue_fifo_ties () =
-  let q = Pqueue.create () in
+  let q = Pqueue.create ~dummy:0 in
   List.iter (fun v -> Pqueue.push q 1. v) [ 1; 2; 3; 4; 5 ];
   let rec drain acc = match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc) in
   Alcotest.(check (list int)) "equal priorities drain FIFO" [ 1; 2; 3; 4; 5 ] (drain [])
@@ -144,7 +144,7 @@ let qcheck_pqueue_sorted =
   QCheck.Test.make ~name:"pqueue drains in nondecreasing priority" ~count:200
     (QCheck.list (QCheck.float_bound_exclusive 1000.))
     (fun prios ->
-      let q = Pqueue.create () in
+      let q = Pqueue.create ~dummy:0. in
       List.iter (fun p -> Pqueue.push q p p) prios;
       let rec drain acc =
         match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
@@ -164,7 +164,7 @@ let qcheck_pqueue_fifo_ties =
   QCheck.Test.make ~name:"pqueue breaks equal priorities FIFO (stable drain)" ~count:300
     arb_small_prios
     (fun prios ->
-      let q = Pqueue.create () in
+      let q = Pqueue.create ~dummy:(0, 0) in
       List.iteri (fun i p -> Pqueue.push q (float_of_int p) (p, i)) prios;
       (* stable sort of (prio, insertion index) by prio = expected drain *)
       let expected = List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.mapi (fun i p -> (p, i)) prios) in
@@ -174,13 +174,78 @@ let qcheck_pqueue_roundtrip =
   QCheck.Test.make ~name:"pqueue push/pop round-trips the payload multiset" ~count:300
     (QCheck.list (QCheck.pair (QCheck.float_bound_exclusive 100.) QCheck.small_int))
     (fun entries ->
-      let q = Pqueue.create () in
+      let q = Pqueue.create ~dummy:0 in
       List.iter (fun (p, v) -> Pqueue.push q p v) entries;
       let n = List.length entries in
       Pqueue.length q = n
       && List.sort compare (drain_payloads q) = List.sort compare (List.map snd entries)
       && Pqueue.is_empty q
       && Pqueue.pop q = None)
+
+let test_pqueue_push_seq () =
+  let q = Pqueue.create ~dummy:"" in
+  Pqueue.push_seq q 1. 5 "b";
+  Pqueue.push_seq q 1. 2 "a";
+  Pqueue.push_seq q 0.5 9 "z";
+  (* head accessors observe priority and tie-break without popping *)
+  Alcotest.(check (float 0.)) "top_prio" 0.5 (Pqueue.top_prio q);
+  check_int "top_seq" 9 (Pqueue.top_seq q);
+  (* equal priorities order by the CALLER-supplied sequence, not insertion *)
+  Alcotest.(check (list string)) "seq tie-break" [ "z"; "a"; "b" ] (drain_payloads q)
+
+(* Heap-order property under INTERLEAVED push/pop (the drain-only
+   properties above never exercise pops of a partially filled heap after
+   the backing array has gone through grow/shrink cycles). Reference
+   model: a sorted list keyed by (priority, arrival index) — priority
+   monotonicity and FIFO tie-break in one comparison. *)
+let qcheck_pqueue_interleaved =
+  QCheck.Test.make ~name:"pqueue matches reference model under interleaved push/pop" ~count:400
+    (QCheck.list (QCheck.option (QCheck.int_range 0 4)))
+    (fun ops ->
+      let q = Pqueue.create ~dummy:(-1, -1) in
+      let model = ref [] in
+      (* ascending (prio, seq) *)
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some p ->
+              let v = (p, !seq) in
+              incr seq;
+              Pqueue.push q (float_of_int p) v;
+              model := List.merge compare !model [ v ]
+          | None -> (
+              match (Pqueue.pop q, !model) with
+              | None, [] -> ()
+              | Some (_, v), m :: rest when v = m -> model := rest
+              | _ -> ok := false))
+        ops;
+      !ok && Pqueue.length q = List.length !model)
+
+(* Retention regression: a popped value must become unreachable once the
+   caller drops it. Before slots were cleared to [dummy] on pop (and
+   [grow] stopped filling fresh capacity with a live element), the
+   backing array pinned every popped value until it was overwritten by a
+   later push — on an A* frontier, dead search trees by the thousand. *)
+let test_pqueue_no_retention () =
+  let n = 64 in
+  let q = Pqueue.create ~dummy:(ref (-1)) in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Pqueue.push q (float_of_int i) v
+  done;
+  while not (Pqueue.is_empty q) do
+    ignore (Pqueue.pop q)
+  done;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check w i then incr live
+  done;
+  check_int "popped values unreachable" 0 !live
 
 (* ---- Pool ---- *)
 
@@ -194,6 +259,32 @@ let qcheck_pool_map_ordered =
 let test_pool_exception_propagates () =
   Alcotest.check_raises "worker exception re-raised" Exit (fun () ->
       ignore (Pool.map ~jobs:3 (fun x -> if x = 4 then raise Exit else x) [ 1; 2; 3; 4; 5 ]))
+
+(* Poison regression: after a task raises, no worker may CLAIM further
+   tasks (in-flight ones finish). Task 0 raises; every other task spins
+   until the poison has been thrown, so only tasks already claimed at
+   that moment can complete — with 2 workers that is at most 1. Before
+   the cursor was parked past the end on failure, the surviving worker
+   drained all remaining tasks. *)
+let test_pool_poison_stops_claiming () =
+  let poisoned = Atomic.make false in
+  let ran = Atomic.make 0 in
+  let task i =
+    if i = 0 then begin
+      Atomic.set poisoned true;
+      raise Exit
+    end
+    else begin
+      while not (Atomic.get poisoned) do
+        Domain.cpu_relax ()
+      done;
+      Atomic.incr ran;
+      i
+    end
+  in
+  Alcotest.check_raises "poison re-raised" Exit (fun () ->
+      ignore (Pool.map ~jobs:2 task (List.init 32 Fun.id)));
+  check_bool "claiming stopped after poison" true (Atomic.get ran <= 1)
 
 let test_pool_map_reduce () =
   let sum =
@@ -273,14 +364,18 @@ let () =
         [
           Alcotest.test_case "priority order" `Quick test_pqueue_order;
           Alcotest.test_case "FIFO tie-breaking" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "caller-supplied sequences" `Quick test_pqueue_push_seq;
+          Alcotest.test_case "no retention of popped values" `Quick test_pqueue_no_retention;
           qc qcheck_pqueue_sorted;
           qc qcheck_pqueue_fifo_ties;
           qc qcheck_pqueue_roundtrip;
+          qc qcheck_pqueue_interleaved;
         ] );
       ( "pool",
         [
           qc qcheck_pool_map_ordered;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "poison stops claiming" `Quick test_pool_poison_stops_claiming;
           Alcotest.test_case "ordered map_reduce" `Quick test_pool_map_reduce;
         ] );
       ( "prng",
