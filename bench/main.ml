@@ -46,11 +46,27 @@ let evaluator_tests () =
     | Error e -> failwith e
   in
   let compiled = C.compile p in
+  (* the same kernel as the validator sees it: a template whose symbols
+     are substituted per candidate — once by instantiate+compile (the
+     per-candidate path), once by rebind over the shared template
+     compilation (the batched path) *)
+  let template = Stagg_taco.Parser.parse_program_exn "a(i) = b(i, j) * c(j)" in
+  let mapping = [ ("a", "R"); ("b", "A"); ("c", "X") ] in
+  let template_compiled = C.compile_template template in
   [
     Test.make ~name:"validator kernel: gemv Interp.run"
       (Staged.stage (fun () -> ignore (I.run ~env ~lhs_shape p)));
     Test.make ~name:"validator kernel: gemv Compile.run_equal"
       (Staged.stage (fun () -> ignore (C.run_equal compiled ~env ~lhs_shape ~expected)));
+    Test.make ~name:"validator kernel: gemv instantiate+compile+run_equal"
+      (Staged.stage (fun () ->
+           let concrete = Stagg_template.Templatize.rename template ~mapping ~const:None in
+           let c = C.compile concrete in
+           ignore (C.run_equal c ~env ~lhs_shape ~expected)));
+    Test.make ~name:"validator kernel: gemv rebind+run_equal (batched)"
+      (Staged.stage (fun () ->
+           C.rebind template_compiled ~mapping ~const:None;
+           ignore (C.run_equal template_compiled ~env ~lhs_shape ~expected)));
   ]
 
 let bechamel_tests () =
@@ -136,9 +152,13 @@ let smoke_json rows =
     (fun i (label, rs) ->
       let solved = List.length (List.filter (fun (r : Stagg.Result_.t) -> r.solved) rs) in
       let attempts = List.fold_left (fun a (r : Stagg.Result_.t) -> a + r.attempts) 0 rs in
+      let instantiations =
+        List.fold_left (fun a (r : Stagg.Result_.t) -> a + r.instantiations) 0 rs
+      in
       Printf.bprintf buf
-        "    { \"method\": %S, \"solved\": %d, \"total\": %d, \"total_attempts\": %d }%s\n"
-        label solved (List.length rs) attempts
+        "    { \"method\": %S, \"solved\": %d, \"total\": %d, \"total_attempts\": %d, \
+         \"total_instantiations\": %d }%s\n"
+        label solved (List.length rs) attempts instantiations
         (if i = n - 1 then "" else ","))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -200,7 +220,8 @@ let run_diagnostics () =
 let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--no-analysis] \
-     [--prune-mode off|replay|admission] [--heap-ceiling WORDS] [--jobs N | -j N] [--json FILE]";
+     [--prune-mode off|replay|admission] [--batched-validate off|on] [--heap-ceiling WORDS] \
+     [--jobs N | -j N] [--json FILE]";
   exit 2
 
 let () =
@@ -215,6 +236,7 @@ let () =
   and smoke = ref false
   and analysis = ref true
   and prune_mode = ref Stagg_search.Astar.Prune_admission
+  and batched_validate = ref true
   and heap_ceiling = ref None
   and jobs = ref (Stagg_util.Pool.default_jobs ())
   and json_file = ref None in
@@ -244,6 +266,17 @@ let () =
             Printf.eprintf "--prune-mode expects off|replay|admission, got %s\n" m;
             usage ());
         parse rest
+    | "--batched-validate" :: mode :: rest ->
+        (* [off] = per-candidate instantiate+compile (the differential
+           baseline); results are byte-identical either way, only
+           validate-phase time moves *)
+        (match mode with
+        | "on" -> batched_validate := true
+        | "off" -> batched_validate := false
+        | m ->
+            Printf.eprintf "--batched-validate expects off|on, got %s\n" m;
+            usage ());
+        parse rest
     | "--heap-ceiling" :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 1 ->
@@ -263,7 +296,8 @@ let () =
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse rest
-    | [ (("--jobs" | "-j" | "--json" | "--prune-mode" | "--heap-ceiling") as flag) ] ->
+    | [ (("--jobs" | "-j" | "--json" | "--prune-mode" | "--batched-validate" | "--heap-ceiling")
+        as flag) ] ->
         Printf.eprintf "%s expects a value\n" flag;
         usage ()
     | arg :: _ ->
@@ -272,9 +306,11 @@ let () =
   in
   parse args;
   if !smoke then begin
-    let analysis = !analysis and prune_mode = !prune_mode in
+    let analysis = !analysis and prune_mode = !prune_mode and batched = !batched_validate in
     let tune (m : Stagg.Method_.t) =
-      Stagg.Method_.with_prune_mode { m with analysis } prune_mode
+      Stagg.Method_.with_batched_validate
+        (Stagg.Method_.with_prune_mode { m with analysis } prune_mode)
+        batched
     in
     run_smoke ~json_file:!json_file ~heap_ceiling:!heap_ceiling ~tune ();
     exit 0
@@ -283,12 +319,14 @@ let () =
   and skip_bechamel = !skip_bechamel
   and analysis = !analysis
   and prune_mode = !prune_mode
+  and batched_validate = !batched_validate
   and jobs = !jobs in
   let progress msg = Printf.eprintf "[bench] %s\n%!" msg in
   let t0 = Unix.gettimeofday () in
   let runs =
-    if skip_ablations then Experiments.run_core ~progress ~jobs ~analysis ~prune_mode ()
-    else Experiments.run_all ~progress ~jobs ~analysis ~prune_mode ()
+    if skip_ablations then
+      Experiments.run_core ~progress ~jobs ~analysis ~prune_mode ~batched_validate ()
+    else Experiments.run_all ~progress ~jobs ~analysis ~prune_mode ~batched_validate ()
   in
   Printf.printf "Guided Tensor Lifting — experiment harness (suite of %d queries, seed %d%s)\n\n"
     (List.length Stagg_benchsuite.Suite.all)

@@ -90,12 +90,32 @@ let with_prune_mode mode m =
       Printf.eprintf "unknown prune mode %s (expected off|replay|admission)\n" s;
       exit 2
 
+let batched_validate_arg =
+  Arg.(
+    value
+    & opt string "on"
+    & info [ "batched-validate" ] ~docv:"MODE"
+        ~doc:
+          "Template-level compilation in the validator: $(b,on) (default) compiles each \
+           template once and rebinds per substitution, $(b,off) falls back to per-candidate \
+           instantiate+compile. Solutions and instantiation counts are byte-identical either \
+           way; $(b,off) is the differential baseline.")
+
+let with_batched_validate mode m =
+  match mode with
+  | "on" -> m
+  | "off" -> Stagg.Method_.with_batched_validate m false
+  | s ->
+      Printf.eprintf "unknown batched-validate mode %s (expected off|on)\n" s;
+      exit 2
+
 let lift_cmd =
-  let run name meth no_analysis prune_mode =
+  let run name meth no_analysis prune_mode batched_validate =
     let b = find_bench_exn name in
     let r =
       Stagg.Pipeline.run
-        (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string meth)))
+        (with_batched_validate batched_validate
+           (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string meth))))
         b
     in
     Format.printf "%a@." Stagg.Result_.pp r;
@@ -108,7 +128,9 @@ let lift_cmd =
   in
   Cmd.v
     (Cmd.info "lift" ~doc:"Lift one benchmark to TACO and print the verified solution.")
-    Term.(const run $ name_arg $ method_arg $ no_analysis_arg $ prune_mode_arg)
+    Term.(
+      const run $ name_arg $ method_arg $ no_analysis_arg $ prune_mode_arg
+      $ batched_validate_arg)
 
 (* ---- show ---- *)
 
@@ -202,18 +224,31 @@ let jobs_arg =
            $(docv) (modulo per-query times); 1 runs sequentially on the calling domain.")
 
 let suite_cmd =
-  let run meth jobs no_analysis prune_mode =
+  let run meth jobs no_analysis prune_mode batched_validate =
+    let batched =
+      match batched_validate with
+      | "on" -> true
+      | "off" -> false
+      | s ->
+          Printf.eprintf "unknown batched-validate mode %s (expected off|on)\n" s;
+          exit 2
+    in
     let results =
       match meth with
-      | "llm" -> Stagg_baselines.Llm_only.run_suite ~jobs ~seed:20250604 Suite.all
+      | "llm" ->
+          Stagg_baselines.Llm_only.run_suite ~jobs ~batched_validate:batched ~seed:20250604
+            Suite.all
       | "c2taco" ->
           Stagg_baselines.C2taco.run_suite ~jobs ~seed:20250604 ~heuristics:true Suite.all
       | "c2taco-noh" ->
           Stagg_baselines.C2taco.run_suite ~jobs ~seed:20250604 ~heuristics:false Suite.all
-      | "tenspiler" -> Stagg_baselines.Tenspiler.run_suite ~jobs ~seed:20250604 Suite.real_world
+      | "tenspiler" ->
+          Stagg_baselines.Tenspiler.run_suite ~jobs ~batched_validate:batched ~seed:20250604
+            Suite.real_world
       | m ->
           Stagg.Pipeline.run_suite ~jobs
-            (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string m)))
+            (with_batched_validate batched_validate
+               (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string m))))
             Suite.all
     in
     List.iter (fun r -> Format.printf "%a@." Stagg.Result_.pp r) results;
@@ -222,7 +257,9 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run one method over the whole suite and print per-query results.")
-    Term.(const run $ method_arg $ jobs_arg $ no_analysis_arg $ prune_mode_arg)
+    Term.(
+      const run $ method_arg $ jobs_arg $ no_analysis_arg $ prune_mode_arg
+      $ batched_validate_arg)
 
 (* ---- lift-file: arbitrary C + signature spec + recorded LLM transcript ---- *)
 

@@ -5,7 +5,7 @@ module Examples = Stagg_validate.Examples
 
 let label = "LLM"
 
-let run ~seed (b : Bench.t) : Stagg.Result_.t =
+let run ?(batched_validate = true) ~seed (b : Bench.t) : Stagg.Result_.t =
   let started = Unix.gettimeofday () in
   let validate_s = ref 0. and verify_s = ref 0. and instantiations = ref 0 in
   let finish ~solved ~solution ~attempts ~n_candidates ~failure =
@@ -60,6 +60,9 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
       (* same (benchmark, example seed) as the pipeline sweeps: verdicts
          land in (and hit) the shared validation memo *)
       let memo_key = Printf.sprintf "%s#%d" b.name (seed lxor Hashtbl.hash (b.name, "examples")) in
+      (* the checker depends only on (signature, examples): prepare once
+         per benchmark, not once per candidate *)
+      let checker = Validator.prepare ~signature:b.signature ~examples in
       let attempts = ref 0 in
       let solution =
         List.find_map
@@ -70,8 +73,8 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
                 incr attempts;
                 let t0 = Unix.gettimeofday () in
                 let sol, n =
-                  Validator.validate_counted ~signature:b.signature ~examples ~consts ~verify
-                    ~memo_key template
+                  Validator.validate_counted ~signature:b.signature ~checker ~consts ~verify
+                    ~memo_key ~batched:batched_validate template
                 in
                 validate_s := !validate_s +. (Unix.gettimeofday () -. t0);
                 instantiations := !instantiations + n;
@@ -87,4 +90,5 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
             ~n_candidates:(List.length candidates)
             ~failure:(Some "no candidate passed validation"))
 
-let run_suite ?jobs ~seed benches = Pool.map ?jobs (run ~seed) benches
+let run_suite ?jobs ?batched_validate ~seed benches =
+  Pool.map ?jobs (run ?batched_validate ~seed) benches

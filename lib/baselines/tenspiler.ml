@@ -79,7 +79,7 @@ let library =
 let parsed_library =
   lazy (List.map Stagg_taco.Parser.parse_program_exn library)
 
-let run ~seed (b : Bench.t) : Stagg.Result_.t =
+let run ?(batched_validate = true) ~seed (b : Bench.t) : Stagg.Result_.t =
   let started = Unix.gettimeofday () in
   let validate_s = ref 0. and verify_s = ref 0. and instantiations = ref 0 in
   let finish ~solved ~solution ~attempts ~failure =
@@ -118,6 +118,9 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
         ok
       in
       let memo_key = Printf.sprintf "%s#%d" b.name (seed lxor Hashtbl.hash (b.name, "examples")) in
+      (* the checker depends only on (signature, examples): prepare once
+         per benchmark, not once per library template *)
+      let checker = Validator.prepare ~signature:b.signature ~examples in
       let attempts = ref 0 in
       let solution =
         List.find_map
@@ -127,8 +130,8 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
                pool is irrelevant *)
             let t0 = Unix.gettimeofday () in
             let sol, n =
-              Validator.validate_counted ~signature:b.signature ~examples ~consts:[] ~verify
-                ~memo_key template
+              Validator.validate_counted ~signature:b.signature ~checker ~consts:[] ~verify
+                ~memo_key ~batched:batched_validate template
             in
             validate_s := !validate_s +. (Unix.gettimeofday () -. t0);
             instantiations := !instantiations + n;
@@ -142,8 +145,8 @@ let run ~seed (b : Bench.t) : Stagg.Result_.t =
           finish ~solved:false ~solution:None ~attempts:!attempts
             ~failure:(Some "no library template matches"))
 
-let run_suite ?jobs ~seed benches =
+let run_suite ?jobs ?batched_validate ~seed benches =
   (* force the template library before fanning out: concurrent first
      forcing of a lazy from several domains raises [Lazy.Undefined] *)
   ignore (Lazy.force parsed_library);
-  Pool.map ?jobs (run ~seed) benches
+  Pool.map ?jobs (run ?batched_validate ~seed) benches

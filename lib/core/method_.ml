@@ -32,6 +32,12 @@ type t = {
           [Prune_admission] (default) never enqueues them and charges
           their budget ticks through the admission ledger. Irrelevant
           when [analysis = false]. *)
+  batched_validate : bool;
+      (** template-level compilation in the validator: compile each popped
+          template once and [rebind] per substitution (default). Solutions,
+          counts and memo keys are byte-identical either way; [false] forces
+          the per-candidate instantiate + compile path for the on/off
+          differential. *)
   seed : int;  (** drives the mock LLM and example generation *)
 }
 
@@ -52,6 +58,7 @@ let base search grammar penalties label =
     verify = true;
     analysis = true;
     prune_mode = Astar.Prune_admission;
+    batched_validate = true;
     seed = 20250604;
   }
 
@@ -63,6 +70,11 @@ let without_analysis m = { m with analysis = false }
 (** The same method with the given doomed-child absorption mode; label
     unchanged so sweep outputs diff cleanly across modes. *)
 let with_prune_mode m prune_mode = { m with prune_mode }
+
+(** The same method with batched (template-level) validation forced on or
+    off; label unchanged so the [--batched-validate off] differential
+    diffs cleanly against default runs. *)
+let with_batched_validate m batched_validate = { m with batched_validate }
 
 let stagg_td = base Top_down Refined Penalty.all_topdown "STAGG^TD"
 let stagg_bu = base Bottom_up Refined Penalty.all_bottomup "STAGG^BU"

@@ -262,11 +262,14 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
           (* the examples are a function of (benchmark, example_seed), so
              this key scopes the cross-sweep validation memo correctly *)
           let memo_key = Printf.sprintf "%s#%d" q.qname example_seed in
+          (* prepared once per query: the checker depends only on
+             (signature, examples), not on the template under test *)
+          let checker = Validator.prepare ~signature:q.signature ~examples in
           let validate template =
             let t0 = Unix.gettimeofday () in
             let sol, n =
-              Validator.validate_counted ~signature:q.signature ~examples ~consts ~verify
-                ~memo_key template
+              Validator.validate_counted ~signature:q.signature ~checker ~consts ~verify
+                ~memo_key ~batched:m.batched_validate template
             in
             validate_s := !validate_s +. (Unix.gettimeofday () -. t0);
             instantiations := !instantiations + n;

@@ -3,6 +3,14 @@ module Pool = Stagg_util.Pool
 module Penalty = Stagg_search.Penalty
 module Suite = Stagg_benchsuite.Suite
 
+type sweep = {
+  sw_label : string;
+  sw_wall_s : float;
+  sw_heap_words : int;
+  sw_instantiations : int;
+  sw_validate_s : float;
+}
+
 type runs = {
   seed : int;
   td : Result_.t list;
@@ -21,13 +29,14 @@ type runs = {
   bu_equal : Result_.t list;
   bu_llm_grammar : Result_.t list;
   bu_full_grammar : Result_.t list;
-  sweeps : (string * float * int) list;
-      (** per-sweep measurement log, in execution order: (sweep label,
-          wall seconds, [Gc.quick_stat] major-heap size in words when the
-          sweep finished). Each sweep starts from a compacted heap
-          ({!sweep_timed}) and the heap only grows between compactions,
-          so the end-of-sweep size approximates the sweep's own
-          high-water mark. *)
+  sweeps : sweep list;
+      (** per-sweep measurement log, in execution order: wall seconds,
+          [Gc.quick_stat] major-heap size in words when the sweep
+          finished, total validator instantiations and in-validator
+          seconds summed over the sweep's results. Each sweep starts from
+          a compacted heap ({!sweep_timed}) and the heap only grows
+          between compactions, so the end-of-sweep size approximates the
+          sweep's own high-water mark. *)
 }
 
 let default_seed = 20250604
@@ -64,7 +73,17 @@ let sweep_timed ?log ~progress label f =
   (* heap size BEFORE the next sweep's compaction: with a compacted
      start, this is the sweep's own high-water footprint *)
   (match log with
-  | Some l -> l := (label, dt, (Gc.quick_stat ()).Gc.heap_words) :: !l
+  | Some l ->
+      l :=
+        {
+          sw_label = label;
+          sw_wall_s = dt;
+          sw_heap_words = (Gc.quick_stat ()).Gc.heap_words;
+          sw_instantiations =
+            List.fold_left (fun a (x : Result_.t) -> a + x.instantiations) 0 r;
+          sw_validate_s = List.fold_left (fun a (x : Result_.t) -> a +. x.validate_s) 0. r;
+        }
+        :: !l
   | None -> ());
   progress
     (Printf.sprintf "%-28s %2d solved  (%.1fs)" label
@@ -73,15 +92,19 @@ let sweep_timed ?log ~progress label f =
   r
 
 let run_core_cached ?jobs ?(analysis = true)
-    ?(prune_mode = Stagg_search.Astar.Prune_admission) ~seed ~progress (cache : prep) =
+    ?(prune_mode = Stagg_search.Astar.Prune_admission) ?(batched_validate = true) ~seed
+    ~progress (cache : prep) =
   let all = Suite.all and rw = Suite.real_world in
   let sweep_log = ref [] in
   let sweep = sweep_timed ~log:sweep_log ~progress in
-  let with_seed m = { m with Method_.seed; analysis; prune_mode } in
+  let with_seed m = { m with Method_.seed; analysis; prune_mode; batched_validate } in
   let sweep_m m = sweep m.Method_.label (fun () -> sweep_prepared ?jobs (with_seed m) cache) in
   let td = sweep_m Method_.stagg_td in
   let bu = sweep_m Method_.stagg_bu in
-  let llm = sweep "LLM" (fun () -> Stagg_baselines.Llm_only.run_suite ?jobs ~seed all) in
+  let llm =
+    sweep "LLM" (fun () ->
+        Stagg_baselines.Llm_only.run_suite ?jobs ~batched_validate ~seed all)
+  in
   let c2taco =
     sweep "C2TACO" (fun () -> Stagg_baselines.C2taco.run_suite ?jobs ~seed ~heuristics:true all)
   in
@@ -89,7 +112,10 @@ let run_core_cached ?jobs ?(analysis = true)
     sweep "C2TACO.NoHeuristics" (fun () ->
         Stagg_baselines.C2taco.run_suite ?jobs ~seed ~heuristics:false all)
   in
-  let tenspiler = sweep "Tenspiler" (fun () -> Stagg_baselines.Tenspiler.run_suite ?jobs ~seed rw) in
+  let tenspiler =
+    sweep "Tenspiler" (fun () ->
+        Stagg_baselines.Tenspiler.run_suite ?jobs ~batched_validate ~seed rw)
+  in
   {
     seed;
     td;
@@ -111,15 +137,18 @@ let run_core_cached ?jobs ?(analysis = true)
     sweeps = List.rev !sweep_log;
   }
 
-let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?analysis ?prune_mode () =
-  run_core_cached ?jobs ?analysis ?prune_mode ~seed ~progress
+let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?analysis ?prune_mode
+    ?batched_validate () =
+  run_core_cached ?jobs ?analysis ?prune_mode ?batched_validate ~seed ~progress
     (prepare_suite ?jobs ~seed Suite.all)
 
 let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?(analysis = true)
-    ?(prune_mode = Stagg_search.Astar.Prune_admission) () =
+    ?(prune_mode = Stagg_search.Astar.Prune_admission) ?(batched_validate = true) () =
   let cache = prepare_suite ?jobs ~seed Suite.all in
-  let core = run_core_cached ?jobs ~analysis ~prune_mode ~seed ~progress cache in
-  let with_seed m = { m with Method_.seed; analysis; prune_mode } in
+  let core =
+    run_core_cached ?jobs ~analysis ~prune_mode ~batched_validate ~seed ~progress cache
+  in
+  let with_seed m = { m with Method_.seed; analysis; prune_mode; batched_validate } in
   let sweep_log = ref [] in
   let sweep m =
     sweep_timed ~log:sweep_log ~progress m.Method_.label (fun () ->
@@ -419,10 +448,27 @@ let json_summary ?(jobs = 1) ~wall_s runs =
   Buffer.add_string buf "  ],\n  \"sweeps\": [\n";
   let nsweeps = List.length runs.sweeps in
   List.iteri
-    (fun i (label, wall_s, heap_words) ->
-      Printf.bprintf buf "    {\"sweep\": \"%s\", \"wall_s\": %.3f, \"heap_words\": %d}%s\n"
-        (json_escape label) wall_s heap_words
+    (fun i s ->
+      let inst_per_s =
+        if s.sw_validate_s > 0. then float_of_int s.sw_instantiations /. s.sw_validate_s else 0.
+      in
+      Printf.bprintf buf
+        "    {\"sweep\": \"%s\", \"wall_s\": %.3f, \"heap_words\": %d, \
+         \"instantiations\": %d, \"validate_s\": %.3f, \"inst_per_s\": %.0f}%s\n"
+        (json_escape s.sw_label) s.sw_wall_s s.sw_heap_words s.sw_instantiations
+        s.sw_validate_s inst_per_s
         (if i = nsweeps - 1 then "" else ","))
     runs.sweeps;
-  Buffer.add_string buf "  ]\n}\n";
+  (* validator telemetry: cumulative process-wide counters at report time
+     (memo traffic including silently-rejected adds, and the batched
+     path's template-compilation cache) *)
+  let vs = Stagg_validate.Validator.stats () in
+  Printf.bprintf buf
+    "  ],\n\
+    \  \"validator\": {\"memo_hits\": %d, \"memo_misses\": %d, \"memo_rejected\": %d, \
+     \"template_compiles\": %d, \"template_cache_hits\": %d, \"template_cache_rejected\": %d, \
+     \"template_overflows\": %d}\n\
+     }\n"
+    vs.memo_hits vs.memo_misses vs.memo_rejected vs.template_compiles vs.template_cache_hits
+    vs.template_cache_rejected vs.template_overflows;
   Buffer.contents buf

@@ -6,6 +6,15 @@
 
 open Stagg
 
+(** One entry of the per-sweep measurement log. *)
+type sweep = {
+  sw_label : string;
+  sw_wall_s : float;
+  sw_heap_words : int;  (** major-heap words at sweep end (compacted start) *)
+  sw_instantiations : int;  (** validator instantiations summed over the sweep *)
+  sw_validate_s : float;  (** in-validator seconds summed over the sweep *)
+}
+
 type runs = {
   seed : int;
   td : Result_.t list;  (** STAGG^TD on all 77 *)
@@ -24,10 +33,7 @@ type runs = {
   bu_equal : Result_.t list;
   bu_llm_grammar : Result_.t list;
   bu_full_grammar : Result_.t list;
-  sweeps : (string * float * int) list;
-      (** per-sweep measurement log, in execution order: (sweep label,
-          wall seconds, major-heap words at sweep end, each sweep
-          starting from a compacted heap). *)
+  sweeps : sweep list;  (** per-sweep measurement log, in execution order *)
 }
 
 (** [run_all ()] — the full campaign (≈20 suite sweeps). [progress] is
@@ -50,13 +56,17 @@ type runs = {
     driver's [--no-analysis] flag. [prune_mode] (default
     [Prune_admission]) picks how the prune absorbs doomed children
     ({!Stagg_search.Astar.prune_mode}); it too leaves solved/attempt
-    outcomes byte-identical. *)
+    outcomes byte-identical. [batched_validate] (default [true]) selects
+    template-level compilation in the validator — a third knob with the
+    same contract: solved/attempt/instantiation outcomes are
+    byte-identical on and off (the [@smoke] differential enforces it). *)
 val run_all :
   ?seed:int ->
   ?progress:(string -> unit) ->
   ?jobs:int ->
   ?analysis:bool ->
   ?prune_mode:Stagg_search.Astar.prune_mode ->
+  ?batched_validate:bool ->
   unit ->
   runs
 
@@ -67,6 +77,7 @@ val run_core :
   ?jobs:int ->
   ?analysis:bool ->
   ?prune_mode:Stagg_search.Astar.prune_mode ->
+  ?batched_validate:bool ->
   unit ->
   runs
 
@@ -88,8 +99,10 @@ val summary_rows : runs -> (string * Result_.t list) list
 (** [json_summary ~jobs ~wall_s runs] — the {!summary} data as a JSON
     document (per method: solved count, suite size, avg time and
     attempts over solved queries, total attempts/expansions/pruned/
-    suppressed), the per-sweep wall/heap log ([sweeps]), plus the harness
-    wall time and the [jobs] the campaign ran with. Written by
-    [bench/main.exe --json FILE] so successive PRs can track the perf
-    trajectory. *)
+    suppressed), the per-sweep wall/heap/instantiations-per-second log
+    ([sweeps]), the cumulative validator counters
+    ({!Stagg_validate.Validator.stats}: memo hits/misses/rejected adds,
+    template-compilation cache traffic), plus the harness wall time and
+    the [jobs] the campaign ran with. Written by [bench/main.exe --json
+    FILE] so successive PRs can track the perf trajectory. *)
 val json_summary : ?jobs:int -> wall_s:float -> runs -> string

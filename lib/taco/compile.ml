@@ -6,6 +6,7 @@ type access = { tslot : int; islots : int array }
 
 type cexpr =
   | C_const of Stagg_util.Rat.t
+  | C_cell  (** the template's [Const] hole: read from a mutable cell *)
   | C_access of access
   | C_neg of cexpr
   | C_bin of op * cexpr * cexpr
@@ -13,15 +14,21 @@ type cexpr =
 
 type plan = {
   source : program;
-  tensor_names : string array;  (** tensor slot -> RHS tensor name *)
+  tensor_names : string array;  (** tensor slot -> RHS tensor name as written *)
   index_names : string array;  (** index slot -> source index variable *)
   lhs_name : string;
   lhs_islots : int array;  (** LHS indices, as slots, in LHS order *)
   accesses : access array;  (** every RHS access, in left-to-right AST order *)
   root : cexpr;
+  has_cell : bool;  (** the plan contains at least one [C_cell] *)
 }
 
-let make_plan (p : program) : plan =
+(* [const_symbol], when given, turns every rank-0 access of that symbol into
+   a [C_cell] read — no tensor slot, exactly as [Templatize.rename] replaces
+   it by a literal. A {e ranked} access of the symbol stays an ordinary
+   tensor slot ([rename] leaves its name untouched too), so it fails at bind
+   time with the same "unknown tensor" error on both paths. *)
+let make_plan ?const_symbol (p : program) : plan =
   let tensor_names = ref [] and n_tensors = ref 0 in
   let tensor_tbl = Hashtbl.create 8 in
   let tslot name =
@@ -46,6 +53,10 @@ let make_plan (p : program) : plan =
         index_names := name :: !index_names;
         s
   in
+  let is_cell name idxs =
+    match const_symbol with Some s -> idxs = [] && String.equal s name | None -> false
+  in
+  let has_cell = ref false in
   let accesses = ref [] in
   (* mirror the [Reduction.annotate] tree so summations sit at exactly the
      nodes the reference interpreter sums at *)
@@ -53,6 +64,9 @@ let make_plan (p : program) : plan =
     let inner =
       match n.node with
       | Reduction.Const c -> C_const c
+      | Reduction.Access (t, idxs) when is_cell t idxs ->
+          has_cell := true;
+          C_cell
       | Reduction.Access (t, idxs) ->
           let a = { tslot = tslot t; islots = Array.of_list (List.map islot idxs) } in
           accesses := a :: !accesses;
@@ -78,6 +92,7 @@ let make_plan (p : program) : plan =
     lhs_islots;
     accesses = Array.of_list (List.rev !accesses);
     root;
+    has_cell = !has_cell;
   }
 
 (* monomorphic [List.assoc_opt]: the env lookup sits on the per-example
@@ -91,21 +106,52 @@ module Make (V : Stagg_util.Value.S) = struct
      compiled program is single-domain state: share the [plan], not the [t]. *)
   type t = {
     plan : plan;
+    target_names : string array;
+        (** tensor slot -> concrete name to resolve in the example env. For
+            a per-program [compile] this {e is} [plan.tensor_names]; for a
+            template it is a private copy rewritten by [rebind]. *)
+    mutable lhs_target : string;
+    is_template : bool;
+    const_symbol : string option;
+    const_cell : V.t ref;  (** current value of the template's [Const] hole *)
+    rank : int;  (** LHS rank: the live prefix of [out_shape]/[cursor] *)
     data : V.t array array;  (** tensor slot -> flat buffer (zero-copy view) *)
     strides : int array array;  (** tensor slot -> strides view *)
     shapes : int array array;  (** tensor slot -> shape view *)
     resolved : bool array;  (** tensor slot -> looked up in this example's env *)
     sizes : int array;  (** index slot -> extent (-1 = unbound) *)
     idx : int array;  (** index slot -> current value *)
-    out_shape : int array;  (** scratch: output extents, LHS order *)
-    cursor : int array;  (** scratch: output multi-index for iteration *)
+    out_shape : int array;  (** scratch, fixed capacity >= [rank] *)
+    cursor : int array;  (** scratch, fixed capacity >= [rank] *)
     eval : unit -> V.t;  (** the staged cell evaluator *)
   }
 
   let program t = t.plan.source
 
-  let compile (p : program) : t =
-    let plan = make_plan p in
+  exception Bind_error of string
+  exception Rank_overflow of string
+
+  (* Slot-resolved tensor environments: either the caller's association
+     list, or a hash table built once per (signature, example) so binding a
+     template's thousands of siblings never rescans a list. A variant, not
+     a closure, to keep [bind] allocation-free. *)
+  type table = (string, V.t Tensor.t) Hashtbl.t
+
+  type env_source =
+    | Env_list of (string * V.t Tensor.t) list
+    | Env_table of table
+
+  let table_of_env env : table =
+    let h = Hashtbl.create (max 8 (List.length env)) in
+    List.iter (fun (name, tensor) -> Hashtbl.replace h name tensor) env;
+    h
+
+  let find_tensor src name =
+    match src with
+    | Env_list env -> lookup name env
+    | Env_table h -> Hashtbl.find_opt h name
+
+  let make ~is_template ~const_symbol plan : t =
     let nt = Array.length plan.tensor_names and ni = Array.length plan.index_names in
     let data = Array.make nt [||] in
     let strides = Array.make nt [||] in
@@ -113,11 +159,16 @@ module Make (V : Stagg_util.Value.S) = struct
     let resolved = Array.make nt false in
     let sizes = Array.make ni (-1) in
     let idx = Array.make ni 0 in
-    (* build the evaluator once; per cell it is slot reads and arithmetic *)
+    let const_cell = ref V.zero in
+    (* build the evaluator once; per cell it is slot reads and arithmetic.
+       [C_cell] is distinct from [C_access], so the fused dot-product match
+       below treats a Const hole exactly like the literal it instantiates
+       to (neither fuses). *)
     let rec build = function
       | C_const c ->
           let v = V.of_rat c in
           fun () -> v
+      | C_cell -> fun () -> !const_cell
       | C_access { tslot; islots } -> (
           match islots with
           | [||] -> fun () -> data.(tslot).(0)
@@ -201,16 +252,74 @@ module Make (V : Stagg_util.Value.S) = struct
     in
     let eval = build plan.root in
     let rank = Array.length plan.lhs_islots in
-    { plan; data; strides; shapes; resolved; sizes; idx;
-      out_shape = Array.make rank 0; cursor = Array.make rank 0; eval }
+    (* fixed-capacity scratch: [Shape.max_rank] covers every template the
+       pipeline produces; a per-program compile of a wider kernel falls
+       back to an exact-size allocation (compile never fails) *)
+    let cap = max rank Shape.max_rank in
+    {
+      plan;
+      target_names = (if is_template then Array.copy plan.tensor_names else plan.tensor_names);
+      lhs_target = plan.lhs_name;
+      is_template;
+      const_symbol;
+      const_cell;
+      rank;
+      data;
+      strides;
+      shapes;
+      resolved;
+      sizes;
+      idx;
+      out_shape = Array.make cap 0;
+      cursor = Array.make cap 0;
+      eval;
+    }
 
-  exception Bind_error of string
+  let compile (p : program) : t = make ~is_template:false ~const_symbol:None (make_plan p)
+
+  let compile_template ?(const_symbol = "Const") (p : program) : t =
+    let plan = make_plan ~const_symbol p in
+    let rank = Array.length plan.lhs_islots in
+    if rank > Shape.max_rank then
+      raise
+        (Rank_overflow
+           (Printf.sprintf "template LHS rank %d exceeds the fixed scratch capacity MAXRANK=%d"
+              rank Shape.max_rank));
+    make ~is_template:true ~const_symbol:(Some const_symbol) plan
+
+  (* [rebind] retargets the compiled template at one substitution: a name
+     write per tensor slot plus one constant-cell write — no allocation, no
+     closure rebuild. The failure messages are byte-identical to
+     [Templatize.rename]'s so the batched and instantiate-per-candidate
+     paths are observably the same (QCheck-enforced). *)
+  let rebind t ~mapping ~const =
+    if not t.is_template then
+      invalid_arg "Compile.rebind: evaluator was not built by compile_template";
+    let p = t.plan in
+    let is_const_name name =
+      match t.const_symbol with Some s -> String.equal s name | None -> false
+    in
+    let target name =
+      if is_const_name name then name
+      else
+        match lookup name mapping with
+        | Some n -> n
+        | None -> failwith (Printf.sprintf "Templatize.rename: no binding for symbol %s" name)
+    in
+    for s = 0 to Array.length p.tensor_names - 1 do
+      t.target_names.(s) <- target p.tensor_names.(s)
+    done;
+    t.lhs_target <- target p.lhs_name;
+    if p.has_cell then
+      match const with
+      | Some c -> t.const_cell := V.of_rat c
+      | None -> failwith "Templatize.rename: template has Const but no constant was given"
 
   (* Per-example binding. Tensors are resolved lazily in left-to-right RHS
      access order and sizes bound per access axis, reproducing the exact
      error precedence (and messages) of [Shape.infer_index_sizes] — the
      QCheck parity property in test_taco relies on this. *)
-  let bind t ~env ~lhs_shape =
+  let bind_src t src ~lhs_shape =
     let p = t.plan in
     Array.fill t.sizes 0 (Array.length t.sizes) (-1);
     Array.fill t.resolved 0 (Array.length t.resolved) false;
@@ -236,9 +345,9 @@ module Make (V : Stagg_util.Value.S) = struct
     in
     Array.iter
       (fun (a : access) ->
-        let name = p.tensor_names.(a.tslot) in
+        let name = t.target_names.(a.tslot) in
         if not t.resolved.(a.tslot) then begin
-          match lookup name env with
+          match find_tensor src name with
           | None -> raise (Bind_error (Printf.sprintf "unknown tensor %s" name))
           | Some tensor ->
               t.data.(a.tslot) <- Tensor.unsafe_data tensor;
@@ -250,7 +359,7 @@ module Make (V : Stagg_util.Value.S) = struct
       p.accesses;
     (match lhs_shape with
     | None -> ()
-    | Some shape -> bind_access p.lhs_name shape p.lhs_islots);
+    | Some shape -> bind_access t.lhs_target shape p.lhs_islots);
     Array.iter
       (fun islot ->
         if t.sizes.(islot) < 0 then
@@ -262,14 +371,18 @@ module Make (V : Stagg_util.Value.S) = struct
   (* Row-major enumeration of the output cells. The multi-index is written
      into the slot array back-to-front so that, when an LHS index repeats
      (a(i,i) = ...), the first axis wins — matching the reference
-     interpreter's [List.assoc] on its index environment. *)
+     interpreter's [List.assoc] on its index environment. [out_shape] may
+     be over-capacity scratch: only the first [t.rank] entries are live. *)
   let iter_cells t ~out_shape f =
     let slots = t.plan.lhs_islots in
-    let rank = Array.length out_shape in
-    let total = Array.fold_left (fun acc d -> acc * d) 1 out_shape in
+    let rank = t.rank in
+    let total = ref 1 in
+    for k = 0 to rank - 1 do
+      total := !total * out_shape.(k)
+    done;
     let ix = t.cursor in
     Array.fill ix 0 rank 0;
-    for flat = 0 to total - 1 do
+    for flat = 0 to !total - 1 do
       for k = rank - 1 downto 0 do
         t.idx.(slots.(k)) <- ix.(k)
       done;
@@ -290,7 +403,7 @@ module Make (V : Stagg_util.Value.S) = struct
   let out_shape_of t = Array.map (fun islot -> t.sizes.(islot)) t.plan.lhs_islots
 
   let run t ~env ?lhs_shape () =
-    match bind t ~env ~lhs_shape with
+    match bind_src t (Env_list env) ~lhs_shape with
     | exception Bind_error msg -> Error msg
     | () -> (
         let out_shape = out_shape_of t in
@@ -301,19 +414,21 @@ module Make (V : Stagg_util.Value.S) = struct
           Ok (Tensor.of_flat_array out_shape out)
         with Division_by_zero -> Error "division by zero")
 
-  let run_equal t ~env ~lhs_shape ~expected =
-    match bind t ~env ~lhs_shape:(Some lhs_shape) with
+  let run_equal_src t src ~lhs_shape ~expected =
+    match bind_src t src ~lhs_shape:(Some lhs_shape) with
     | exception Bind_error _ -> false
     | () -> (
         (* [out_shape_of] allocates because [run] hands its result to a
            tensor; here the shape is only iterated, so reuse the scratch *)
         let out_shape = t.out_shape in
         let slots = t.plan.lhs_islots in
-        for k = 0 to Array.length out_shape - 1 do
-          out_shape.(k) <- t.sizes.(slots.(k))
+        let rank = t.rank in
+        let total = ref 1 in
+        for k = 0 to rank - 1 do
+          out_shape.(k) <- t.sizes.(slots.(k));
+          total := !total * out_shape.(k)
         done;
-        let total = Array.fold_left (fun acc d -> acc * d) 1 out_shape in
-        if total <> Array.length expected then false
+        if !total <> Array.length expected then false
         else begin
           let ok = ref true in
           try
@@ -330,4 +445,9 @@ module Make (V : Stagg_util.Value.S) = struct
           | Exit -> false
           | Division_by_zero -> false
         end)
+
+  let run_equal t ~env ~lhs_shape ~expected = run_equal_src t (Env_list env) ~lhs_shape ~expected
+
+  let run_equal_table t ~table ~lhs_shape ~expected =
+    run_equal_src t (Env_table table) ~lhs_shape ~expected
 end

@@ -9,8 +9,19 @@
       tensor name and index variable is interned to an integer slot — into
       a closure tree over int-indexed scratch arrays;
     + [run] / [run_equal] bind one example's tensors into the slots (a few
-      list lookups per {e tensor}, zero per cell) and evaluate: per output
-      cell only array reads and exact-rational arithmetic remain.
+      lookups per {e tensor}, zero per cell) and evaluate: per output cell
+      only array reads and exact-rational arithmetic remain.
+
+    Validation additionally batches whole {e templates}: [compile_template]
+    builds the plan and closure tree once per template, leaving the tensor
+    targets and the [Const] hole as mutable cells, and [rebind] swaps in one
+    substitution — a name write per tensor slot plus one constant write, no
+    allocation, no closure rebuild — so every sibling substitution reuses
+    the same staged evaluator and scratch.
+
+    All per-example scratch (shapes, cursors) is preallocated at fixed
+    {!Shape.max_rank} capacity, keeping the hot [bind]/[iter_cells]/
+    [run_equal] loops allocation-free.
 
     [Interp] stays the reference oracle; a QCheck property in [test_taco]
     checks cell-for-cell agreement, including error messages ([bind]
@@ -23,11 +34,48 @@ module Make (V : Stagg_util.Value.S) : sig
   type t
 
   (** [compile p] never fails: all shape errors depend on the example
-      environment and surface at [run]/[run_equal] time. *)
+      environment and surface at [run]/[run_equal] time. (A program whose
+      LHS rank exceeds {!Shape.max_rank} silently falls back to exact-size
+      scratch.) *)
   val compile : Ast.program -> t
+
+  (** [compile_template ~const_symbol p] compiles the {e template} [p]
+      once, with every tensor symbol left as a retargetable slot and every
+      rank-0 access of [const_symbol] (default ["Const"]) compiled to a
+      mutable constant cell — exactly the holes [Templatize.rename] fills.
+      A {e ranked} access of [const_symbol] stays an ordinary tensor slot
+      whose target [rebind] leaves untouched, mirroring [rename].
+
+      Until the first [rebind], the evaluator behaves like [compile p]
+      (with the const cell at [V.zero]).
+
+      @raise Rank_overflow when the template's LHS rank exceeds the fixed
+      scratch capacity {!Shape.max_rank} — a clean refusal instead of
+      scratch corruption; callers fall back to per-candidate [compile]. *)
+  val compile_template : ?const_symbol:string -> Ast.program -> t
+
+  exception Rank_overflow of string
+
+  (** [rebind t ~mapping ~const] retargets a [compile_template] evaluator
+      at one substitution: tensor slot [s] will resolve [mapping]'s image
+      of its symbol, and the const cell is set to [const]. Allocation-free.
+      Failure messages for a missing symbol binding or a missing constant
+      are byte-identical to [Templatize.rename]'s (raised as [Failure]),
+      though when several holes are unfillable the tensor slots are checked
+      before the const hole.
+
+      @raise Invalid_argument on an evaluator built by [compile]. *)
+  val rebind :
+    t -> mapping:(string * string) list -> const:Stagg_util.Rat.t option -> unit
 
   (** The program this evaluator was compiled from. *)
   val program : t -> Ast.program
+
+  (** A slot-resolved tensor environment, built once per (signature,
+      example) and shared by every candidate bound against that example. *)
+  type table
+
+  val table_of_env : (string * V.t Tensor.t) list -> table
 
   (** Same contract as {!Interp.Make.run}: evaluate under [env], with
       [lhs_shape] forcing the extents of output-only indices. Errors are
@@ -45,4 +93,9 @@ module Make (V : Stagg_util.Value.S) : sig
       first mismatching cell — the validator's hot path. *)
   val run_equal :
     t -> env:(string * V.t Tensor.t) list -> lhs_shape:int array -> expected:V.t array -> bool
+
+  (** As {!run_equal}, resolving tensors through a prebuilt {!table}
+      instead of rescanning an association list per tensor. *)
+  val run_equal_table :
+    t -> table:table -> lhs_shape:int array -> expected:V.t array -> bool
 end

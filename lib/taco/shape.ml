@@ -1,5 +1,11 @@
 open Ast
 
+(* Fixed capacity for the preallocated shape/stride/cursor scratch used by
+   the staged evaluators (Compile, Ir.Exec). Every template the pipeline
+   produces has at most four canonical indices, so 8 leaves generous
+   headroom while keeping the hot loops allocation-free. *)
+let max_rank = 8
+
 type error =
   | Unknown_tensor of string
   | Arity_mismatch of { tensor : string; expected : int; found : int }

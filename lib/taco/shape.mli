@@ -5,6 +5,13 @@
     that index variables are used with consistent sizes, and computes the
     sizes of all index variables and of the output tensor. *)
 
+(** Fixed capacity of the preallocated index/shape scratch buffers in the
+    staged evaluators ({!Compile}, {!Ir.Exec}). Programs whose LHS rank or
+    access rank exceeds this are rejected with a clean error by the
+    template compiler (and handled with an exact-size fallback by the
+    per-program compiler) instead of corrupting scratch. *)
+val max_rank : int
+
 type error =
   | Unknown_tensor of string
   | Arity_mismatch of { tensor : string; expected : int; found : int }

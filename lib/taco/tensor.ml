@@ -39,6 +39,26 @@ let offset t ix =
 
 let get t ix = t.data.(offset t ix)
 let set t ix v = t.data.(offset t ix) <- v
+
+(* Prefix variants: the multi-index is the first [n] entries of [ix], a
+   preallocated fixed-capacity buffer (Shape.max_rank) reused across cells
+   by the staged evaluators. Same checks and messages as [offset]. *)
+let offset_prefix t ix n =
+  if n <> Array.length t.shape then
+    invalid_arg
+      (Printf.sprintf "Tensor: rank mismatch (index rank %d, tensor rank %d)" n
+         (Array.length t.shape));
+  let off = ref 0 in
+  for k = 0 to n - 1 do
+    if ix.(k) < 0 || ix.(k) >= t.shape.(k) then
+      invalid_arg
+        (Printf.sprintf "Tensor: index %d out of bounds for axis %d (size %d)" ix.(k) k t.shape.(k));
+    off := !off + (ix.(k) * t.strides.(k))
+  done;
+  !off
+
+let get_prefix t ix n = t.data.(offset_prefix t ix n)
+let set_prefix t ix n v = t.data.(offset_prefix t ix n) <- v
 let get_flat t i = t.data.(i)
 let set_flat t i v = t.data.(i) <- v
 let to_flat_array t = Array.copy t.data

@@ -27,6 +27,15 @@ val get : 'a t -> int array -> 'a
 
 val set : 'a t -> int array -> 'a -> unit
 
+(** [get_prefix t buf n] / [set_prefix t buf n v] index with the first [n]
+    entries of [buf] — a preallocated fixed-capacity buffer the staged
+    evaluators reuse across cells so the hot loops stay allocation-free.
+    Checks (and error messages) are identical to {!get}/{!set} with an
+    [n]-length index. *)
+val get_prefix : 'a t -> int array -> int -> 'a
+
+val set_prefix : 'a t -> int array -> int -> 'a -> unit
+
 (** Flat row-major access. *)
 val get_flat : 'a t -> int -> 'a
 

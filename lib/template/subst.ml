@@ -13,12 +13,12 @@ let pp fmt s =
 
 let max_substitutions = 50_000
 
-let enumerate ~template ~out ~out_rank ~args ~consts =
+let enumerate_seq ~template ~out ~out_rank ~args ~consts =
   match Templatize.symbols template with
-  | [] -> []
+  | [] -> Seq.empty
   | (lhs_sym, lhs_arity) :: rhs_syms ->
-      if lhs_arity <> out_rank then []
-      else if not (Templatize.arity_consistent template) then []
+      if lhs_arity <> out_rank then Seq.empty
+      else if not (Templatize.arity_consistent template) then Seq.empty
       else begin
         let candidates_for arity =
           List.filter
@@ -30,26 +30,29 @@ let enumerate ~template ~out ~out_rank ~args ~consts =
         in
         let needs_const = Templatize.has_const template in
         let const_choices = if needs_const then List.map Option.some consts else [ None ] in
-        if needs_const && consts = [] then []
+        if needs_const && consts = [] then Seq.empty
         else begin
           let rec go syms acc =
             match syms with
             | [] ->
-                List.map
+                Seq.map
                   (fun c -> { tensor_binding = (lhs_sym, out) :: List.rev acc; const_binding = c })
-                  const_choices
+                  (List.to_seq const_choices)
             | (sym, arity) :: rest ->
-                List.concat_map
+                Seq.concat_map
                   (fun a -> go rest ((sym, a.name) :: acc))
-                  (candidates_for arity)
+                  (List.to_seq (candidates_for arity))
           in
-          let all = go rhs_syms [] in
-          if List.length all > max_substitutions then
-            (* pathological templates: keep a deterministic prefix *)
-            List.filteri (fun i _ -> i < max_substitutions) all
-          else all
+          (* pathological templates: keep a deterministic prefix — same
+             truncation as materializing everything and dropping the tail,
+             but lazy, so a consumer that stops at the first hit never
+             forces the rest of the product *)
+          Seq.take max_substitutions (go rhs_syms [])
         end
       end
+
+let enumerate ~template ~out ~out_rank ~args ~consts =
+  List.of_seq (enumerate_seq ~template ~out ~out_rank ~args ~consts)
 
 let instantiate template (s : t) =
   Templatize.rename template ~mapping:s.tensor_binding ~const:s.const_binding

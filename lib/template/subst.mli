@@ -33,6 +33,18 @@ val enumerate :
   consts:Rat.t list ->
   t list
 
+(** As {!enumerate}, but lazy: the same substitutions in the same order
+    (including the deterministic [max_substitutions] truncation) without
+    materializing the full product — the batched validator stops forcing
+    the sequence at the first passing substitution. *)
+val enumerate_seq :
+  template:Stagg_taco.Ast.program ->
+  out:string ->
+  out_rank:int ->
+  args:arg_info list ->
+  consts:Rat.t list ->
+  t Seq.t
+
 (** [instantiate template s] produces the concrete TACO program: symbols
     renamed to argument names, [Const] replaced by its bound literal. *)
 val instantiate : Stagg_taco.Ast.program -> t -> Stagg_taco.Ast.program

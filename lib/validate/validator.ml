@@ -18,15 +18,17 @@ let pp_solution fmt s =
 (* ---- prepared examples ----
 
    Everything example-dependent but program-independent — the tensor
-   environment, the output shape, the expected flat output, the cost — is
-   computed once per (signature, examples) and reused across every
-   instantiation. Examples are ordered cheapest-first (fewest cells) so
-   the first counterexample kills a bad substitution as early as
-   possible; the verdict is a conjunction, so the order cannot change
-   it. *)
+   environment (both as the public assoc list and as a slot-resolved hash
+   table the compiled evaluators bind through), the output shape, the
+   expected flat output, the cost — is computed once per (signature,
+   examples) and reused across every instantiation. Examples are ordered
+   cheapest-first (fewest cells) so the first counterexample kills a bad
+   substitution as early as possible; the verdict is a conjunction, so the
+   order cannot change it. *)
 
 type prepared_example = {
   env : (string * Rat.t Tensor.t) list;
+  table : Tcompile.table;  (** [env], resolved once, for the hot bind loop *)
   out_shape : int array;
   expected : Rat.t array;
   cost : int;  (** total input + output cells: evaluation work proxy *)
@@ -49,23 +51,75 @@ let prepare_example ~(signature : Sig.t) (ex : Examples.example) : prepared_exam
     Array.length ex.output
     + List.fold_left (fun acc (_, t) -> acc + Tensor.size t) 0 env
   in
-  { env; out_shape; expected = ex.output; cost }
+  { env; table = Tcompile.table_of_env env; out_shape; expected = ex.output; cost }
 
 let prepare ~signature ~examples : checker =
   List.stable_sort
-    (fun a b -> compare a.cost b.cost)
+    (fun a b -> Int.compare a.cost b.cost)
     (List.map (prepare_example ~signature) examples)
 
-(* Does [concrete] reproduce every prepared example? Compiled once, then
-   each example is slot binding plus an early-exit cell comparison. *)
+(* Does the compiled candidate reproduce every prepared example? Each
+   example is slot binding plus an early-exit cell comparison. *)
 let check_compiled compiled prepared =
   List.for_all
-    (fun pe -> Tcompile.run_equal compiled ~env:pe.env ~lhs_shape:pe.out_shape ~expected:pe.expected)
+    (fun pe ->
+      Tcompile.run_equal_table compiled ~table:pe.table ~lhs_shape:pe.out_shape
+        ~expected:pe.expected)
     prepared
 
 let check prepared p = check_compiled (Tcompile.compile p) prepared
 
 let check_concrete ~signature ~examples p = check (prepare ~signature ~examples) p
+
+(* ---- validator telemetry ----
+
+   Process-wide atomic counters: verdict-memo traffic (including adds the
+   [memo_max] backstop rejects, which were previously dropped silently) and
+   template-compilation traffic for the batched path. Monotonic across the
+   campaign; [reset_stats] is for tests. *)
+
+type stats = {
+  memo_hits : int;
+  memo_misses : int;
+  memo_rejected : int;  (** adds dropped by the [memo_max] backstop *)
+  template_compiles : int;  (** [compile_template] runs (template-cache misses) *)
+  template_cache_hits : int;
+  template_cache_rejected : int;  (** adds dropped by the cache cap *)
+  template_overflows : int;  (** templates over MAXRANK: per-candidate fallback *)
+}
+
+let c_memo_hits = Atomic.make 0
+let c_memo_misses = Atomic.make 0
+let c_memo_rejected = Atomic.make 0
+let c_template_compiles = Atomic.make 0
+let c_template_cache_hits = Atomic.make 0
+let c_template_cache_rejected = Atomic.make 0
+let c_template_overflows = Atomic.make 0
+let bump c = Atomic.incr c
+
+let stats () =
+  {
+    memo_hits = Atomic.get c_memo_hits;
+    memo_misses = Atomic.get c_memo_misses;
+    memo_rejected = Atomic.get c_memo_rejected;
+    template_compiles = Atomic.get c_template_compiles;
+    template_cache_hits = Atomic.get c_template_cache_hits;
+    template_cache_rejected = Atomic.get c_template_cache_rejected;
+    template_overflows = Atomic.get c_template_overflows;
+  }
+
+let reset_stats () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [
+      c_memo_hits;
+      c_memo_misses;
+      c_memo_rejected;
+      c_template_compiles;
+      c_template_cache_hits;
+      c_template_cache_rejected;
+      c_template_overflows;
+    ]
 
 (* ---- the cross-sweep validation memo ----
 
@@ -100,7 +154,45 @@ let memo_find key = Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key
 
 let memo_add key v =
   Mutex.protect memo_lock (fun () ->
-      if Hashtbl.length memo < memo_max then Hashtbl.replace memo key v)
+      if Hashtbl.length memo < memo_max then Hashtbl.replace memo key v
+      else bump c_memo_rejected)
+
+(* ---- the per-domain compiled-template cache ----
+
+   Search re-pops structurally identical complete templates constantly:
+   children of one A* parent share the whole completed prefix, the
+   FullGrammar template space is benchmark-independent, and the ~20 sweeps
+   of a campaign traverse the same frontier. A compiled template is
+   env-independent (examples only enter at bind time), so its plan and
+   closure tree can be reused across all of them. The cache is
+   domain-local ([Domain.DLS]) because a compiled evaluator carries
+   mutable scratch that must never be shared across workers; each worker
+   domain warms its own copy, which also makes the cache lock-free. *)
+
+let template_cache_max = 8192
+
+let template_cache_key : (string, Tcompile.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+(* [None] = the template exceeds the fixed MAXRANK scratch capacity; the
+   caller falls back to per-candidate compilation. *)
+let compiled_template_for template : Tcompile.t option =
+  let cache = Domain.DLS.get template_cache_key in
+  let key = Stagg_taco.Pretty.program_to_string template in
+  match Hashtbl.find_opt cache key with
+  | Some ct ->
+      bump c_template_cache_hits;
+      Some ct
+  | None -> (
+      match Tcompile.compile_template ~const_symbol:Templatize.const_symbol template with
+      | exception Tcompile.Rank_overflow _ ->
+          bump c_template_overflows;
+          None
+      | ct ->
+          bump c_template_compiles;
+          if Hashtbl.length cache < template_cache_max then Hashtbl.replace cache key ct
+          else bump c_template_cache_rejected;
+          Some ct)
 
 (* Instantiation observability: the count is accumulated per call (no
    shared counter on the hot path — the old global [ref] raced under the
@@ -110,8 +202,8 @@ let memo_add key v =
 let last_count = Atomic.make 0
 let last_instantiations () = Atomic.get last_count
 
-let validate_counted ~signature ~examples ~consts ?(verify = fun _ -> true) ?memo_key template =
-  let prepared = prepare ~signature ~examples in
+let validate_counted ~signature ~(checker : checker) ~consts ?(verify = fun _ -> true)
+    ?memo_key ?(batched = true) template =
   let args =
     List.map
       (fun (name, spec) ->
@@ -123,33 +215,73 @@ let validate_counted ~signature ~examples ~consts ?(verify = fun _ -> true) ?mem
       signature.Sig.args
   in
   let out_rank = Sig.rank_of_spec (Sig.out_spec signature) in
-  let substs = Subst.enumerate ~template ~out:signature.out ~out_rank ~args ~consts in
+  let substs =
+    Subst.enumerate_seq ~template ~out:signature.Sig.out ~out_rank ~args ~consts
+  in
+  let ct = if batched then compiled_template_for template else None in
   let count = ref 0 in
-  let solution =
-    List.find_map
-      (fun subst ->
-        let concrete = Subst.instantiate template subst in
-        incr count;
-        let passes =
+  (* Both arms test the same substitutions in the same order with the same
+     memo keys — the batched arm prints the would-be concrete program
+     directly from the template ([program_to_string_renamed] is
+     byte-identical to printing the instantiation) and only builds the
+     concrete AST for a passing substitution. *)
+  let test (subst : Subst.t) =
+    incr count;
+    let passes =
+      match ct with
+      | Some ct -> (
+          let rebind_and_check () =
+            Tcompile.rebind ct ~mapping:subst.Subst.tensor_binding
+              ~const:subst.Subst.const_binding;
+            check_compiled ct checker
+          in
+          match memo_key with
+          | Some mk when Atomic.get memo_enabled -> (
+              let printed =
+                Stagg_taco.Pretty.program_to_string_renamed
+                  ~mapping:subst.Subst.tensor_binding ~const:subst.Subst.const_binding
+                  ~is_const:Templatize.is_const_symbol template
+              in
+              let key = (mk, printed) in
+              match memo_find key with
+              | Some v ->
+                  bump c_memo_hits;
+                  v
+              | None ->
+                  bump c_memo_misses;
+                  let v = rebind_and_check () in
+                  memo_add key v;
+                  v)
+          | _ -> rebind_and_check ())
+      | None -> (
+          let concrete = Subst.instantiate template subst in
           match memo_key with
           | Some mk when Atomic.get memo_enabled -> (
               let key = (mk, Stagg_taco.Pretty.program_to_string concrete) in
               match memo_find key with
-              | Some v -> v
+              | Some v ->
+                  bump c_memo_hits;
+                  v
               | None ->
-                  let v = check prepared concrete in
+                  bump c_memo_misses;
+                  let v = check checker concrete in
                   memo_add key v;
                   v)
-          | _ -> check prepared concrete
-        in
-        if passes && verify concrete then Some { template; subst; concrete } else None)
-      substs
+          | _ -> check checker concrete)
+    in
+    if passes then begin
+      let concrete = Subst.instantiate template subst in
+      if verify concrete then Some { template; subst; concrete } else None
+    end
+    else None
   in
+  let solution = Seq.find_map test substs in
   (solution, !count)
 
-let validate ~signature ~examples ~consts ?verify ?memo_key template =
+let validate ~signature ~examples ~consts ?verify ?memo_key ?batched template =
+  let checker = prepare ~signature ~examples in
   let solution, count =
-    validate_counted ~signature ~examples ~consts ?verify ?memo_key template
+    validate_counted ~signature ~checker ~consts ?verify ?memo_key ?batched template
   in
   Atomic.set last_count count;
   solution

@@ -2,15 +2,23 @@
 
     Given a complete template from the search, enumerates every sound
     substitution of the legacy program's arguments (and source constants)
-    for the template's symbols, instantiates, and executes the resulting
-    concrete TACO program on the I/O examples. The first instantiation
-    that satisfies every example — and, when a [verify] hook is supplied,
-    passes bounded verification (§7: on verification failure the validator
-    keeps exploring substitutions) — is returned.
+    for the template's symbols and executes the resulting concrete TACO
+    program on the I/O examples. The first instantiation that satisfies
+    every example — and, when a [verify] hook is supplied, passes bounded
+    verification (§7: on verification failure the validator keeps exploring
+    substitutions) — is returned.
 
-    Execution is staged ({!Stagg_taco.Compile}): each instantiation is
-    compiled once and reused across all examples, and examples are checked
-    cheapest-first with an early exit at the first mismatching cell. *)
+    Execution is staged ({!Stagg_taco.Compile}) and, by default,
+    {e batched}: the whole template is compiled once (plan + closure tree,
+    via a per-domain compiled-template cache shared across pops and
+    sweeps), and each substitution is a [rebind] — slot retargeting plus a
+    constant-cell write over shared allocation-free scratch — instead of an
+    instantiate + compile. Batched and per-candidate validation test the
+    same substitutions in the same order with the same memo keys, so their
+    results, counts, and memo contents are observably identical (the
+    [@smoke] differential and a QCheck suite enforce this). Examples are
+    checked cheapest-first with an early exit at the first mismatching
+    cell. *)
 
 open Stagg_util
 
@@ -27,9 +35,21 @@ val pp_solution : Format.formatter -> solution -> unit
     pool use {!validate_counted} for a race-free per-call count). *)
 val last_instantiations : unit -> int
 
-(** [validate ~signature ~examples ~consts ?verify ?memo_key template] —
-    first substitution (if any) whose instantiation reproduces every
-    example and passes [verify].
+(** A prepared example set — per-example tensor environments (assoc list
+    and slot-resolved table), expected outputs and cheapest-first ordering
+    — computed once per (signature, examples) and reused across every
+    template and candidate checked against those examples. *)
+type checker
+
+val prepare :
+  signature:Stagg_minic.Signature.t -> examples:Examples.example list -> checker
+
+(** [validate ~signature ~examples ~consts ?verify ?memo_key ?batched
+    template] — first substitution (if any) whose instantiation reproduces
+    every example and passes [verify]. Convenience wrapper over
+    {!validate_counted} that prepares the examples itself; callers
+    validating many templates against the same examples should [prepare]
+    once instead.
 
     [memo_key] opts into the process-wide validation memo: example
     verdicts are cached under [(memo_key, printed concrete program)] and
@@ -37,25 +57,32 @@ val last_instantiations : unit -> int
     key must determine the examples — the harness uses
     ["bench#example-seed"]. Verdicts are deterministic functions of the
     key, so memoized and recomputed runs are observably identical. The
-    [verify] outcome is never memoized. *)
+    [verify] outcome is never memoized.
+
+    [batched] (default [true]) selects template-level compilation +
+    rebind; [false] forces the per-candidate instantiate + compile path.
+    The two are observably identical — the flag exists for the on/off
+    differential and ablation. *)
 val validate :
   signature:Stagg_minic.Signature.t ->
   examples:Examples.example list ->
   consts:Rat.t list ->
   ?verify:(Stagg_taco.Ast.program -> bool) ->
   ?memo_key:string ->
+  ?batched:bool ->
   Stagg_taco.Ast.program ->
   solution option
 
-(** As {!validate}, and also returns how many instantiations this call
-    executed (race-free under the domain pool, unlike
-    {!last_instantiations}). *)
+(** As {!validate}, over a prepared [checker], and also returns how many
+    instantiations this call executed (race-free under the domain pool,
+    unlike {!last_instantiations}). *)
 val validate_counted :
   signature:Stagg_minic.Signature.t ->
-  examples:Examples.example list ->
+  checker:checker ->
   consts:Rat.t list ->
   ?verify:(Stagg_taco.Ast.program -> bool) ->
   ?memo_key:string ->
+  ?batched:bool ->
   Stagg_taco.Ast.program ->
   solution option * int
 
@@ -65,15 +92,6 @@ val set_memo_enabled : bool -> unit
 
 val clear_memo : unit -> unit
 val memo_size : unit -> int
-
-(** A prepared example set: per-example tensor environments, expected
-    outputs and cheapest-first ordering, computed once. For callers that
-    check many concrete programs against the same examples
-    (C2TACO's enumeration). *)
-type checker
-
-val prepare :
-  signature:Stagg_minic.Signature.t -> examples:Examples.example list -> checker
 
 (** [check ck p] — does the {e concrete} TACO program [p] (over the C
     parameter names) reproduce every example? *)
@@ -85,3 +103,22 @@ val check_concrete :
   examples:Examples.example list ->
   Stagg_taco.Ast.program ->
   bool
+
+(** Validator telemetry: cumulative process-wide counters over the
+    verdict memo (hits, misses, and adds rejected by the 500k backstop —
+    previously dropped silently) and the batched path's per-domain
+    compiled-template cache. *)
+type stats = {
+  memo_hits : int;
+  memo_misses : int;
+  memo_rejected : int;
+  template_compiles : int;
+  template_cache_hits : int;
+  template_cache_rejected : int;
+  template_overflows : int;
+      (** templates whose LHS rank exceeds {!Stagg_taco.Shape.max_rank}:
+          validated on the per-candidate fallback path *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

@@ -96,7 +96,16 @@ let synthetic_runs () =
     bu_equal = rs (fun _ -> true) 1.0;
     bu_llm_grammar = rs (fun _ -> false) 1.0;
     bu_full_grammar = rs (fun _ -> false) 1.0;
-    sweeps = [ ("STAGG^TD", 1.0, 1_000_000) ];
+    sweeps =
+      [
+        {
+          Stagg_report.Experiments.sw_label = "STAGG^TD";
+          sw_wall_s = 1.0;
+          sw_heap_words = 1_000_000;
+          sw_instantiations = 10;
+          sw_validate_s = 0.5;
+        };
+      ];
   }
 
 let test_table1_slicing () =

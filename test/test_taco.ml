@@ -328,6 +328,129 @@ let test_compile_repeated_lhs_index () =
   let tc = Result.get_ok (C.run (C.compile p) ~env ~lhs_shape ()) in
   check_bool "diagonal agreement" true (Tensor.equal Rat.equal ti tc)
 
+(* ---- template-level compilation (the batched validation path) ---- *)
+
+module T = Stagg_template.Templatize
+
+(* A fixed, complete symbol mapping, as [Subst.enumerate] always produces.
+   [tu] maps to a name absent from the env so unknown-tensor errors stay
+   reachable through a complete mapping. *)
+let template_mapping =
+  [ ("a", "r"); ("tb", "b"); ("tc", "c"); ("td", "d"); ("ts", "s"); ("tz", "z"); ("tu", "u") ]
+
+let template_env =
+  [
+    ("b", t2 2 3 [| 1; 2; 3; 4; 5; 6 |]);
+    ("c", t1 [| 7; 8; 9 |]);
+    ("d", t1 [| 10; 11 |]);
+    ("s", Tensor.scalar (rat 3));
+    ("z", t1 [| 0; 5; 7 |]);
+  ]
+
+(* Random templates over the symbolic names, deliberately mixing in atoms
+   that force each failure class (unknown tensor [tu], rank mismatch
+   [tb(i)], conflicting sizes [td(j)], unbound output index [a(k)],
+   division by zero [/ tz(j)], a ranked [Const(i)] — which [rename] leaves
+   named [Const], failing at bind), plus rank-0 and repeated-index LHS
+   edge cases. Two constants per case: the second [rebind] of the same
+   compiled template must behave like a fresh compile (no stale state). *)
+let arb_template_case =
+  let open QCheck.Gen in
+  let atoms =
+    [
+      "tb(i,j)"; "tc(j)"; "td(i)"; "ts"; "Const"; "2"; "tb(i,j) * tc(j)"; "tc(j) * Const";
+      "tu(i)"; "tb(i)"; "td(j)"; "tc(j) / tz(j)"; "- td(i)"; "Const(i)";
+    ]
+  in
+  let op = oneofl [ "+"; "-"; "*"; "/" ] in
+  let rhs =
+    oneof
+      [ oneofl atoms; map3 (fun a o b -> a ^ " " ^ o ^ " " ^ b) (oneofl atoms) op (oneofl atoms) ]
+  in
+  let lhs = oneofl [ "a(i)"; "a"; "a(i,j)"; "a(k)"; "a(i,i)" ] in
+  let const = map Rat.of_int (int_range (-3) 9) in
+  QCheck.make
+    (map3 (fun l r cs -> (l ^ " = " ^ r, cs)) lhs rhs (pair const const))
+    ~print:(fun (s, _) -> s)
+
+let qcheck_template_rebind_equals_compile =
+  QCheck.Test.make
+    ~name:"compile_template + rebind agrees with per-candidate compile, including errors"
+    ~count:500 arb_template_case (fun (src, (c1, c2)) ->
+      let template = parse src in
+      let ct = C.compile_template template in
+      let agree const =
+        let concrete = T.rename template ~mapping:template_mapping ~const:(Some const) in
+        let per = C.compile concrete in
+        C.rebind ct ~mapping:template_mapping ~const:(Some const);
+        match (C.run per ~env:template_env (), C.run ct ~env:template_env ()) with
+        | Ok tp, Ok tt ->
+            Tensor.shape tp = Tensor.shape tt
+            && Tensor.equal Rat.equal tp tt
+            &&
+            let shape = Tensor.shape tp in
+            let expected = Tensor.to_flat_array tp in
+            C.run_equal ct ~env:template_env ~lhs_shape:shape ~expected
+            = C.run_equal per ~env:template_env ~lhs_shape:shape ~expected
+            &&
+            (* and both reject the same perturbed expectation *)
+            let wrong = Tensor.to_flat_array tp in
+            wrong.(0) <- Rat.add wrong.(0) Rat.one;
+            C.run_equal ct ~env:template_env ~lhs_shape:shape ~expected:wrong
+            = C.run_equal per ~env:template_env ~lhs_shape:shape ~expected:wrong
+        | Error e1, Error e2 -> String.equal e1 e2
+        | Ok _, Error _ | Error _, Ok _ -> false
+      in
+      agree c1 && agree c2)
+
+let failure_of f =
+  try
+    ignore (f ());
+    "<no failure>"
+  with Failure m -> m
+
+let test_template_rebind_error_parity () =
+  let template = parse "a(i) = tb(i) * Const" in
+  let ct = C.compile_template template in
+  (* a symbol missing from the mapping: byte-identical to rename's error *)
+  let short = [ ("a", "r") ] in
+  check_string "missing binding parity"
+    (failure_of (fun () -> T.rename template ~mapping:short ~const:(Some Rat.one)))
+    (failure_of (fun () -> C.rebind ct ~mapping:short ~const:(Some Rat.one)));
+  (* a Const hole with no constant to fill it *)
+  let full = [ ("a", "r"); ("tb", "b") ] in
+  check_string "missing const parity"
+    (failure_of (fun () -> T.rename template ~mapping:full ~const:None))
+    (failure_of (fun () -> C.rebind ct ~mapping:full ~const:None));
+  (* rebind on a per-program evaluator is a programming error *)
+  check_bool "rebind rejects per-program evaluator" true
+    (try
+       C.rebind (C.compile (parse "a(i) = b(i)")) ~mapping:full ~const:None;
+       false
+     with Invalid_argument _ -> true)
+
+let test_template_rank_overflow () =
+  let idxs = "i1, i2, i3, i4, i5, i6, i7, i8, i9" in
+  let p = parse (Printf.sprintf "a(%s) = b(%s)" idxs idxs) in
+  (* over MAXRANK the template compiler refuses up front... *)
+  check_bool "compile_template overflows cleanly" true
+    (try
+       ignore (C.compile_template p);
+       false
+     with C.Rank_overflow _ -> true);
+  (* ...while the per-program compiler falls back to exact-size scratch *)
+  let t9 = Tensor.of_flat_array (Array.make 9 1) [| rat 42 |] in
+  (match C.run (C.compile p) ~env:[ ("b", t9) ] () with
+  | Ok t -> check_string "rank-9 per-program compile runs" "42" (Rat.to_string (Tensor.get_flat t 0))
+  | Error e -> Alcotest.fail e);
+  (* the loop-nest executor reports the capacity overflow as an error *)
+  match Lower.lower p with
+  | Error _ -> ()
+  | Ok kernel -> (
+      match E.run ~env:[ ("b", t9) ] ~out_shape:(Array.make 9 1) kernel with
+      | Error msg -> check_bool "Exec reports MAXRANK" true (String.length msg > 0)
+      | Ok _ -> Alcotest.fail "expected the rank-9 kernel to exceed MAXRANK")
+
 let test_kernel_to_c_renders () =
   let k = Lower.lower_exn (parse "a(i) = b(i,j) * c(j)") in
   let c = Ir.kernel_to_c ~name:"gemv" k in
@@ -381,5 +504,11 @@ let () =
         [
           Alcotest.test_case "repeated LHS index" `Quick test_compile_repeated_lhs_index;
           qc qcheck_compile_equals_interp;
+        ] );
+      ( "template compile",
+        [
+          Alcotest.test_case "rebind error parity" `Quick test_template_rebind_error_parity;
+          Alcotest.test_case "MAXRANK overflow" `Quick test_template_rank_overflow;
+          qc qcheck_template_rebind_equals_compile;
         ] );
     ]

@@ -120,6 +120,65 @@ let test_validator_constants () =
   check_bool "wrong pool rejected" true
     (Validator.validate ~signature:sg ~examples:exs ~consts:[ Rat.of_int 3 ] template = None)
 
+(* ---- the batched / per-candidate differential ----
+
+   [~batched:true] (compile_template + rebind) and [~batched:false]
+   (instantiate + compile per candidate) must be observably identical:
+   same solution, same instantiation count, and — when the memo is on —
+   byte-identical memo keys, which the per-candidate replay proves by
+   hitting every entry the batched run wrote. *)
+let test_batched_differential () =
+  Validator.clear_memo ();
+  Validator.reset_stats ();
+  let exs = gen_examples () in
+  let checker = Validator.prepare ~signature:gemv_sig ~examples:exs in
+  let consts = [ Rat.of_int 7 ] in
+  let sol_str = function
+    | Some (s : Validator.solution) -> Stagg_taco.Pretty.program_to_string s.concrete
+    | None -> "<none>"
+  in
+  let run ?memo_key ~batched src =
+    Validator.validate_counted ~signature:gemv_sig ~checker ~consts ?memo_key ~batched
+      (parse_t src)
+  in
+  let templates =
+    [
+      "a(i) = b(i,j) * c(j)" (* the gemv solution *);
+      "a(i) = b(i,j) + c(j)";
+      "a(i) = b(j,i) * c(j)";
+      "a(i) = b(i) * Const" (* exercises the Const cell *);
+      "a = b(i) * c(i)" (* LHS rank mismatch: zero substitutions *);
+    ]
+  in
+  (* memo off (no key): identical solutions and instantiation counts *)
+  List.iter
+    (fun src ->
+      let s_on, n_on = run ~batched:true src in
+      let s_off, n_off = run ~batched:false src in
+      check_string (src ^ ": same solution") (sol_str s_off) (sol_str s_on);
+      check_int (src ^ ": same count") n_off n_on)
+    templates;
+  let st0 = Validator.stats () in
+  check_bool "batched runs compiled templates" true (st0.template_compiles >= 1);
+  (* memo on: populate with the batched run, then replay per-candidate *)
+  List.iter (fun src -> ignore (run ~memo_key:"batched-diff" ~batched:true src)) templates;
+  let st1 = Validator.stats () in
+  List.iter
+    (fun src ->
+      let s_on, _ = run ~memo_key:"batched-diff" ~batched:true src in
+      let s_off, _ = run ~memo_key:"batched-diff" ~batched:false src in
+      check_string (src ^ ": memoized parity") (sol_str s_on) (sol_str s_off))
+    templates;
+  let st2 = Validator.stats () in
+  check_int "per-candidate replay misses nothing" st1.memo_misses st2.memo_misses;
+  check_bool "per-candidate replay hits the batched keys" true (st2.memo_hits > st1.memo_hits);
+  (* the [validate] wrapper threads the flag too *)
+  check_bool "validate wrapper honors batched:false" true
+    (Validator.validate ~signature:gemv_sig ~examples:exs ~consts ~batched:false
+       (parse_t "a(i) = b(i,j) * c(j)")
+    <> None);
+  Validator.clear_memo ()
+
 let test_check_concrete () =
   let exs = gen_examples () in
   check_bool "correct concrete accepted" true
@@ -143,6 +202,7 @@ let () =
           Alcotest.test_case "instantiation count" `Quick test_validator_counts_instantiations;
           Alcotest.test_case "verify hook" `Quick test_validator_verify_hook;
           Alcotest.test_case "constant pool" `Quick test_validator_constants;
+          Alcotest.test_case "batched differential" `Quick test_batched_differential;
           Alcotest.test_case "check_concrete" `Quick test_check_concrete;
         ] );
     ]
