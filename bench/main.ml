@@ -220,8 +220,8 @@ let run_diagnostics () =
 let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--no-analysis] \
-     [--prune-mode off|replay|admission] [--batched-validate off|on] [--heap-ceiling WORDS] \
-     [--jobs N | -j N] [--json FILE]";
+     [--prune-mode off|replay|admission] [--batched-validate off|on] \
+     [--search-domains K|auto] [--heap-ceiling WORDS] [--jobs N | -j N] [--json FILE]";
   exit 2
 
 let () =
@@ -237,6 +237,7 @@ let () =
   and analysis = ref true
   and prune_mode = ref Stagg_search.Astar.Prune_admission
   and batched_validate = ref true
+  and search_domains = ref 1
   and heap_ceiling = ref None
   and jobs = ref (Stagg_util.Pool.default_jobs ())
   and json_file = ref None in
@@ -277,6 +278,24 @@ let () =
             Printf.eprintf "--batched-validate expects off|on, got %s\n" m;
             usage ());
         parse rest
+    | "--search-domains" :: k :: rest -> (
+        (* K domains for the deterministic parallel A* inside each search
+           (1 = sequential engine, the default); outcomes are
+           byte-identical for every K — the @smoke alias diffs a K=2 run
+           against the same expectations. [auto] takes whatever the Pool
+           budget grants. *)
+        match k with
+        | "auto" ->
+            search_domains := 0;
+            parse rest
+        | _ -> (
+            match int_of_string_opt k with
+            | Some n when n >= 1 ->
+                search_domains := n;
+                parse rest
+            | _ ->
+                Printf.eprintf "--search-domains expects a positive integer or auto, got %s\n" k;
+                usage ()))
     | "--heap-ceiling" :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 1 ->
@@ -296,7 +315,8 @@ let () =
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse rest
-    | [ (("--jobs" | "-j" | "--json" | "--prune-mode" | "--batched-validate" | "--heap-ceiling")
+    | [ (("--jobs" | "-j" | "--json" | "--prune-mode" | "--batched-validate"
+         | "--search-domains" | "--heap-ceiling")
         as flag) ] ->
         Printf.eprintf "%s expects a value\n" flag;
         usage ()
@@ -306,11 +326,16 @@ let () =
   in
   parse args;
   if !smoke then begin
-    let analysis = !analysis and prune_mode = !prune_mode and batched = !batched_validate in
+    let analysis = !analysis
+    and prune_mode = !prune_mode
+    and batched = !batched_validate
+    and search_domains = !search_domains in
     let tune (m : Stagg.Method_.t) =
-      Stagg.Method_.with_batched_validate
-        (Stagg.Method_.with_prune_mode { m with analysis } prune_mode)
-        batched
+      Stagg.Method_.with_search_domains
+        (Stagg.Method_.with_batched_validate
+           (Stagg.Method_.with_prune_mode { m with analysis } prune_mode)
+           batched)
+        search_domains
     in
     run_smoke ~json_file:!json_file ~heap_ceiling:!heap_ceiling ~tune ();
     exit 0
@@ -320,13 +345,17 @@ let () =
   and analysis = !analysis
   and prune_mode = !prune_mode
   and batched_validate = !batched_validate
+  and search_domains = !search_domains
   and jobs = !jobs in
   let progress msg = Printf.eprintf "[bench] %s\n%!" msg in
   let t0 = Unix.gettimeofday () in
   let runs =
     if skip_ablations then
-      Experiments.run_core ~progress ~jobs ~analysis ~prune_mode ~batched_validate ()
-    else Experiments.run_all ~progress ~jobs ~analysis ~prune_mode ~batched_validate ()
+      Experiments.run_core ~progress ~jobs ~analysis ~prune_mode ~batched_validate
+        ~search_domains ()
+    else
+      Experiments.run_all ~progress ~jobs ~analysis ~prune_mode ~batched_validate
+        ~search_domains ()
   in
   Printf.printf "Guided Tensor Lifting — experiment harness (suite of %d queries, seed %d%s)\n\n"
     (List.length Stagg_benchsuite.Suite.all)

@@ -109,13 +109,36 @@ let with_batched_validate mode m =
       Printf.eprintf "unknown batched-validate mode %s (expected off|on)\n" s;
       exit 2
 
+let search_domains_arg =
+  Arg.(
+    value
+    & opt string "1"
+    & info [ "search-domains" ] ~docv:"K"
+        ~doc:
+          "Run each A* search on the deterministic parallel engine with $(docv) domains \
+           ($(b,1), the default, is the sequential engine; $(b,auto) takes whatever the \
+           domain budget grants). Outcomes — solved, attempts, expansions, first solutions \
+           — are byte-identical for every $(docv); only wall-clock time moves.")
+
+let with_search_domains k m =
+  match k with
+  | "1" -> m
+  | "auto" -> Stagg.Method_.with_search_domains m 0
+  | _ -> (
+      match int_of_string_opt k with
+      | Some n when n >= 1 -> Stagg.Method_.with_search_domains m n
+      | _ ->
+          Printf.eprintf "unknown search-domains value %s (expected a positive integer or auto)\n" k;
+          exit 2)
+
 let lift_cmd =
-  let run name meth no_analysis prune_mode batched_validate =
+  let run name meth no_analysis prune_mode batched_validate search_domains =
     let b = find_bench_exn name in
     let r =
       Stagg.Pipeline.run
-        (with_batched_validate batched_validate
-           (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string meth))))
+        (with_search_domains search_domains
+           (with_batched_validate batched_validate
+              (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string meth)))))
         b
     in
     Format.printf "%a@." Stagg.Result_.pp r;
@@ -130,7 +153,7 @@ let lift_cmd =
     (Cmd.info "lift" ~doc:"Lift one benchmark to TACO and print the verified solution.")
     Term.(
       const run $ name_arg $ method_arg $ no_analysis_arg $ prune_mode_arg
-      $ batched_validate_arg)
+      $ batched_validate_arg $ search_domains_arg)
 
 (* ---- show ---- *)
 
@@ -224,7 +247,7 @@ let jobs_arg =
            $(docv) (modulo per-query times); 1 runs sequentially on the calling domain.")
 
 let suite_cmd =
-  let run meth jobs no_analysis prune_mode batched_validate =
+  let run meth jobs no_analysis prune_mode batched_validate search_domains =
     let batched =
       match batched_validate with
       | "on" -> true
@@ -247,8 +270,9 @@ let suite_cmd =
             Suite.real_world
       | m ->
           Stagg.Pipeline.run_suite ~jobs
-            (with_batched_validate batched_validate
-               (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string m))))
+            (with_search_domains search_domains
+               (with_batched_validate batched_validate
+                  (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string m)))))
             Suite.all
     in
     List.iter (fun r -> Format.printf "%a@." Stagg.Result_.pp r) results;
@@ -259,7 +283,7 @@ let suite_cmd =
     (Cmd.info "suite" ~doc:"Run one method over the whole suite and print per-query results.")
     Term.(
       const run $ method_arg $ jobs_arg $ no_analysis_arg $ prune_mode_arg
-      $ batched_validate_arg)
+      $ batched_validate_arg $ search_domains_arg)
 
 (* ---- lift-file: arbitrary C + signature spec + recorded LLM transcript ---- *)
 

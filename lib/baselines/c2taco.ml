@@ -58,6 +58,7 @@ let run ~seed ~heuristics (b : Bench.t) : Stagg.Result_.t =
       validate_s = !validate_s;
       verify_s = 0.;
       instantiations = !attempts;
+      par = None;
       warnings = [];
       failure;
     }

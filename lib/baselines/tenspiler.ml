@@ -98,6 +98,7 @@ let run ?(batched_validate = true) ~seed (b : Bench.t) : Stagg.Result_.t =
       validate_s = !validate_s;
       verify_s = !verify_s;
       instantiations = !instantiations;
+      par = None;
       warnings = [];
       failure;
     }

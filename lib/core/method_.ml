@@ -38,6 +38,13 @@ type t = {
           counts and memo keys are byte-identical either way; [false] forces
           the per-candidate instantiate + compile path for the on/off
           differential. *)
+  search_domains : int;
+      (** domain count for the deterministic parallel A* engine inside
+          each single search (coordinator included). [1] (default) is the
+          sequential engine; [0] means auto — take whatever helper
+          domains the {!Stagg_util.Pool} budget grants. Outcomes (solved,
+          attempts, expansions, first solutions, memo keys) are
+          byte-identical for every value; only wall-clock time moves. *)
   seed : int;  (** drives the mock LLM and example generation *)
 }
 
@@ -59,6 +66,7 @@ let base search grammar penalties label =
     analysis = true;
     prune_mode = Astar.Prune_admission;
     batched_validate = true;
+    search_domains = 1;
     seed = 20250604;
   }
 
@@ -75,6 +83,11 @@ let with_prune_mode m prune_mode = { m with prune_mode }
     off; label unchanged so the [--batched-validate off] differential
     diffs cleanly against default runs. *)
 let with_batched_validate m batched_validate = { m with batched_validate }
+
+(** The same method searching with [search_domains] domains; label
+    unchanged so sweep outputs diff cleanly across domain counts (the
+    outcomes are byte-identical by design). *)
+let with_search_domains m search_domains = { m with search_domains }
 
 let stagg_td = base Top_down Refined Penalty.all_topdown "STAGG^TD"
 let stagg_bu = base Bottom_up Refined Penalty.all_bottomup "STAGG^BU"

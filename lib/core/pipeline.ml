@@ -190,8 +190,14 @@ let prune_of (m : Method_.t) (q : query) ~(consts : 'a list) (prep : prepared) :
 
 let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) result) : Result_.t =
   let started = Unix.gettimeofday () in
-  (* per-phase accumulators (one run = one domain; plain refs are fine) *)
+  (* Per-phase accumulators. [validate_s] and [instantiations] are only
+     ever mutated on the search's coordinator domain (sequentially, or
+     via commit-time thunks under the parallel engine), so plain refs
+     are fine; [verify_s] accumulates inside the BMC hook, which the
+     parallel engine may run on a worker domain — it gets a mutex. *)
   let validate_s = ref 0. and verify_s = ref 0. and instantiations = ref 0 in
+  let verify_mu = Mutex.create () in
+  let par = ref None in
   let facts = if m.analysis then Some (Stagg_minic.Facts.analyze q.func) else None in
   let finish ?(pruned = 0) ?(suppressed = 0) ?(pruned_rules = 0) ?(warnings = []) ~solved
       ~solution ~attempts ~expansions ~n_candidates ~failure () =
@@ -210,6 +216,7 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
       validate_s = !validate_s;
       verify_s = !verify_s;
       instantiations = !instantiations;
+      par = !par;
       warnings;
       failure;
     }
@@ -254,7 +261,8 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
                 | Bmc.Equivalent -> true
                 | Bmc.Not_equivalent _ | Bmc.Inconclusive _ -> false
               in
-              verify_s := !verify_s +. (Unix.gettimeofday () -. t0);
+              Mutex.protect verify_mu (fun () ->
+                  verify_s := !verify_s +. (Unix.gettimeofday () -. t0));
               ok
             end
           in
@@ -275,6 +283,32 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
             instantiations := !instantiations + n;
             sol
           in
+          (* The staged split of [validate] for the parallel engine: the
+             expensive pure compute (instantiation, example checking,
+             BMC) runs where the engine chooses — possibly a worker
+             domain — and the returned thunk, always invoked on the
+             coordinator at the pop's commit point, applies the
+             observable accumulator effects in commit order. Applying
+             the thunk immediately is exactly [validate], so inline and
+             speculative validations interleave without skew. *)
+          let staged_validate template =
+            let t0 = Unix.gettimeofday () in
+            let sol, n =
+              Validator.validate_counted ~signature:q.signature ~checker ~consts ~verify
+                ~memo_key ~batched:m.batched_validate template
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            fun () ->
+              validate_s := !validate_s +. dt;
+              instantiations := !instantiations + n;
+              sol
+          in
+          let staged_validate =
+            if m.search_domains = 1 then None else Some staged_validate
+          in
+          let on_par_stats =
+            if m.search_domains = 1 then None else Some (fun ps -> par := Some ps)
+          in
           let prune = prune_of m q ~consts prep in
           let pruned_rules =
             match prune with Some pr -> Prune.n_doomed pr | None -> 0
@@ -284,11 +318,13 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
             | Method_.Top_down ->
                 Astar.search_topdown ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
                   ~max_depth:m.max_depth ~dedup:m.dedup ?prune ~prune_mode:m.prune_mode
-                  ~budget:m.budget ~validate ()
+                  ~domains:m.search_domains ?staged_validate ?on_par_stats ~budget:m.budget
+                  ~validate ()
             | Method_.Bottom_up ->
                 Astar.search_bottomup ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
                   ~dim_list:prep.dim_list ~dedup:m.dedup ?prune ~prune_mode:m.prune_mode
-                  ~budget:m.budget ~validate ()
+                  ~domains:m.search_domains ?staged_validate ?on_par_stats ~budget:m.budget
+                  ~validate ()
           in
           let stats = Astar.stats_of outcome in
           let finish =

@@ -37,6 +37,15 @@ let prune_mode_to_string = function
   | Prune_replay -> "replay"
   | Prune_admission -> "admission"
 
+type par_stats = {
+  par_domains : int;
+  par_speculated : int;
+  par_committed : int;
+  par_steals : int;
+}
+
+let no_par_stats = { par_domains = 1; par_speculated = 0; par_committed = 0; par_steals = 0 }
+
 (* ---- the admission ledger ----
 
    Admission control at push time: a doomed complete child is never
@@ -165,12 +174,64 @@ type tree_src =
   | Built of Node.t  (** the initial node, and complete trees (the program rebuild needs them) *)
   | Expand of Node.t * Cfg.rule  (** parent tree + rule to apply at its leftmost open leaf *)
 
-type entry = {
+(* ---- speculative expansion (the parallel engine's worker output) ----
+
+   A worker domain precomputes, for an entry still sitting on the
+   frontier, the PURE part of what its pop will do: child annotations,
+   penalties, prune states, materialized complete children, rebuilt
+   programs, and (when a staged validator is supplied) the expensive
+   compute half of validation. Everything observable — seen marks,
+   attempt ticks, budget charging, ledger drains, frontier pushes,
+   first-solution selection — stays on the coordinator, which commits
+   pops in exactly the sequential (f, seq) order and merely SUBSTITUTES
+   the precomputed values where a finished speculation exists. All
+   speculative values are bit-identical to what the commit-time
+   computation would produce (same pure functions, same immutable
+   inputs; see DESIGN.md §4.9), so consuming or discarding a speculation
+   can never change an outcome — only wall-clock time. *)
+
+(* per-child pure results, dense over the rules with finite cost, in
+   [Cfg.rules_for] order — the same order [push_expansions] iterates *)
+type child_spec = {
+  cs_ann : Node.annotated;
+  cs_pen : float;  (** [Penalty.score_compiled] on the child's metrics *)
+  cs_g : float;  (** g(opens) of the child (0. for complete children) *)
+  cs_pst : Prune.state;
+  cs_built : Node.t option;  (** materialized tree, complete children only *)
+  cs_program : Stagg_taco.Ast.program option;  (** rebuilt program, complete children only *)
+}
+
+type 'sol bu_val =
+  | Bu_noop  (** RemoveTail / program rebuild yielded nothing: the pop's validation is a no-op *)
+  | Bu_prog of Stagg_taco.Ast.program * (unit -> 'sol option) option
+      (** completed program, plus the staged validation thunk when a
+          staged validator exists and the template was unseen at
+          speculation time *)
+
+type 'sol spec_payload =
+  | Sp_skip  (** nothing useful to precompute (e.g. a depth-doomed TD entry) *)
+  | Sp_children of Node.t * child_spec array
+      (** incomplete entry: materialized parent tree + expansion pack *)
+  | Sp_td_val of (unit -> 'sol option)
+      (** TD complete entry: staged validation of the entry's program *)
+  | Sp_bu of Node.t * child_spec array * 'sol bu_val option
+      (** BU entry: expansion pack, plus the validation decision when the
+          tensor count matches the prediction *)
+
+type 'sol spec_cell =
+  | Spec_fresh  (** nobody has touched this entry *)
+  | Spec_claimed  (** a worker is computing; the coordinator never waits on this *)
+  | Spec_done of 'sol spec_payload
+  | Spec_taken  (** consumed (or preempted) by the coordinator *)
+
+type 'sol entry = {
   c : float;  (** path cost c(x) *)
   tree : tree_src;
   ann : Node.annotated;
   program : Stagg_taco.Ast.program option;  (** Some iff complete *)
   pst : Prune.state;  (** analysis-prune state of the applied-rule multiset *)
+  spec : 'sol spec_cell Atomic.t;
+      (** speculation slot; a shared inert cell in sequential mode *)
 }
 
 (* [Ghost] replays the pop of a complete duplicate of an
@@ -186,8 +247,8 @@ type entry = {
    separately, so reported expansions count only real work. [Pruned]
    items exist only in [Prune_replay] mode; [Prune_admission] keeps the
    same doomed completes out of the queue entirely (see {!Ledger}). *)
-type item =
-  | Entry of entry
+type 'sol item =
+  | Entry of 'sol entry
   | Ghost
   | Pruned of { p_fp : int; p_depth : int; p_n_tensors : int }
 
@@ -198,26 +259,33 @@ type 'sol engine = {
   penalty : Penalty.compiled;
   budget : budget;
   validate : Stagg_taco.Ast.program -> 'sol option;
-  queue : item Pqueue.t;  (** priority f(x) *)
+  frontier : 'sol item Frontier.t;  (** priority f(x); [domains] shards *)
   sup : Ledger.t;  (** admission-suppressed (f, seq, fp, guards) keys *)
   mode : prune_mode;  (** how doomed complete children are absorbed *)
   dedup : dedup;
-  seen_fp : (int, unit) Hashtbl.t;  (** validated templates, fingerprints *)
+  seen_fp : Fpset.t;
+      (** validated templates, fingerprints. Lock-striped: the
+          coordinator is the only writer (in commit order); worker
+          domains probe it to skip staging duplicate validations. *)
   seen_str : (string, unit) Hashtbl.t;  (** validated templates, printed form (legacy mode) *)
   pen_memo : (int, float) Hashtbl.t;
       (** fingerprint → penalty a complete template was pushed with; lets a
-          duplicate's ghost reconstruct the same f without rescoring *)
+          duplicate's ghost reconstruct the same f without rescoring.
+          Coordinator-only. *)
   fps : Node.fingerprints;
   rule_cost : float array;  (** [Pcfg.cost] per rule, precomputed *)
   h_memo : (string, float) Hashtbl.t;  (** [Pcfg.h_cost] per nonterminal, precomputed *)
   inc_safe : bool;  (** grammar admits incremental metrics *)
   prune : Prune.t option;  (** analysis-guided pruning (Fingerprint mode only) *)
   started : float;
-  mutable eseq : int;  (** push sequence shared by [queue] and [sup] *)
+  domains : int;  (** total domains incl. the coordinator; 1 = sequential *)
+  spec_dummy : 'sol spec_cell Atomic.t;  (** shared inert cell for sequential entries *)
+  mutable eseq : int;  (** push sequence shared by [frontier] and [sup] *)
   mutable attempts : int;
   mutable expansions : int;
   mutable pruned : int;  (** pops of [Pruned] items (replay mode) *)
   mutable suppressed : int;  (** ledger drains (admission mode) *)
+  mutable spec_committed : int;  (** speculative payloads the commit loop consumed *)
   mutable timed_out : bool;  (** latched by the periodic clock check *)
   mutable stop : stop_reason;  (** which limit fired, for [Budget_exceeded] *)
 }
@@ -229,13 +297,14 @@ let take_seq e =
   e.eseq <- s + 1;
   s
 
-let qpush e f item = Pqueue.push_seq e.queue f (take_seq e) item
+let qpush e f item = Frontier.push e.frontier f (take_seq e) item
 
-let make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode =
+(* entries only pay for a private speculation cell when workers exist *)
+let fresh_spec e = if e.domains > 1 then Atomic.make Spec_fresh else e.spec_dummy
+
+let make_engine ~pcfg ~fps ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode ~domains =
   let g = Pcfg.cfg pcfg in
-  let queue = Pqueue.create ~dummy:Ghost in
   let x0 = Node.initial g in
-  let fps = Node.fingerprints g in
   let rule_cost = Array.init (Cfg.size g) (fun id -> Pcfg.cost pcfg (Cfg.rule g id)) in
   let h_memo = Hashtbl.create 16 in
   List.iter (fun nt -> Hashtbl.replace h_memo nt (Pcfg.h_cost pcfg nt)) (Cfg.nonterminals g);
@@ -245,11 +314,11 @@ let make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode =
       penalty = Penalty.compile penalty_ctx;
       budget;
       validate;
-      queue;
+      frontier = Frontier.create ~dummy:Ghost ~shards:domains;
       sup = Ledger.create ();
       mode;
       dedup;
-      seen_fp = Hashtbl.create 64;
+      seen_fp = Fpset.create ();
       seen_str = Hashtbl.create 64;
       pen_memo = Hashtbl.create 64;
       fps;
@@ -260,18 +329,28 @@ let make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode =
          only composes with fingerprint dedup *)
       prune = (if dedup = Fingerprint then prune else None);
       started = Unix.gettimeofday ();
+      domains;
+      spec_dummy = Atomic.make Spec_fresh;
       eseq = 0;
       attempts = 0;
       expansions = 0;
       pruned = 0;
       suppressed = 0;
+      spec_committed = 0;
       timed_out = false;
       stop = Expansions;
     }
   in
   qpush e 0.
     (Entry
-       { c = 0.; tree = Built x0; ann = Node.annotate g fps x0; program = None; pst = Prune.root });
+       {
+         c = 0.;
+         tree = Built x0;
+         ann = Node.annotate g fps x0;
+         program = None;
+         pst = Prune.root;
+         spec = fresh_spec e;
+       });
   e
 
 let elapsed e = Unix.gettimeofday () -. e.started
@@ -316,7 +395,7 @@ let over_budget e =
     e.stop <- Expansions;
     true
   end
-  else if Pqueue.length e.queue + Ledger.length e.sup > max_frontier then begin
+  else if Frontier.length e.frontier + Ledger.length e.sup > max_frontier then begin
     e.stop <- Frontier;
     true
   end
@@ -331,28 +410,26 @@ let over_budget e =
    Exact (f, seq) lexicographic comparison against the frontier head. *)
 let baseline_pops_suppressed e =
   (not (Ledger.is_empty e.sup))
-  && (Pqueue.is_empty e.queue
+  && (Frontier.is_empty e.frontier
      ||
-     let sp = Ledger.top_prio e.sup and qp = Pqueue.top_prio e.queue in
-     sp < qp || (sp = qp && Ledger.top_seq e.sup < Pqueue.top_seq e.queue))
+     let sp = Ledger.top_prio e.sup and qp = Frontier.top_prio e.frontier in
+     sp < qp || (sp = qp && Ledger.top_seq e.sup < Frontier.top_seq e.frontier))
 
 (* Validate an already-rebuilt program. Duplicate templates — the EXPR OP
    EXPR rule makes the grammar ambiguous, and associative duplicates print
    identically — are validated once. The probe keys on the tree's
    fingerprint (O(1), no printing); [Pretty_key] mode keeps the printed
-   form as the key for differential testing against the legacy scheme. *)
-let try_validate e ~fp (program : Stagg_taco.Ast.program option) : 'sol option =
+   form as the key for differential testing against the legacy scheme.
+   [run] supplies the actual validation: the plain validator
+   sequentially, or a staged thunk / inline staged call when committing
+   under the parallel engine — all with identical observable counting. *)
+let try_validate e ~fp ~run (program : Stagg_taco.Ast.program option) : 'sol option =
   match program with
   | None -> None
   | Some p ->
       let dup =
         match e.dedup with
-        | Fingerprint ->
-            if Hashtbl.mem e.seen_fp fp then true
-            else begin
-              Hashtbl.add e.seen_fp fp ();
-              false
-            end
+        | Fingerprint -> Fpset.check_add e.seen_fp fp
         | Pretty_key ->
             let key = Pretty.program_to_string p in
             if Hashtbl.mem e.seen_str key then true
@@ -364,15 +441,21 @@ let try_validate e ~fp (program : Stagg_taco.Ast.program option) : 'sol option =
       if dup then None
       else begin
         e.attempts <- e.attempts + 1;
-        e.validate p
+        run p
       end
 
 (* Push every legal one-step expansion of [parent] (whose tree [px] the
    pop side has just materialized). Metrics are extended incrementally
    from the parent's annotation without building the child tree; only
    complete children are materialized here, to rebuild their program
-   once and carry it to the pop. *)
-let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
+   once and carry it to the pop.
+
+   [?spec] substitutes a worker domain's precomputed pure results (see
+   {!child_spec}): the iteration, the admission decisions and every
+   observable effect are unchanged — spec values are bit-identical to
+   what the code below computes inline, so the two paths interleave
+   freely within one search. *)
+let push_expansions ?spec e (g : Cfg.t) (parent : 'sol entry) (px : Node.t) =
   match parent.ann.Node.opens with
   | [] -> ()
   | nt :: _ ->
@@ -391,13 +474,25 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
             g_cache := Some (opens, v);
             v
       in
+      let si = ref 0 in
       List.iter
         (fun (r : Cfg.rule) ->
           let rc = e.rule_cost.(r.id) in
           if rc < infinity then begin
+            let cs =
+              match spec with
+              | Some specs ->
+                  let k = !si in
+                  incr si;
+                  Some specs.(k)
+              | None -> None
+            in
             let c' = parent.c +. rc in
             let inc_ann =
-              if e.inc_safe then Some (Node.expand_metrics e.fps parent.ann r) else None
+              match cs with
+              | Some cs -> Some cs.cs_ann
+              | None ->
+                  if e.inc_safe then Some (Node.expand_metrics e.fps parent.ann r) else None
             in
             let ghosted =
               (* pre-probe duplicate suppressor: a complete child whose
@@ -411,7 +506,7 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
               | Some ann
                 when e.dedup = Fingerprint
                      && ann.Node.metrics.complete
-                     && Hashtbl.mem e.seen_fp ann.Node.fp -> (
+                     && Fpset.mem e.seen_fp ann.Node.fp -> (
                   match Hashtbl.find_opt e.pen_memo ann.Node.fp with
                   | Some pen ->
                       qpush e (c' +. 0. +. pen) Ghost;
@@ -421,9 +516,12 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
             in
             if not ghosted then begin
               let pst' =
-                match e.prune with
-                | None -> Prune.root
-                | Some pr -> Prune.step pr parent.pst r.id
+                match cs with
+                | Some cs -> cs.cs_pst
+                | None -> (
+                    match e.prune with
+                    | None -> Prune.root
+                    | Some pr -> Prune.step pr parent.pst r.id)
               in
               let pruned_away =
                 (* a DOOMED complete child — the analysis proved its
@@ -442,12 +540,17 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
                    inherit the doomed state through [pst]. *)
                 match (e.prune, inc_ann) with
                 | Some _, Some ann when ann.Node.metrics.complete && Prune.is_doomed pst' ->
-                    let program =
-                      if Penalty.needs_program e.penalty then
-                        Node.to_program g (Node.expand1 px r)
-                      else None
+                    let pen =
+                      match cs with
+                      | Some cs -> cs.cs_pen
+                      | None ->
+                          let program =
+                            if Penalty.needs_program e.penalty then
+                              Node.to_program g (Node.expand1 px r)
+                            else None
+                          in
+                          Penalty.score_compiled e.penalty ann.Node.metrics ~program
                     in
-                    let pen = Penalty.score_compiled e.penalty ann.Node.metrics ~program in
                     if pen < infinity then begin
                       Hashtbl.replace e.pen_memo ann.Node.fp pen;
                       let f = c' +. 0. +. pen in
@@ -469,26 +572,47 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
               in
               if not pruned_away then begin
                 let tree, ann, program =
-                  match inc_ann with
-                  | Some ann ->
+                  match cs with
+                  | Some cs ->
+                      let ann = cs.cs_ann in
                       if ann.Node.metrics.complete then
-                        let x' = Node.expand1 px r in
-                        (Built x', ann, Node.to_program g x')
+                        ( Built
+                            (match cs.cs_built with
+                            | Some x' -> x'
+                            | None -> Node.expand1 px r),
+                          ann,
+                          cs.cs_program )
                       else (Expand (px, r), ann, None)
-                  | None ->
-                      let x' = Node.expand1 px r in
-                      let ann = Node.annotate g e.fps x' in
-                      let program =
-                        if ann.Node.metrics.complete then Node.to_program g x' else None
-                      in
-                      (Built x', ann, program)
+                  | None -> (
+                      match inc_ann with
+                      | Some ann ->
+                          if ann.Node.metrics.complete then
+                            let x' = Node.expand1 px r in
+                            (Built x', ann, Node.to_program g x')
+                          else (Expand (px, r), ann, None)
+                      | None ->
+                          let x' = Node.expand1 px r in
+                          let ann = Node.annotate g e.fps x' in
+                          let program =
+                            if ann.Node.metrics.complete then Node.to_program g x' else None
+                          in
+                          (Built x', ann, program))
                 in
-                let pen = Penalty.score_compiled e.penalty ann.Node.metrics ~program in
+                let pen =
+                  match cs with
+                  | Some cs -> cs.cs_pen
+                  | None -> Penalty.score_compiled e.penalty ann.Node.metrics ~program
+                in
                 if pen < infinity then begin
                   if e.dedup = Fingerprint && ann.Node.metrics.complete then
                     Hashtbl.replace e.pen_memo ann.Node.fp pen;
-                  let f = c' +. g_of ann.Node.opens +. pen in
-                  qpush e f (Entry { c = c'; tree; ann; program; pst = pst' })
+                  let f =
+                    c'
+                    +. (match cs with Some cs -> cs.cs_g | None -> g_of ann.Node.opens)
+                    +. pen
+                  in
+                  qpush e f
+                    (Entry { c = c'; tree; ann; program; pst = pst'; spec = fresh_spec e })
                 end
               end
             end
@@ -501,29 +625,282 @@ let push_expansions e (g : Cfg.t) (parent : entry) (px : Node.t) =
    survives the same guards (the TD depth prune / the BU tensor-count
    gate) — validating it was a structural no-op. *)
 let replay_pruned e ~fp =
-  if not (Hashtbl.mem e.seen_fp fp) then begin
-    Hashtbl.add e.seen_fp fp ();
-    e.attempts <- e.attempts + 1
+  if not (Fpset.check_add e.seen_fp fp) then e.attempts <- e.attempts + 1
+
+(* ---- worker domains: speculative expansion off the shard prefixes ---- *)
+
+type search_kind = Td of int  (** max_depth *) | Bu of int  (** predicted tensor count *)
+
+type 'sol sctx = {
+  sc_g : Cfg.t;
+  sc_kind : search_kind;
+  sc_staged : (Stagg_taco.Ast.program -> unit -> 'sol option) option;
+}
+
+(* The worker-side mirror of [push_expansions]'s pure computation, in
+   the same [rules_for] iteration order over the same finite-cost rules,
+   calling the same pure functions on the same immutable inputs — so
+   every field is bit-identical to what the commit would compute inline.
+   Reads only engine state that is frozen after construction (rule
+   costs, h-memo, penalty, prune tables, fingerprint tables). *)
+let spec_children e g (parent : 'sol entry) (px : Node.t) : child_spec array =
+  match parent.ann.Node.opens with
+  | [] -> [||]
+  | nt :: _ ->
+      let g_cache : (string list * float) option ref = ref None in
+      let g_of opens =
+        match !g_cache with
+        | Some (k, v) when k == opens -> v
+        | _ ->
+            let v = g_opens e opens in
+            g_cache := Some (opens, v);
+            v
+      in
+      let acc = ref [] in
+      List.iter
+        (fun (r : Cfg.rule) ->
+          let rc = e.rule_cost.(r.id) in
+          if rc < infinity then begin
+            let ann = Node.expand_metrics e.fps parent.ann r in
+            let pst' =
+              match e.prune with
+              | None -> Prune.root
+              | Some pr -> Prune.step pr parent.pst r.id
+            in
+            let built, program =
+              if ann.Node.metrics.complete then
+                let x' = Node.expand1 px r in
+                (Some x', Node.to_program g x')
+              else (None, None)
+            in
+            (* [score_compiled] reads the program only under the A4
+               criterion, in which case [program] is exactly what the
+               commit path would rebuild — either way the score is
+               bit-identical to the inline one (see Penalty). *)
+            let pen = Penalty.score_compiled e.penalty ann.Node.metrics ~program in
+            let g_ = g_of ann.Node.opens in
+            acc :=
+              { cs_ann = ann; cs_pen = pen; cs_g = g_; cs_pst = pst'; cs_built = built;
+                cs_program = program }
+              :: !acc
+          end)
+        (Cfg.rules_for g nt);
+      Array.of_list (List.rev !acc)
+
+let speculate e sctx (en : 'sol entry) : 'sol spec_payload =
+  let g = sctx.sc_g in
+  match sctx.sc_kind with
+  | Td max_depth ->
+      if en.ann.Node.depth > max_depth then Sp_skip
+      else if en.ann.Node.metrics.complete then (
+        match (sctx.sc_staged, en.program) with
+        | Some sv, Some p -> Sp_td_val (sv p)
+        | _ -> Sp_skip)
+      else
+        let px = materialize en.tree in
+        Sp_children (px, spec_children e g en px)
+  | Bu n_predicted ->
+      let px = materialize en.tree in
+      let v =
+        if en.ann.Node.metrics.n_tensors = n_predicted then
+          Some
+            (match Node.remove_tail g px with
+            | Some complete -> (
+                match Node.to_program g complete with
+                | Some p ->
+                    let th =
+                      (* the seen probe is a stale-tolerant heuristic: a
+                         missed duplicate only wastes compute — the
+                         authoritative dup check happens at commit *)
+                      match sctx.sc_staged with
+                      | Some sv when not (Fpset.mem e.seen_fp en.ann.Node.fp) -> Some (sv p)
+                      | _ -> None
+                    in
+                    Bu_prog (p, th)
+                | None -> Bu_noop)
+            | None -> Bu_noop)
+        else None
+      in
+      Sp_bu (px, spec_children e g en px, v)
+
+(* how deep into a shard's heap array a worker looks for unclaimed
+   entries: the prefix holds the shallowest (≈ cheapest) nodes, i.e. the
+   ones the coordinator will pop soonest *)
+let spec_window = 128
+
+(* is this frontier item worth claiming? (pure pre-filter; the CAS is
+   the actual claim) *)
+let worth_claiming e sctx = function
+  | Ghost | Pruned _ -> false
+  | Entry en -> (
+      match Atomic.get en.spec with
+      | Spec_claimed | Spec_done _ | Spec_taken -> false
+      | Spec_fresh -> (
+          match sctx.sc_kind with
+          | Td max_depth ->
+              if en.ann.Node.depth > max_depth then false
+              else if en.ann.Node.metrics.complete then
+                sctx.sc_staged <> None && not (Fpset.mem e.seen_fp en.ann.Node.fp)
+              else true
+          | Bu n_predicted ->
+              en.ann.Node.opens <> [] || en.ann.Node.metrics.n_tensors = n_predicted))
+
+let worker_loop e sctx ~stop ~speculated ~steals wid =
+  let k = e.domains in
+  let own = (wid + 1) mod k in
+  (* racy scan of a shard's heap-array prefix; every slot read is a
+     well-formed item (possibly stale — then the CAS pre-filter or the
+     commit-side discard absorbs it) *)
+  let try_shard si =
+    let arr, size = Pqueue.snapshot (Frontier.shard e.frontier si) in
+    let n = min (min size (Array.length arr)) spec_window in
+    let rec go i =
+      if i >= n then None
+      else
+        match arr.(i) with
+        | Entry en when worth_claiming e sctx (Entry en) ->
+            if Atomic.compare_and_set en.spec Spec_fresh Spec_claimed then Some en
+            else go (i + 1)
+        | _ -> go (i + 1)
+    in
+    go 0
+  in
+  let misses = ref 0 in
+  while not (Atomic.get stop) do
+    let claimed =
+      match try_shard own with
+      | Some en -> Some (en, false)
+      | None ->
+          (* work-stealing overflow lane: scan the other shards
+             (including the coordinator's shard 0) round-robin *)
+          let rec steal d =
+            if d >= k then None
+            else
+              match try_shard ((own + d) mod k) with
+              | Some en -> Some (en, true)
+              | None -> steal (d + 1)
+          in
+          steal 1
+    in
+    match claimed with
+    | Some (en, stolen) -> (
+        misses := 0;
+        if stolen then Atomic.incr steals;
+        match speculate e sctx en with
+        | payload ->
+            Atomic.set en.spec (Spec_done payload);
+            Atomic.incr speculated
+        | exception _ ->
+            (* leave the cell Claimed: the commit loop recomputes inline
+               and surfaces the error at the baseline position *)
+            ())
+    | None ->
+        (* empty prefixes: back off so an oversubscribed machine spends
+           its cycles on the coordinator, not on spinning scans *)
+        incr misses;
+        if !misses < 4 then Domain.cpu_relax ()
+        else Unix.sleepf (Float.min 0.001 (0.00005 *. float_of_int !misses))
+  done
+
+(* Consume (and retire) an entry's speculation slot at its commit point.
+   Never waits: a cell still [Spec_claimed] mid-compute is preempted —
+   the coordinator recomputes inline and the worker's late result is
+   dropped — so a stalled or descheduled worker can delay nothing. *)
+let take_spec e (en : 'sol entry) : 'sol spec_payload option =
+  if e.domains <= 1 then None
+  else if Atomic.compare_and_set en.spec Spec_fresh Spec_taken then None
+  else
+    match Atomic.exchange en.spec Spec_taken with
+    | Spec_done p ->
+        e.spec_committed <- e.spec_committed + 1;
+        Some p
+    | Spec_fresh | Spec_claimed | Spec_taken -> None
+
+(* Spawn the K-1 workers around [body] (the commit loop), and join them
+   on every exit path — no domain outlives the search. [claimed] helper
+   slots go back to the Pool budget at the same point. *)
+let with_workers e sctx ~claimed ~on_par_stats body =
+  let stop = Atomic.make false in
+  let speculated = Atomic.make 0 and steals = Atomic.make 0 in
+  let workers =
+    if e.domains <= 1 then [||]
+    else
+      Array.init (e.domains - 1) (fun w ->
+          Domain.spawn (fun () ->
+              try worker_loop e sctx ~stop ~speculated ~steals w with _ -> ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Array.iter Domain.join workers;
+      Pool.release claimed;
+      match on_par_stats with
+      | None -> ()
+      | Some f ->
+          f
+            {
+              par_domains = e.domains;
+              par_speculated = Atomic.get speculated;
+              par_committed = e.spec_committed;
+              par_steals = Atomic.get steals;
+            })
+    body
+
+(* Requested domain count → (effective K, helper slots debited from the
+   Pool budget). [requested <= 0] is auto mode: take whatever the budget
+   grants (serve-style — all remaining cores to this one search);
+   explicit K is honored as asked but still debits the budget so nested
+   defaults clamp. Ineligible searches (no incremental metrics / no
+   static depth tables) always run sequentially: speculation reproduces
+   exactly the incremental push path. *)
+let resolve_domains ~eligible requested =
+  if (not eligible) || requested = 1 then (1, 0)
+  else if requested <= 0 then
+    let got = Pool.claim ~max:max_int in
+    (1 + got, got)
+  else begin
+    Pool.claim_exact (requested - 1);
+    (requested, requested - 1)
   end
 
+let no_probe (_ : float) (_ : int) = ()
+
 let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ?prune
-    ?(prune_mode = Prune_admission) ~budget ~validate () =
-  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode:prune_mode in
+    ?(prune_mode = Prune_admission) ?(domains = 1) ?staged_validate ?on_par_stats
+    ?(commit_probe = no_probe) ~budget ~validate () =
   let g = Pcfg.cfg pcfg in
+  let fps = Node.fingerprints g in
   (* with static depth tables the prune reads the annotation, so depth-dead
      pops never materialize (or walk) their tree at all *)
-  let inc_depth = Node.depth_static e.fps in
+  let inc_depth = Node.depth_static fps in
+  let inc_safe = Node.incremental_safe g in
+  (* speculation replays the incremental push path and the annotation
+     depth guard, so parallel mode needs both *)
+  let k, claimed = resolve_domains ~eligible:(inc_safe && inc_depth) domains in
+  let e =
+    make_engine ~pcfg ~fps ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode:prune_mode
+      ~domains:k
+  in
   (* the Pruned replay needs the annotation's depth to equal the walked
      depth, so analysis pruning rides on the same static tables *)
   let e = if inc_depth then e else { e with prune = None } in
-  let too_deep (en : entry) =
+  let too_deep (en : 'sol entry) =
     if inc_depth then en.ann.Node.depth > max_depth
     else Node.depth g (materialize en.tree) > max_depth
+  in
+  let sctx = { sc_g = g; sc_kind = Td max_depth; sc_staged = staged_validate } in
+  (* inline validation at a commit point without a finished speculation:
+     the staged validator applied on the spot (compute + immediate
+     commit) when workers exist, the plain validator otherwise — the
+     observable counting is identical by construction *)
+  let inline_run =
+    match staged_validate with Some sv when k > 1 -> fun p -> (sv p) () | _ -> e.validate
   in
   let rec loop () =
     if baseline_pops_suppressed e then
       if over_budget e then Budget_exceeded (e.stop, stats e)
       else begin
+        commit_probe (Ledger.top_prio e.sup) (Ledger.top_seq e.sup);
         let fp, depth, _nt = Ledger.pop e.sup in
         e.suppressed <- e.suppressed + 1;
         if depth <= max_depth then replay_pruned e ~fp;
@@ -531,39 +908,61 @@ let search_topdown ~pcfg ~penalty_ctx ?(max_depth = 6) ?(dedup = Fingerprint) ?p
       end
     else if over_budget e then Budget_exceeded (e.stop, stats e)
     else
-      match Pqueue.pop e.queue with
+      match Frontier.pop e.frontier with
       | None -> Exhausted (stats e)
-      | Some (_f, Ghost) ->
-          e.expansions <- e.expansions + 1;
-          loop ()
-      | Some (_f, Pruned p) ->
-          e.pruned <- e.pruned + 1;
-          if p.p_depth <= max_depth then replay_pruned e ~fp:p.p_fp;
-          loop ()
-      | Some (_f, Entry en) ->
-          e.expansions <- e.expansions + 1;
-          if too_deep en then loop ()
-          else if en.ann.Node.metrics.complete then begin
-            match try_validate e ~fp:en.ann.Node.fp en.program with
-            | Some sol -> Solved (sol, stats e)
-            | None -> loop ()
-          end
-          else begin
-            push_expansions e g en (materialize en.tree);
-            loop ()
-          end
+      | Some (f, seq, it) -> (
+          commit_probe f seq;
+          match it with
+          | Ghost ->
+              e.expansions <- e.expansions + 1;
+              loop ()
+          | Pruned p ->
+              e.pruned <- e.pruned + 1;
+              if p.p_depth <= max_depth then replay_pruned e ~fp:p.p_fp;
+              loop ()
+          | Entry en ->
+              e.expansions <- e.expansions + 1;
+              if too_deep en then loop ()
+              else if en.ann.Node.metrics.complete then begin
+                let run =
+                  match take_spec e en with
+                  | Some (Sp_td_val th) -> fun (_ : Stagg_taco.Ast.program) -> th ()
+                  | _ -> inline_run
+                in
+                match try_validate e ~fp:en.ann.Node.fp ~run en.program with
+                | Some sol -> Solved (sol, stats e)
+                | None -> loop ()
+              end
+              else begin
+                (match take_spec e en with
+                | Some (Sp_children (px, specs)) -> push_expansions ~spec:specs e g en px
+                | _ -> push_expansions e g en (materialize en.tree));
+                loop ()
+              end)
   in
-  loop ()
+  with_workers e sctx ~claimed ~on_par_stats loop
 
 let search_bottomup ~pcfg ~penalty_ctx ~dim_list ?(dedup = Fingerprint) ?prune
-    ?(prune_mode = Prune_admission) ~budget ~validate () =
-  let e = make_engine ~pcfg ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode:prune_mode in
+    ?(prune_mode = Prune_admission) ?(domains = 1) ?staged_validate ?on_par_stats
+    ?(commit_probe = no_probe) ~budget ~validate () =
   let g = Pcfg.cfg pcfg in
+  let fps = Node.fingerprints g in
+  let inc_safe = Node.incremental_safe g in
+  let k, claimed = resolve_domains ~eligible:inc_safe domains in
+  let e =
+    make_engine ~pcfg ~fps ~penalty_ctx ~budget ~validate ~dedup ~prune ~mode:prune_mode
+      ~domains:k
+  in
   let n_predicted = List.length dim_list in
+  let sctx = { sc_g = g; sc_kind = Bu n_predicted; sc_staged = staged_validate } in
+  let inline_run =
+    match staged_validate with Some sv when k > 1 -> fun p -> (sv p) () | _ -> e.validate
+  in
   let rec loop () =
     if baseline_pops_suppressed e then
       if over_budget e then Budget_exceeded (e.stop, stats e)
       else begin
+        commit_probe (Ledger.top_prio e.sup) (Ledger.top_seq e.sup);
         let fp, _depth, nt = Ledger.pop e.sup in
         e.suppressed <- e.suppressed + 1;
         (* the baseline pop validates (a no-op here) only when the
@@ -573,36 +972,54 @@ let search_bottomup ~pcfg ~penalty_ctx ~dim_list ?(dedup = Fingerprint) ?prune
       end
     else if over_budget e then Budget_exceeded (e.stop, stats e)
     else
-      match Pqueue.pop e.queue with
+      match Frontier.pop e.frontier with
       | None -> Exhausted (stats e)
-      | Some (_f, Ghost) ->
-          (* ghosts are only pushed for complete children (no open tails),
-             whose pop expands nothing — exactly this no-op *)
-          e.expansions <- e.expansions + 1;
-          loop ()
-      | Some (_f, Pruned p) ->
-          e.pruned <- e.pruned + 1;
-          (* the baseline pop validates (a no-op here) only when the
-             complete tree carries exactly the predicted tensor count,
-             and expands nothing *)
-          if p.p_n_tensors = n_predicted then replay_pruned e ~fp:p.p_fp;
-          loop ()
-      | Some (_f, Entry en) ->
-          e.expansions <- e.expansions + 1;
-          let x = materialize en.tree in
-          let solved =
-            if en.ann.Node.metrics.n_tensors = n_predicted then
-              match Node.remove_tail g x with
-              (* closing ε tails adds empty rule contributions, so the
-                 completed tree's fingerprint equals the popped entry's *)
-              | Some complete -> try_validate e ~fp:en.ann.Node.fp (Node.to_program g complete)
-              | None -> None
-            else None
-          in
-          (match solved with
-          | Some sol -> Solved (sol, stats e)
-          | None ->
-              push_expansions e g en x;
-              loop ())
+      | Some (f, seq, it) -> (
+          commit_probe f seq;
+          match it with
+          | Ghost ->
+              (* ghosts are only pushed for complete children (no open tails),
+                 whose pop expands nothing — exactly this no-op *)
+              e.expansions <- e.expansions + 1;
+              loop ()
+          | Pruned p ->
+              e.pruned <- e.pruned + 1;
+              (* the baseline pop validates (a no-op here) only when the
+                 complete tree carries exactly the predicted tensor count,
+                 and expands nothing *)
+              if p.p_n_tensors = n_predicted then replay_pruned e ~fp:p.p_fp;
+              loop ()
+          | Entry en -> (
+              e.expansions <- e.expansions + 1;
+              let sp = take_spec e en in
+              let x = match sp with Some (Sp_bu (px, _, _)) -> px | _ -> materialize en.tree in
+              let solved =
+                if en.ann.Node.metrics.n_tensors = n_predicted then
+                  match sp with
+                  | Some (Sp_bu (_, _, Some Bu_noop)) -> None
+                  | Some (Sp_bu (_, _, Some (Bu_prog (p, th)))) ->
+                      let run =
+                        match th with
+                        | Some th -> fun (_ : Stagg_taco.Ast.program) -> th ()
+                        | None -> inline_run
+                      in
+                      try_validate e ~fp:en.ann.Node.fp ~run (Some p)
+                  | _ -> (
+                      match Node.remove_tail g x with
+                      (* closing ε tails adds empty rule contributions, so the
+                         completed tree's fingerprint equals the popped entry's *)
+                      | Some complete ->
+                          try_validate e ~fp:en.ann.Node.fp ~run:inline_run
+                            (Node.to_program g complete)
+                      | None -> None)
+                else None
+              in
+              match solved with
+              | Some sol -> Solved (sol, stats e)
+              | None ->
+                  (match sp with
+                  | Some (Sp_bu (_, specs, _)) -> push_expansions ~spec:specs e g en x
+                  | _ -> push_expansions e g en x);
+                  loop ()))
   in
-  loop ()
+  with_workers e sctx ~claimed ~on_par_stats loop

@@ -1,0 +1,60 @@
+(* A sharded min-priority frontier: K independent {!Pqueue}s, with
+   elements routed by [seq mod K] and popped in global (priority, seq)
+   lexicographic order.
+
+   Because every element carries a caller-unique [seq], the (prio, seq)
+   order is total, so the pop stream is EXACTLY the pop stream of a
+   single queue holding the union — for any K. Sharding changes only
+   which physical heap an element sits in: the parallel A* gives each
+   worker domain its own shard to scan for speculation (disjoint scan
+   ranges, no contended hot top slots) while the coordinator pops the
+   global minimum by comparing the K shard tops.
+
+   Only the owning (coordinator) domain may call the mutating or
+   ordered-read operations; worker domains read shards exclusively
+   through {!Pqueue.snapshot}'s racy-view discipline. *)
+
+type 'a t = { shards : 'a Pqueue.t array }
+
+let create ~dummy ~shards =
+  { shards = Array.init (max 1 shards) (fun _ -> Pqueue.create ~dummy) }
+
+let n_shards t = Array.length t.shards
+let shard t i = t.shards.(i)
+let length t = Array.fold_left (fun a q -> a + Pqueue.length q) 0 t.shards
+let is_empty t = Array.for_all Pqueue.is_empty t.shards
+
+let push t prio seq v =
+  Pqueue.push_seq t.shards.(seq mod Array.length t.shards) prio seq v
+
+(* index of the shard holding the global (prio, seq) minimum; -1 if all
+   shards are empty. K is tiny (the domain count), so a linear scan per
+   pop is noise next to the heap sift. *)
+let best t =
+  let bi = ref (-1) and bp = ref infinity and bs = ref max_int in
+  Array.iteri
+    (fun i q ->
+      if not (Pqueue.is_empty q) then begin
+        let p = Pqueue.top_prio q and s = Pqueue.top_seq q in
+        if !bi < 0 || p < !bp || (p = !bp && s < !bs) then begin
+          bi := i;
+          bp := p;
+          bs := s
+        end
+      end)
+    t.shards;
+  !bi
+
+(* Undefined (raise) on an empty frontier — guard with {!is_empty}. *)
+let top_prio t = Pqueue.top_prio t.shards.(best t)
+let top_seq t = Pqueue.top_seq t.shards.(best t)
+
+let pop t =
+  let i = best t in
+  if i < 0 then None
+  else
+    let q = t.shards.(i) in
+    let seq = Pqueue.top_seq q in
+    match Pqueue.pop q with
+    | Some (prio, v) -> Some (prio, seq, v)
+    | None -> assert false

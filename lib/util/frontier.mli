@@ -1,0 +1,44 @@
+(** A sharded min-priority frontier over {!Pqueue} shards.
+
+    Elements are routed to shard [seq mod n_shards] at push and popped
+    in global (priority, seq) lexicographic order across all shards.
+    Caller-unique [seq] values make that order total, so for ANY shard
+    count the pop stream is byte-identical to a single {!Pqueue} holding
+    the union — sharding is a physical layout choice, not a semantic
+    one. The parallel A* exploits exactly that: worker domains scan
+    "their" shard's heap prefix for speculation targets while the
+    coordinator pops the global minimum.
+
+    All operations below are owner-domain-only; concurrent readers must
+    go through {!Pqueue.snapshot} on individual {!shard}s. *)
+
+type 'a t
+
+(** [create ~dummy ~shards] — an empty frontier of [max 1 shards]
+    shards; [dummy] as in {!Pqueue.create}. *)
+val create : dummy:'a -> shards:int -> 'a t
+
+val n_shards : 'a t -> int
+
+(** [shard t i] — the [i]th underlying queue, for {!Pqueue.snapshot}
+    readers. *)
+val shard : 'a t -> int -> 'a Pqueue.t
+
+(** Total elements across all shards. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t prio seq v] — insert with a caller-supplied, caller-unique
+    tie-break sequence (shard choice is [seq mod n_shards]). *)
+val push : 'a t -> float -> int -> 'a -> unit
+
+(** [pop t] removes and returns the globally (priority, seq)-minimal
+    element as [(priority, seq, value)]. [None] when empty. *)
+val pop : 'a t -> (float * int * 'a) option
+
+(** The global minimum's priority / sequence without removal. Undefined
+    (raises) on an empty frontier — guard with {!is_empty}. *)
+val top_prio : 'a t -> float
+
+val top_seq : 'a t -> int

@@ -1,0 +1,213 @@
+(* The deterministic parallel A* engine: byte-identical outcomes for
+   every domain count.
+
+   Three layers of evidence:
+   - the COMMIT STREAM itself: the (f, seq) key of every committed pop
+     (frontier pops and admission-ledger drains), recorded via
+     [?commit_probe], must be identical between the sequential engine
+     and a K-domain run whose staged validations are artificially
+     slowed to force speculation to complete out of order;
+   - the PIPELINE DIFFERENTIAL: full lifting runs at K ∈ {2, 4} must
+     agree with K = 1 on every observable field (solved, attempts,
+     expansions, pruned, suppressed, instantiations, the first
+     solution), across methods, grammars and random seeds;
+   - the TELEMETRY plumbing: parallel runs report [par_stats], and
+     sequential runs report none.
+
+   Differential budgets pin [timeout_s] to infinity: the wall-clock
+   backstop is the one documented machine-dependent stop, so letting it
+   bind would make these tests flaky under load (it never binds here —
+   the deterministic attempt/expansion caps are far smaller). *)
+
+open Stagg_search
+module Suite = Stagg_benchsuite.Suite
+module Bench = Stagg_benchsuite.Bench
+module Method_ = Stagg.Method_
+module Pipeline = Stagg.Pipeline
+module Result_ = Stagg.Result_
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let find_bench name =
+  match Suite.find name with
+  | Some b -> b
+  | None -> Alcotest.fail ("missing benchmark " ^ name)
+
+let no_timeout (m : Method_.t) =
+  { m with budget = { m.budget with Astar.timeout_s = infinity } }
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+(* everything observable about a run except machine-dependent timings *)
+let observe (r : Result_.t) =
+  ( r.bench,
+    r.solved,
+    r.attempts,
+    r.expansions,
+    r.pruned,
+    r.suppressed,
+    r.instantiations,
+    Option.map
+      (fun (s : Stagg_validate.Validator.solution) ->
+        Stagg_taco.Pretty.program_to_string s.concrete)
+      r.solution )
+
+(* ---- the commit stream, straight from the engine ---- *)
+
+(* Run one search over art_gemv's FullGrammar (ambiguous enough to
+   exercise ghosts and the admission ledger) with a never-solving
+   validator, recording every committed (f, seq). The parallel run's
+   staged validator sleeps in its COMPUTE half, so worker speculations
+   finish late and out of order relative to the pops that consume them —
+   exactly the schedule skew the (f, seq) commit order must absorb. *)
+let commit_stream ~search ~domains () =
+  let m =
+    match search with
+    | `Td -> Method_.td_full_grammar
+    | `Bu -> Method_.bu_full_grammar
+  in
+  let b = find_bench "art_gemv" in
+  let prep =
+    match Pipeline.prepare m b with Ok p -> p | Error e -> Alcotest.fail e
+  in
+  let q = Pipeline.query_of_bench m b in
+  let consts = Stagg_minic.Ast.constants (Bench.func b) in
+  let prune = Pipeline.prune_of m q ~consts prep in
+  let budget = { Astar.max_attempts = 300; max_expansions = 4_000; timeout_s = infinity } in
+  let stream = ref [] in
+  let commit_probe f seq = stream := (f, seq) :: !stream in
+  let validate (_ : Stagg_taco.Ast.program) : unit option = None in
+  let staged_validate =
+    if domains = 1 then None
+    else
+      Some
+        (fun p ->
+          (* stagger worker completion pseudo-randomly but deterministically *)
+          if Hashtbl.hash p land 7 = 0 then Unix.sleepf 0.0003;
+          let r = validate p in
+          fun () -> r)
+  in
+  let outcome =
+    match search with
+    | `Td ->
+        Astar.search_topdown ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx ?prune ~domains
+          ?staged_validate ~commit_probe ~budget ~validate ()
+    | `Bu ->
+        Astar.search_bottomup ~pcfg:prep.pcfg ~penalty_ctx:prep.penalty_ctx
+          ~dim_list:prep.dim_list ?prune ~domains ?staged_validate ~commit_probe ~budget
+          ~validate ()
+  in
+  let s = Astar.stats_of outcome in
+  (List.rev !stream, (s.attempts, s.expansions, s.pruned, s.suppressed))
+
+let test_commit_stream search () =
+  let seq_stream, seq_counts = commit_stream ~search ~domains:1 () in
+  check_bool "sequential stream nonempty" true (List.length seq_stream > 100);
+  List.iter
+    (fun k ->
+      let par_stream, par_counts = commit_stream ~search ~domains:k () in
+      check_bool
+        (Printf.sprintf "K=%d commit stream identical to sequential" k)
+        true
+        (par_stream = seq_stream);
+      check_bool
+        (Printf.sprintf "K=%d stats identical to sequential" k)
+        true
+        (par_counts = seq_counts))
+    [ 2; 4 ]
+
+(* ---- pipeline-level differential ---- *)
+
+let test_differential_fast () =
+  let benches = Suite.artificial in
+  List.iter
+    (fun m ->
+      let m = no_timeout m in
+      let base = List.map observe (Pipeline.run_suite m benches) in
+      List.iter
+        (fun k ->
+          let rs = Pipeline.run_suite (Method_.with_search_domains m k) benches in
+          check_bool
+            (Printf.sprintf "%s: K=%d byte-identical to K=1" m.label k)
+            true
+            (List.map observe rs = base))
+        [ 2; 4 ])
+    [ Method_.stagg_td; Method_.stagg_bu ]
+
+(* the FullGrammar configurations stress the engine hardest (deep
+   frontiers, heavy ghost/ledger traffic); a 3-bench slice keeps the
+   differential affordable *)
+let test_differential_full_grammar () =
+  let benches = take 3 Suite.artificial in
+  List.iter
+    (fun m ->
+      let m = no_timeout m in
+      let base = List.map observe (Pipeline.run_suite m benches) in
+      let rs = Pipeline.run_suite (Method_.with_search_domains m 2) benches in
+      check_bool
+        (Printf.sprintf "%s: K=2 byte-identical to K=1" m.label)
+        true
+        (List.map observe rs = base))
+    [ Method_.td_full_grammar; Method_.bu_full_grammar ]
+
+let qcheck_differential_seeds =
+  QCheck.Test.make ~name:"domains differential across random seeds" ~count:4
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+      let benches = take 3 Suite.artificial in
+      let m = no_timeout { Method_.stagg_td with seed } in
+      let obs m = List.map observe (Pipeline.run_suite m benches) in
+      obs m = obs (Method_.with_search_domains m 3))
+
+(* ---- telemetry plumbing ---- *)
+
+let test_par_telemetry () =
+  let b = find_bench "art_gemv" in
+  let r =
+    Pipeline.run (no_timeout (Method_.with_search_domains Method_.td_full_grammar 2)) b
+  in
+  (match r.par with
+  | None -> Alcotest.fail "parallel run reported no par_stats"
+  | Some ps ->
+      check_int "effective domains" 2 ps.Astar.par_domains;
+      check_bool "committed <= speculated" true (ps.par_committed <= ps.par_speculated);
+      check_bool "counters non-negative" true
+        (ps.par_speculated >= 0 && ps.par_committed >= 0 && ps.par_steals >= 0));
+  let r1 = Pipeline.run (no_timeout Method_.td_full_grammar) b in
+  check_bool "sequential run reports no par_stats" true (r1.par = None)
+
+(* auto mode under a zero Pool budget must resolve to the sequential
+   engine (and still be byte-identical — it IS the sequential engine) *)
+let test_auto_clamps_to_budget () =
+  Stagg_util.Pool.with_budget 0 (fun () ->
+      let b = find_bench "art_gemv" in
+      let m = no_timeout Method_.td_full_grammar in
+      let base = observe (Pipeline.run m b) in
+      let r = Pipeline.run (Method_.with_search_domains m 0) b in
+      check_bool "auto run byte-identical" true (observe r = base);
+      match r.par with
+      | Some ps -> check_int "auto resolved to 1 domain under zero budget" 1 ps.Astar.par_domains
+      | None -> Alcotest.fail "auto run reported no par_stats")
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "stagg_parallel"
+    [
+      ( "commit order",
+        [
+          Alcotest.test_case "top-down (f, seq) stream" `Quick (test_commit_stream `Td);
+          Alcotest.test_case "bottom-up (f, seq) stream" `Quick (test_commit_stream `Bu);
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "refined methods, K in {2,4}" `Quick test_differential_fast;
+          Alcotest.test_case "FullGrammar methods, K=2" `Quick test_differential_full_grammar;
+          qc qcheck_differential_seeds;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "par telemetry" `Quick test_par_telemetry;
+          Alcotest.test_case "auto clamps to Pool budget" `Quick test_auto_clamps_to_budget;
+        ] );
+    ]

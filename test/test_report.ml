@@ -46,6 +46,7 @@ let fake name solved time =
     validate_s = 0.;
     verify_s = 0.;
     instantiations = 1;
+    par = None;
     warnings = [];
     failure = None;
   }
@@ -104,6 +105,7 @@ let synthetic_runs () =
           sw_heap_words = 1_000_000;
           sw_instantiations = 10;
           sw_validate_s = 0.5;
+          sw_par = None;
         };
       ];
   }

@@ -297,6 +297,156 @@ let test_pool_map_reduce () =
   in
   check_string "ordered reduce" "12345" cat
 
+(* ---- Pool: the helper-domain budget ---- *)
+
+let test_pool_budget_accounting () =
+  Pool.with_budget 5 (fun () ->
+      check_int "budget set" 5 (Pool.budget ());
+      let got = Pool.claim ~max:3 in
+      check_int "claim grants up to max" 3 got;
+      check_int "claim debits" 2 (Pool.budget ());
+      (* explicit (claim_exact) requests may overdraw — the budget floor
+         is 0, and release pays the debt back *)
+      Pool.claim_exact 4;
+      check_int "overdrawn budget reads 0" 0 (Pool.budget ());
+      check_int "no grants while overdrawn" 0 (Pool.claim ~max:2);
+      Pool.release 4;
+      check_int "release restores" 2 (Pool.budget ());
+      Pool.release 3;
+      check_int "fully restored" 5 (Pool.budget ()));
+  Pool.with_budget 7 (fun () -> check_int "nested budget visible" 7 (Pool.budget ()))
+
+let test_pool_budget_restored () =
+  let before = Pool.budget () in
+  (try Pool.with_budget 3 (fun () -> raise Exit) with Exit -> ());
+  check_int "with_budget restores on raise" before (Pool.budget ())
+
+(* Oversubscription regression: with a zero budget, a DEFAULT-jobs map
+   must run entirely on the calling domain (no helper spawn), and nested
+   default maps under an explicit outer map must clamp to sequential
+   because the outer map already debited the only helper slot. Before
+   the budget existed, [run_suite ~jobs:N] nested over parallel searches
+   would spawn jobs × K domains. *)
+let test_pool_budget_clamps_default_jobs () =
+  Pool.with_budget 0 (fun () ->
+      let self = Domain.self () in
+      let helper_ran = Atomic.make false in
+      let r =
+        Pool.map
+          (fun x ->
+            if Domain.self () <> self then Atomic.set helper_ran true;
+            x * 2)
+          (List.init 64 Fun.id)
+      in
+      check_bool "zero budget: all tasks on the caller" false (Atomic.get helper_ran);
+      check_bool "map still correct" true (r = List.init 64 (fun i -> i * 2)))
+
+let test_pool_nested_defaults_clamp () =
+  Pool.with_budget 1 (fun () ->
+      let inner_helpers = Atomic.make 0 in
+      let outer =
+        Pool.map ~jobs:2
+          (fun x ->
+            let self = Domain.self () in
+            ignore
+              (Pool.map
+                 (fun y ->
+                   if Domain.self () <> self then Atomic.incr inner_helpers;
+                   y)
+                 (List.init 16 Fun.id));
+            x)
+          [ 1; 2; 3; 4 ]
+      in
+      check_bool "outer map correct" true (outer = [ 1; 2; 3; 4 ]);
+      check_int "inner default maps spawned no helpers" 0 (Atomic.get inner_helpers));
+  check_bool "explicit jobs honored outside any budget" true
+    (Pool.map ~jobs:3 (fun x -> x + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ])
+
+(* ---- Frontier ---- *)
+
+let qcheck_frontier_matches_single_queue =
+  QCheck.Test.make
+    ~name:"sharded frontier pops like one queue, any shard count" ~count:200
+    QCheck.(pair (int_range 1 5) (small_list (pair (int_range 0 3) small_int)))
+    (fun (k, xs) ->
+      (* priorities from a tiny range force heavy ties, exercising the
+         (prio, seq) lexicographic cross-shard comparison *)
+      let fr = Frontier.create ~dummy:(-1) ~shards:k in
+      let q = Pqueue.create ~dummy:(-1) in
+      List.iteri
+        (fun i (p, v) ->
+          let prio = float_of_int p in
+          Frontier.push fr prio i v;
+          Pqueue.push_seq q prio i v)
+        xs;
+      let rec drain acc =
+        match Frontier.pop fr with
+        | None -> List.rev acc
+        | Some (p, s, v) -> drain ((p, s, v) :: acc)
+      in
+      let rec drain_q acc =
+        if Pqueue.is_empty q then List.rev acc
+        else
+          let s = Pqueue.top_seq q in
+          match Pqueue.pop q with
+          | Some (p, v) -> drain_q ((p, s, v) :: acc)
+          | None -> assert false
+      in
+      drain [] = drain_q [])
+
+(* interleaved pushes and pops against a single queue, with tops checked
+   before each pop *)
+let qcheck_frontier_interleaved =
+  QCheck.Test.make ~name:"frontier interleaved push/pop matches single queue" ~count:200
+    QCheck.(pair (int_range 1 4) (small_list (pair bool (int_range 0 3))))
+    (fun (k, ops) ->
+      let fr = Frontier.create ~dummy:(-1) ~shards:k in
+      let q = Pqueue.create ~dummy:(-1) in
+      let seq = ref 0 in
+      List.for_all
+        (fun (is_pop, p) ->
+          if is_pop then begin
+            let same_top =
+              Frontier.is_empty fr = Pqueue.is_empty q
+              && (Pqueue.is_empty q
+                 || Frontier.top_prio fr = Pqueue.top_prio q
+                    && Frontier.top_seq fr = Pqueue.top_seq q)
+            in
+            let fp = Frontier.pop fr in
+            let qp =
+              if Pqueue.is_empty q then None
+              else
+                let s = Pqueue.top_seq q in
+                Option.map (fun (prio, v) -> (prio, s, v)) (Pqueue.pop q)
+            in
+            same_top && fp = qp
+          end
+          else begin
+            let prio = float_of_int p in
+            Frontier.push fr prio !seq !seq;
+            Pqueue.push_seq q prio !seq !seq;
+            incr seq;
+            Frontier.length fr = Pqueue.length q
+          end)
+        ops)
+
+(* ---- Fpset ---- *)
+
+let test_fpset_check_add () =
+  let s = Fpset.create () in
+  check_bool "absent before add" false (Fpset.mem s 42);
+  check_bool "first check_add reports absent" false (Fpset.check_add s 42);
+  check_bool "present after add" true (Fpset.mem s 42);
+  check_bool "second check_add reports present" true (Fpset.check_add s 42);
+  for i = 0 to 99 do
+    ignore (Fpset.check_add s (i * 7919))
+  done;
+  let missing = ref 0 in
+  for i = 0 to 99 do
+    if not (Fpset.mem s (i * 7919)) then incr missing
+  done;
+  check_int "all stripes retain members" 0 !missing
+
 (* ---- Prng ---- *)
 
 let test_prng_determinism () =
@@ -377,7 +527,15 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagates;
           Alcotest.test_case "poison stops claiming" `Quick test_pool_poison_stops_claiming;
           Alcotest.test_case "ordered map_reduce" `Quick test_pool_map_reduce;
+          Alcotest.test_case "budget accounting" `Quick test_pool_budget_accounting;
+          Alcotest.test_case "budget restored on raise" `Quick test_pool_budget_restored;
+          Alcotest.test_case "zero budget clamps default jobs" `Quick
+            test_pool_budget_clamps_default_jobs;
+          Alcotest.test_case "nested defaults clamp" `Quick test_pool_nested_defaults_clamp;
         ] );
+      ( "frontier",
+        [ qc qcheck_frontier_matches_single_queue; qc qcheck_frontier_interleaved ] );
+      ( "fpset", [ Alcotest.test_case "check_add semantics" `Quick test_fpset_check_add ] );
       ( "prng",
         [
           Alcotest.test_case "determinism" `Quick test_prng_determinism;
