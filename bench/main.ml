@@ -221,7 +221,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--no-analysis] \
      [--prune-mode off|replay|admission] [--batched-validate off|on] \
-     [--search-domains K|auto] [--heap-ceiling WORDS] [--jobs N | -j N] [--json FILE]";
+     [--oracle llm|trace|trace+llm] [--search-domains K|auto] [--heap-ceiling WORDS] \
+     [--jobs N | -j N] [--json FILE]";
   exit 2
 
 let () =
@@ -237,6 +238,7 @@ let () =
   and analysis = ref true
   and prune_mode = ref Stagg_search.Astar.Prune_admission
   and batched_validate = ref true
+  and oracle = ref Stagg.Method_.Oracle_llm
   and search_domains = ref 1
   and heap_ceiling = ref None
   and jobs = ref (Stagg_util.Pool.default_jobs ())
@@ -278,6 +280,19 @@ let () =
             Printf.eprintf "--batched-validate expects off|on, got %s\n" m;
             usage ());
         parse rest
+    | "--oracle" :: name :: rest ->
+        (* candidate source for the smoke methods: [llm] (default — a run
+           with an explicit [--oracle llm] is byte-identical to one
+           without the flag), [trace] (no LLM in the loop; the fourth
+           @smoke leg diffs it against smoke_expected_trace.json), or
+           [trace+llm]. The full campaign always carries its own
+           Trace/Trace+LLM rows, so the flag only steers --smoke. *)
+        (match Stagg.Method_.oracle_of_string name with
+        | Some o -> oracle := o
+        | None ->
+            Printf.eprintf "--oracle expects llm|trace|trace+llm, got %s\n" name;
+            usage ());
+        parse rest
     | "--search-domains" :: k :: rest -> (
         (* K domains for the deterministic parallel A* inside each search
            (1 = sequential engine, the default); outcomes are
@@ -316,7 +331,7 @@ let () =
         json_file := Some file;
         parse rest
     | [ (("--jobs" | "-j" | "--json" | "--prune-mode" | "--batched-validate"
-         | "--search-domains" | "--heap-ceiling")
+         | "--oracle" | "--search-domains" | "--heap-ceiling")
         as flag) ] ->
         Printf.eprintf "%s expects a value\n" flag;
         usage ()
@@ -329,13 +344,16 @@ let () =
     let analysis = !analysis
     and prune_mode = !prune_mode
     and batched = !batched_validate
+    and oracle = !oracle
     and search_domains = !search_domains in
     let tune (m : Stagg.Method_.t) =
-      Stagg.Method_.with_search_domains
-        (Stagg.Method_.with_batched_validate
-           (Stagg.Method_.with_prune_mode { m with analysis } prune_mode)
-           batched)
-        search_domains
+      Stagg.Method_.with_oracle
+        (Stagg.Method_.with_search_domains
+           (Stagg.Method_.with_batched_validate
+              (Stagg.Method_.with_prune_mode { m with analysis } prune_mode)
+              batched)
+           search_domains)
+        oracle
     in
     run_smoke ~json_file:!json_file ~heap_ceiling:!heap_ceiling ~tune ();
     exit 0

@@ -29,6 +29,8 @@ let method_of_string = function
   | "bu-equal" -> Stagg.Method_.bu_equal_probability
   | "bu-llm-grammar" -> Stagg.Method_.bu_llm_grammar
   | "bu-full-grammar" -> Stagg.Method_.bu_full_grammar
+  | "trace" -> Stagg.Method_.td_trace
+  | "trace+llm" | "trace-llm" -> Stagg.Method_.td_trace_llm
   | s ->
       Printf.eprintf "unknown method %s\n" s;
       exit 2
@@ -57,7 +59,9 @@ let method_arg =
     value
     & opt string "td"
     & info [ "m"; "method" ] ~docv:"METHOD"
-        ~doc:"Search method: td, bu, td-equal, td-llm-grammar, td-full-grammar, bu-equal, ...")
+        ~doc:
+          "Search method: td, bu, td-equal, td-llm-grammar, td-full-grammar, bu-equal, ..., \
+           trace, trace+llm")
 
 let no_analysis_arg =
   Arg.(
@@ -109,6 +113,28 @@ let with_batched_validate mode m =
       Printf.eprintf "unknown batched-validate mode %s (expected off|on)\n" s;
       exit 2
 
+let oracle_arg =
+  Arg.(
+    value
+    & opt string "default"
+    & info [ "oracle" ] ~docv:"ORACLE"
+        ~doc:
+          "Candidate source: $(b,llm) (the paper's pipeline), $(b,trace) (templates extracted \
+           from the kernel's own execution trace — no LLM in the loop), or $(b,trace+llm) \
+           (union). $(b,default) keeps the method's own oracle (the $(b,trace)/$(b,trace+llm) \
+           methods carry theirs; everything else is $(b,llm)). A run with an explicit \
+           $(b,--oracle llm) is byte-identical to one without the flag.")
+
+let with_oracle name m =
+  match name with
+  | "default" -> m
+  | _ -> (
+      match Stagg.Method_.oracle_of_string name with
+      | Some o -> Stagg.Method_.with_oracle m o
+      | None ->
+          Printf.eprintf "unknown oracle %s (expected llm|trace|trace+llm)\n" name;
+          exit 2)
+
 let search_domains_arg =
   Arg.(
     value
@@ -132,13 +158,14 @@ let with_search_domains k m =
           exit 2)
 
 let lift_cmd =
-  let run name meth no_analysis prune_mode batched_validate search_domains =
+  let run name meth no_analysis prune_mode batched_validate search_domains oracle =
     let b = find_bench_exn name in
     let r =
       Stagg.Pipeline.run
-        (with_search_domains search_domains
-           (with_batched_validate batched_validate
-              (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string meth)))))
+        (with_oracle oracle
+           (with_search_domains search_domains
+              (with_batched_validate batched_validate
+                 (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string meth))))))
         b
     in
     Format.printf "%a@." Stagg.Result_.pp r;
@@ -153,7 +180,7 @@ let lift_cmd =
     (Cmd.info "lift" ~doc:"Lift one benchmark to TACO and print the verified solution.")
     Term.(
       const run $ name_arg $ method_arg $ no_analysis_arg $ prune_mode_arg
-      $ batched_validate_arg $ search_domains_arg)
+      $ batched_validate_arg $ search_domains_arg $ oracle_arg)
 
 (* ---- show ---- *)
 
@@ -247,7 +274,7 @@ let jobs_arg =
            $(docv) (modulo per-query times); 1 runs sequentially on the calling domain.")
 
 let suite_cmd =
-  let run meth jobs no_analysis prune_mode batched_validate search_domains =
+  let run meth jobs no_analysis prune_mode batched_validate search_domains oracle =
     let batched =
       match batched_validate with
       | "on" -> true
@@ -270,9 +297,10 @@ let suite_cmd =
             Suite.real_world
       | m ->
           Stagg.Pipeline.run_suite ~jobs
-            (with_search_domains search_domains
-               (with_batched_validate batched_validate
-                  (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string m)))))
+            (with_oracle oracle
+               (with_search_domains search_domains
+                  (with_batched_validate batched_validate
+                     (with_prune_mode prune_mode (with_analysis no_analysis (method_of_string m))))))
             Suite.all
     in
     List.iter (fun r -> Format.printf "%a@." Stagg.Result_.pp r) results;
@@ -283,7 +311,7 @@ let suite_cmd =
     (Cmd.info "suite" ~doc:"Run one method over the whole suite and print per-query results.")
     Term.(
       const run $ method_arg $ jobs_arg $ no_analysis_arg $ prune_mode_arg
-      $ batched_validate_arg $ search_domains_arg)
+      $ batched_validate_arg $ search_domains_arg $ oracle_arg)
 
 (* ---- lift-file: arbitrary C + signature spec + recorded LLM transcript ---- *)
 
@@ -326,6 +354,7 @@ let lift_file_cmd =
             Printf.eprintf "signature spec error: %s\n" e;
             exit 2
         | Ok signature ->
+            let m = method_of_string meth in
             let q =
               {
                 Stagg.Pipeline.qname = Filename.basename path;
@@ -333,9 +362,10 @@ let lift_file_cmd =
                 signature;
                 c_source;
                 client = Stagg_oracle.Replay.of_file replay;
+                oracle = m.Stagg.Method_.oracle;
               }
             in
-            let r = Stagg.Pipeline.lift (method_of_string meth) q in
+            let r = Stagg.Pipeline.lift m q in
             Format.printf "%a@." Stagg.Result_.pp r;
             (match r.solution with
             | Some sol ->

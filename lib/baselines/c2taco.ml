@@ -59,6 +59,8 @@ let run ~seed ~heuristics (b : Bench.t) : Stagg.Result_.t =
       verify_s = 0.;
       instantiations = !attempts;
       par = None;
+      traced = false;
+      trace_templates = 0;
       warnings = [];
       failure;
     }

@@ -99,6 +99,8 @@ let run ?(batched_validate = true) ~seed (b : Bench.t) : Stagg.Result_.t =
       verify_s = !verify_s;
       instantiations = !instantiations;
       par = None;
+      traced = false;
+      trace_templates = 0;
       warnings = [];
       failure;
     }

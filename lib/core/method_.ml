@@ -5,6 +5,22 @@ open Stagg_search
 
 type search_kind = Top_down | Bottom_up
 
+type oracle =
+  | Oracle_llm  (** candidates come from the (mock) LLM only — the paper *)
+  | Oracle_trace  (** candidates come from the trace oracle only — no LLM *)
+  | Oracle_trace_llm  (** union: trace templates first, then LLM responses *)
+
+let oracle_to_string = function
+  | Oracle_llm -> "llm"
+  | Oracle_trace -> "trace"
+  | Oracle_trace_llm -> "trace+llm"
+
+let oracle_of_string = function
+  | "llm" -> Some Oracle_llm
+  | "trace" -> Some Oracle_trace
+  | "trace+llm" | "trace-llm" -> Some Oracle_trace_llm
+  | _ -> None
+
 type grammar_mode =
   | Refined  (** dimension-list-refined grammar, learned probabilities (STAGG) *)
   | Equal_probability  (** refined grammar, uniform probabilities *)
@@ -46,6 +62,10 @@ type t = {
           attempts, expansions, first solutions, memo keys) are
           byte-identical for every value; only wall-clock time moves. *)
   seed : int;  (** drives the mock LLM and example generation *)
+  oracle : oracle;
+      (** where candidate templates come from ({!Oracle_llm} by default).
+          Orthogonal to every other knob: with [Oracle_llm] the pipeline
+          is byte-identical to a build without the trace oracle. *)
 }
 
 (* The attempt/expansion caps are the binding limits: they are
@@ -68,6 +88,7 @@ let base search grammar penalties label =
     batched_validate = true;
     search_domains = 1;
     seed = 20250604;
+    oracle = Oracle_llm;
   }
 
 (** The same method without the static-analysis layer (the [--no-analysis]
@@ -89,8 +110,18 @@ let with_batched_validate m batched_validate = { m with batched_validate }
     outcomes are byte-identical by design). *)
 let with_search_domains m search_domains = { m with search_domains }
 
+(** The same method drawing candidates from the given oracle; label
+    unchanged, for differential runs ([--oracle llm] must diff cleanly
+    against a default run). *)
+let with_oracle m oracle = { m with oracle }
+
 let stagg_td = base Top_down Refined Penalty.all_topdown "STAGG^TD"
 let stagg_bu = base Bottom_up Refined Penalty.all_bottomup "STAGG^BU"
+
+(* The trace-oracle method rows: STAGG^TD with candidates extracted from
+   the kernel's own execution trace — alone, and unioned with the LLM. *)
+let td_trace = { stagg_td with label = "Trace"; oracle = Oracle_trace }
+let td_trace_llm = { stagg_td with label = "Trace+LLM"; oracle = Oracle_trace_llm }
 
 (* Table 2: penalty ablations *)
 let drop_penalty m (c : Penalty.criterion) =

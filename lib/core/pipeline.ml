@@ -21,6 +21,7 @@ type query = {
   signature : Stagg_minic.Signature.t;
   c_source : string;
   client : (module Stagg_oracle.Llm_client.S);
+  oracle : Method_.oracle;
 }
 
 let query_of_bench (m : Method_.t) (b : Bench.t) : query =
@@ -31,7 +32,14 @@ let query_of_bench (m : Method_.t) (b : Bench.t) : query =
     | Some ground_truth -> Stagg_oracle.Mock_llm.client ~prng ~ground_truth ~quality:b.llm_quality
     | None -> Stagg_oracle.Replay.of_lines []
   in
-  { qname = b.name; func = Bench.func b; signature = b.signature; c_source = b.c_source; client }
+  {
+    qname = b.name;
+    func = Bench.func b;
+    signature = b.signature;
+    c_source = b.c_source;
+    client;
+    oracle = m.oracle;
+  }
 
 let ops_in_templates templates =
   let seen = Hashtbl.create 8 in
@@ -61,16 +69,57 @@ type prefix = {
   pf_n_rhs_tensors : int;
   pf_max_rank : int;
   pf_n_indices : int;
+  pf_traced : bool;
+  pf_trace_templates : int;
+  pf_trace_warning : string option;
 }
 
 let prefix_of_query (q : query) : (prefix, string) result =
-  let (module Llm) = q.client in
-  let responses = Llm.query ~prompt:(Stagg_oracle.Prompt.build ~c_source:q.c_source) in
-  let candidates = Stagg_oracle.Response.parse_all responses in
-  if candidates = [] then Error "no syntactically valid LLM candidates"
+  (* Stage ① per the method's oracle. The trace oracle's programs enter
+     the very same funnel as parsed LLM responses: candidates →
+     templatize → dimension prediction → grammar statistics. Under
+     [Oracle_llm] the trace oracle is never consulted, keeping that path
+     byte-identical to a build without it. *)
+  let trace_result =
+    match q.oracle with
+    | Method_.Oracle_llm -> None
+    | Method_.Oracle_trace | Method_.Oracle_trace_llm ->
+        Some (Stagg_oracle.Trace.skeletons q.func q.signature)
+  in
+  let trace_candidates =
+    match trace_result with Some (Ok ps) -> ps | Some (Error _) | None -> []
+  in
+  let pf_trace_warning =
+    match trace_result with
+    | Some (Error r) -> Some (Stagg_oracle.Trace.refusal_to_string r)
+    | _ -> None
+  in
+  let llm_candidates () =
+    let (module Llm) = q.client in
+    let responses = Llm.query ~prompt:(Stagg_oracle.Prompt.build ~c_source:q.c_source) in
+    Stagg_oracle.Response.parse_all responses
+  in
+  let candidates, empty_reason =
+    match q.oracle with
+    | Method_.Oracle_llm -> (llm_candidates (), "no syntactically valid LLM candidates")
+    | Method_.Oracle_trace -> (
+        ( trace_candidates,
+          match pf_trace_warning with
+          | Some w -> w
+          | None -> "trace oracle emitted no candidates" ))
+    | Method_.Oracle_trace_llm ->
+        (trace_candidates @ llm_candidates (), "no candidates from trace or LLM")
+  in
+  let pf_traced = trace_candidates <> [] in
+  let pf_trace_templates = List.length trace_candidates in
+  if candidates = [] then Error empty_reason
   else begin
     let templates = List.filter_map Templatize.templatize candidates in
-    if templates = [] then Error "no templatizable LLM candidates"
+    if templates = [] then
+      Error
+        (match q.oracle with
+        | Method_.Oracle_trace -> "no templatizable trace candidates"
+        | _ -> "no templatizable LLM candidates")
     else begin
       match Dimlist.predict templates with
       | None -> Error "dimension prediction failed"
@@ -109,6 +158,9 @@ let prefix_of_query (q : query) : (prefix, string) result =
               pf_n_rhs_tensors = n_rhs_tensors;
               pf_max_rank = max_rank;
               pf_n_indices = Genlib.unique_index_count templates;
+              pf_traced;
+              pf_trace_templates;
+              pf_trace_warning;
             }
     end
   end
@@ -199,6 +251,11 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
   let verify_mu = Mutex.create () in
   let par = ref None in
   let facts = if m.analysis then Some (Stagg_minic.Facts.analyze q.func) else None in
+  let traced, trace_templates, trace_warning =
+    match prefix_r with
+    | Ok p -> (p.pf_traced, p.pf_trace_templates, p.pf_trace_warning)
+    | Error _ -> (false, 0, None)
+  in
   let finish ?(pruned = 0) ?(suppressed = 0) ?(pruned_rules = 0) ?(warnings = []) ~solved
       ~solution ~attempts ~expansions ~n_candidates ~failure () =
     {
@@ -217,7 +274,11 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
       verify_s = !verify_s;
       instantiations = !instantiations;
       par = !par;
-      warnings;
+      traced;
+      trace_templates;
+      (* a trace refusal is a warning, not a failure: the search still
+         runs on whatever candidates remain (none, under Oracle_trace) *)
+      warnings = warnings @ Option.to_list trace_warning;
       failure;
     }
   in

@@ -27,6 +27,13 @@ type query = {
   signature : Stagg_minic.Signature.t;
   c_source : string;
   client : (module Stagg_oracle.Llm_client.S);
+  oracle : Method_.oracle;
+      (** candidate source for stage ① ({!Method_.Oracle_llm}: the paper's
+          LLM-only pipeline; [Oracle_trace]: {!Stagg_oracle.Trace} only —
+          the client is never consulted; [Oracle_trace_llm]: union, trace
+          templates first). Baked into the query, and hence into its
+          {!prefix}, so the method passed to {!lift_prefixed} need not
+          repeat it. *)
 }
 
 (** [query_of_bench m b] packages a suite benchmark with its mock LLM.
@@ -44,8 +51,10 @@ val query_of_bench : Method_.t -> Stagg_benchsuite.Bench.t -> query
 type prefix
 
 (** [prefix_of_query q] runs stage ① and the method-independent half of
-    stage ② — it consumes the query's LLM client. [Error reason] when the
-    LLM yields no usable candidate. *)
+    stage ② — it consumes the query's LLM client (unless
+    [q.oracle = Oracle_trace]) and, per [q.oracle], the trace oracle.
+    [Error reason] when no oracle yields a usable candidate; under
+    [Oracle_trace] the reason is the tracer's structured refusal. *)
 val prefix_of_query : query -> (prefix, string) result
 
 (** [prepared_of_prefix m p] finishes stage ② for one method: grammar

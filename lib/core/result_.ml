@@ -20,6 +20,10 @@ type t = {
       (** parallel-engine telemetry (speculated/committed/steal counts),
           summed over this query's searches; [None] when the run was
           configured sequential ([search_domains = 1]) *)
+  traced : bool;
+      (** the trace oracle ran and emitted at least one template for this
+          query (always [false] under {!Method_.Oracle_llm}) *)
+  trace_templates : int;  (** candidate templates the trace oracle emitted *)
   warnings : string list;  (** static-analysis warnings (precision losses etc.) *)
   failure : string option;  (** reason when unsolved *)
 }

@@ -33,6 +33,8 @@ type runs = {
   bu_equal : Result_.t list;
   bu_llm_grammar : Result_.t list;
   bu_full_grammar : Result_.t list;
+  trace : Result_.t list;
+  trace_llm : Result_.t list;
   sweeps : sweep list;
       (** per-sweep measurement log, in execution order: wall seconds,
           [Gc.quick_stat] major-heap size in words when the sweep
@@ -55,8 +57,11 @@ let default_seed = 20250604
 
 type prep = (Pipeline.query * (Pipeline.prefix, string) result) list
 
-let prepare_suite ?jobs ~seed benches : prep =
-  let m = { Method_.stagg_td with seed } in
+let prepare_suite ?jobs ?(oracle = Method_.Oracle_llm) ~seed benches : prep =
+  (* the oracle is baked into the query (and hence the prefix), so each
+     oracle gets its own preparation cache; everything else about the
+     prefix is still method-independent *)
+  let m = { Method_.stagg_td with seed; oracle } in
   Pool.map ?jobs
     (fun b ->
       let q = Pipeline.query_of_bench m b in
@@ -154,14 +159,45 @@ let run_core_cached ?jobs ?(analysis = true)
     bu_equal = [];
     bu_llm_grammar = [];
     bu_full_grammar = [];
+    trace = [];
+    trace_llm = [];
     sweeps = List.rev !sweep_log;
   }
 
+(* The trace-oracle sweeps. These MUST run after every other sweep of a
+   campaign: the cross-sweep validation memo is shared process-wide, so
+   running them earlier would warm it with trace-sourced entries and
+   silently shift the instantiation counts of the pre-existing rows —
+   the byte-identity contract is that those rows do not move when the
+   trace oracle is off. *)
+let run_trace_sweeps ?jobs ?(analysis = true)
+    ?(prune_mode = Stagg_search.Astar.Prune_admission) ?(batched_validate = true)
+    ?(search_domains = 1) ~seed ~progress ~sweep_log () =
+  let with_seed m =
+    { m with Method_.seed; analysis; prune_mode; batched_validate; search_domains }
+  in
+  let sweep m ~oracle =
+    sweep_timed ~log:sweep_log ~progress m.Method_.label (fun () ->
+        sweep_prepared ?jobs (with_seed m)
+          (prepare_suite ?jobs ~oracle ~seed Suite.all))
+  in
+  let trace = sweep Method_.td_trace ~oracle:Method_.Oracle_trace in
+  let trace_llm = sweep Method_.td_trace_llm ~oracle:Method_.Oracle_trace_llm in
+  (trace, trace_llm)
+
 let run_core ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?analysis ?prune_mode
     ?batched_validate ?search_domains () =
-  run_core_cached ?jobs ?analysis ?prune_mode ?batched_validate ?search_domains ~seed
-    ~progress
-    (prepare_suite ?jobs ~seed Suite.all)
+  let core =
+    run_core_cached ?jobs ?analysis ?prune_mode ?batched_validate ?search_domains ~seed
+      ~progress
+      (prepare_suite ?jobs ~seed Suite.all)
+  in
+  let sweep_log = ref [] in
+  let trace, trace_llm =
+    run_trace_sweeps ?jobs ?analysis ?prune_mode ?batched_validate ?search_domains ~seed
+      ~progress ~sweep_log ()
+  in
+  { core with trace; trace_llm; sweeps = core.sweeps @ List.rev !sweep_log }
 
 let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?(analysis = true)
     ?(prune_mode = Stagg_search.Astar.Prune_admission) ?(batched_validate = true)
@@ -192,6 +228,11 @@ let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?(analysis = 
   let bu_equal = sweep Method_.bu_equal_probability in
   let bu_llm_grammar = sweep Method_.bu_llm_grammar in
   let bu_full_grammar = sweep Method_.bu_full_grammar in
+  (* trace sweeps last — see [run_trace_sweeps] on why the order matters *)
+  let trace, trace_llm =
+    run_trace_sweeps ?jobs ~analysis ~prune_mode ~batched_validate ~search_domains ~seed
+      ~progress ~sweep_log ()
+  in
   {
     core with
     td_drop_all;
@@ -204,6 +245,8 @@ let run_all ?(seed = default_seed) ?(progress = fun _ -> ()) ?jobs ?(analysis = 
     bu_equal;
     bu_llm_grammar;
     bu_full_grammar;
+    trace;
+    trace_llm;
     sweeps = core.sweeps @ List.rev !sweep_log;
   }
 
@@ -407,19 +450,22 @@ let summary_rows runs =
     ("C2TACO_NoH", runs.c2taco_noh);
     ("Tenspiler", runs.tenspiler);
   ]
+  @ (if runs.td_drops = [] then []
+     else
+       [
+         ("TD_DropA", runs.td_drop_all);
+         ("BU_DropB", runs.bu_drop_all);
+         ("TD_Equal", runs.td_equal);
+         ("TD_LLMGrammar", runs.td_llm_grammar);
+         ("TD_FullGrammar", runs.td_full_grammar);
+         ("BU_Equal", runs.bu_equal);
+         ("BU_LLMGrammar", runs.bu_llm_grammar);
+         ("BU_FullGrammar", runs.bu_full_grammar);
+       ])
   @
-  if runs.td_drops = [] then []
-  else
-    [
-      ("TD_DropA", runs.td_drop_all);
-      ("BU_DropB", runs.bu_drop_all);
-      ("TD_Equal", runs.td_equal);
-      ("TD_LLMGrammar", runs.td_llm_grammar);
-      ("TD_FullGrammar", runs.td_full_grammar);
-      ("BU_Equal", runs.bu_equal);
-      ("BU_LLMGrammar", runs.bu_llm_grammar);
-      ("BU_FullGrammar", runs.bu_full_grammar);
-    ]
+  (* last, mirroring sweep execution order *)
+  if runs.trace = [] then []
+  else [ ("Trace", runs.trace); ("Trace_LLM", runs.trace_llm) ]
 
 let summary runs =
   String.concat "\n"
@@ -495,12 +541,36 @@ let json_summary ?(jobs = 1) ~wall_s runs =
         s.sw_validate_s inst_per_s par_fields
         (if i = nsweeps - 1 then "" else ","))
     runs.sweeps;
+  Buffer.add_string buf "  ],\n";
+  (* trace-oracle telemetry, present when the campaign ran the trace
+     sweeps: how many kernels the tracer produced templates for, how many
+     templates it emitted, and which solves the trace row gets that the
+     plain LLM row does not *)
+  (if runs.trace <> [] then begin
+     let traced =
+       List.length (List.filter (fun (r : Result_.t) -> r.traced) runs.trace)
+     in
+     let templates =
+       List.fold_left (fun a (r : Result_.t) -> a + r.trace_templates) 0 runs.trace
+     in
+     let llm_solved = Result_.solved_names runs.llm in
+     let trace_only =
+       List.filter (fun n -> not (List.mem n llm_solved)) (Result_.solved_names runs.trace)
+     in
+     Printf.bprintf buf
+       "  \"trace\": {\"kernels_traced\": %d, \"trace_templates\": %d, \
+        \"trace_solved\": %d, \"trace_llm_solved\": %d, \"trace_only_solved\": %d, \
+        \"trace_only\": [%s]},\n"
+       traced templates (n_solved runs.trace) (n_solved runs.trace_llm)
+       (List.length trace_only)
+       (String.concat ", " (List.map (fun n -> "\"" ^ json_escape n ^ "\"") trace_only))
+   end);
   (* validator telemetry: cumulative process-wide counters at report time
      (memo traffic including silently-rejected adds, and the batched
      path's template-compilation cache) *)
   let vs = Stagg_validate.Validator.stats () in
   Printf.bprintf buf
-    "  ],\n\
+    "\
     \  \"validator\": {\"memo_hits\": %d, \"memo_misses\": %d, \"memo_rejected\": %d, \
      \"template_compiles\": %d, \"template_cache_hits\": %d, \"template_cache_rejected\": %d, \
      \"template_overflows\": %d}\n\

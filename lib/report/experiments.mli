@@ -37,6 +37,12 @@ type runs = {
   bu_equal : Result_.t list;
   bu_llm_grammar : Result_.t list;
   bu_full_grammar : Result_.t list;
+  trace : Result_.t list;
+      (** the [Trace] method row: STAGG^TD drawing candidates from the
+          trace oracle ({!Stagg_oracle.Trace}) with no LLM in the loop.
+          Swept LAST (with [trace_llm]) so the cross-sweep validation
+          memo leaves every pre-existing row byte-identical. *)
+  trace_llm : Result_.t list;  (** the [Trace+LLM] union-oracle row *)
   sweeps : sweep list;  (** per-sweep measurement log, in execution order *)
 }
 

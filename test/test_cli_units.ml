@@ -27,6 +27,7 @@ let rowsum_query transcript =
       Result.get_ok (Stagg_minic.Sigspec.parse "N:size,M:size,A:arr[N,M],R:out[N]");
     c_source = rowsum_c;
     client = Stagg_oracle.Replay.of_lines transcript;
+    oracle = Stagg.Method_.Oracle_llm;
   }
 
 let test_lift_with_replay () =

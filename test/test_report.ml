@@ -47,6 +47,8 @@ let fake name solved time =
     verify_s = 0.;
     instantiations = 1;
     par = None;
+    traced = false;
+    trace_templates = 0;
     warnings = [];
     failure = None;
   }
@@ -97,6 +99,8 @@ let synthetic_runs () =
     bu_equal = rs (fun _ -> true) 1.0;
     bu_llm_grammar = rs (fun _ -> false) 1.0;
     bu_full_grammar = rs (fun _ -> false) 1.0;
+    trace = [];
+    trace_llm = [];
     sweeps =
       [
         {
