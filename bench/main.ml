@@ -146,7 +146,8 @@ let smoke_methods =
 
 let smoke_json rows =
   let buf = Buffer.create 512 in
-  Buffer.add_string buf "{\n  \"suite\": \"artificial\",\n  \"methods\": [\n";
+  Printf.bprintf buf "{\n  \"schema_version\": %d,\n  \"suite\": \"artificial\",\n  \"methods\": [\n"
+    Stagg_report.Experiments.schema_version;
   let n = List.length rows in
   List.iteri
     (fun i (label, rs) ->
@@ -163,6 +164,26 @@ let smoke_json rows =
     rows;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
+
+(* [--strip-schema-version SRC DST]: copy SRC to DST minus the
+   "schema_version" line. The @smoke alias diffs generated summaries
+   against expectations committed before the field existed; stripping on
+   the generated side keeps that comparison byte-for-byte while the
+   emitted files stay versioned for downstream consumers. *)
+let strip_schema_version src dst =
+  let ic = open_in src in
+  let oc = open_out dst in
+  (try
+     while true do
+       let line = input_line ic in
+       if not (String.starts_with ~prefix:"\"schema_version\"" (String.trim line)) then begin
+         output_string oc line;
+         output_char oc '\n'
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  close_out oc
 
 let run_smoke ~json_file ~heap_ceiling ~tune () =
   let benches = Stagg_benchsuite.Suite.artificial in
@@ -222,10 +243,16 @@ let usage () =
     "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--no-analysis] \
      [--prune-mode off|replay|admission] [--batched-validate off|on] \
      [--oracle llm|trace|trace+llm] [--search-domains K|auto] [--heap-ceiling WORDS] \
-     [--jobs N | -j N] [--json FILE]";
+     [--jobs N | -j N] [--json FILE] | --strip-schema-version SRC DST";
   exit 2
 
 let () =
+  (* utility mode used by the @smoke alias; no campaign setup *)
+  (match Sys.argv with
+  | [| _; "--strip-schema-version"; src; dst |] ->
+      strip_schema_version src dst;
+      exit 0
+  | _ -> ());
   (* The campaign's hot loops (A* frontier, validation memo) allocate
      heavily against a large live heap; the default space_overhead of 120
      spends ~20% of search wall time in major-GC marking. Trading memory

@@ -450,6 +450,82 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures (§8).")
     Term.(const run $ core_flag $ jobs_arg)
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let roots_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Directory tree to scan for .cmt files (repeatable). Defaults to \
+             $(b,_build/default/lib) when it exists, else $(b,lib) — i.e. the compiled \
+             libraries of this repository.")
+  in
+  let allow_arg =
+    Arg.(
+      value
+      & opt string "lint.allow"
+      & info [ "allow" ] ~docv:"FILE"
+          ~doc:
+            "Suppression file: each intentional finding carries a rule, a source location \
+             and a one-line justification; $(b,protocol-module) lines declare the modules \
+             allowed to use raw claim/done/taken atomics.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Print only violations, not suppressions.")
+  in
+  let run roots allow_file quiet =
+    let roots =
+      match roots with
+      | [] -> if Sys.file_exists "_build/default/lib" then [ "_build/default/lib" ] else [ "lib" ]
+      | rs -> rs
+    in
+    let allow =
+      if Sys.file_exists allow_file then
+        match Stagg_lint.Report.load allow_file with
+        | Ok a -> a
+        | Error e ->
+            Printf.eprintf "lint: bad allow file %s: %s\n" allow_file e;
+            exit 2
+      else Stagg_lint.Report.empty
+    in
+    let cmt_files = List.concat_map Stagg_lint.Engine.scan_dir roots in
+    if cmt_files = [] then begin
+      Printf.eprintf
+        "lint: no .cmt files under %s (build the tree first: dune build)\n"
+        (String.concat ", " roots);
+      exit 2
+    end;
+    let verdict, stats = Stagg_lint.Engine.analyze ~cmt_files ~allow in
+    if not quiet then
+      List.iter
+        (fun ((f : Stagg_lint.Report.finding), (e : Stagg_lint.Report.entry)) ->
+          Printf.printf "allowed: %s -- %s\n" (Stagg_lint.Report.finding_to_string f) e.e_just)
+        verdict.suppressed;
+    List.iter
+      (fun (e : Stagg_lint.Report.entry) ->
+        Printf.printf "warning: unused allow entry (line %d): %s %s:%s\n" e.e_line
+          (Stagg_lint.Report.rule_id e.e_rule) e.e_file e.e_context)
+      verdict.unused_entries;
+    List.iter
+      (fun f -> Printf.printf "VIOLATION: %s\n" (Stagg_lint.Report.finding_to_string f))
+      verdict.violations;
+    Printf.printf "lint: %d modules, %d findings (%d suppressed, %d violations)\n"
+      stats.modules stats.findings
+      (List.length verdict.suppressed)
+      (List.length verdict.violations);
+    if verdict.violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Domain-safety static analysis over this repository's compiled libraries: \
+          domain-crossing access to unguarded mutable state, raw atomic protocol ops \
+          outside protocol modules, non-toplevel DLS keys, blocking calls under a mutex, \
+          and nondeterminism sources.")
+    Term.(const run $ roots_arg $ allow_arg $ quiet_arg)
+
 let () =
   let info =
     Cmd.info "stagg" ~version:"1.0.0"
@@ -457,4 +533,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; lift_cmd; lift_file_cmd; export_cmd; show_cmd; analyze_cmd; kernel_cmd;
-         suite_cmd; experiments_cmd ]))
+         suite_cmd; experiments_cmd; lint_cmd ]))

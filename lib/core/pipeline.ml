@@ -322,8 +322,8 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
                 | Bmc.Equivalent -> true
                 | Bmc.Not_equivalent _ | Bmc.Inconclusive _ -> false
               in
-              Mutex.protect verify_mu (fun () ->
-                  verify_s := !verify_s +. (Unix.gettimeofday () -. t0));
+              let dt = Unix.gettimeofday () -. t0 in
+              Mutex.protect verify_mu (fun () -> verify_s := !verify_s +. dt);
               ok
             end
           in

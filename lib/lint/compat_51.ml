@@ -1,0 +1,9 @@
+(* Typedtree pattern-variable extraction for OCaml < 5.2 (Tpat_var and
+   Tpat_alias carry no Uid). Selected by the dune rule in this
+   directory; keep in sync with compat_52.ml. *)
+
+let pat_var (p : Typedtree.pattern) : (Ident.t * string) option =
+  match p.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> Some (id, Ident.name id)
+  | Typedtree.Tpat_alias (_, id, _) -> Some (id, Ident.name id)
+  | _ -> None

@@ -1,0 +1,169 @@
+(* Rule identities, findings, and the [lint.allow] suppression file.
+
+   A finding is keyed for allowlist matching on
+   (rule, source basename, enclosing toplevel value): line numbers churn
+   with every edit, but the enclosing binding a racy idiom lives in is
+   stable, so suppressions survive unrelated refactors while still
+   naming a concrete source location (the justification is mandatory —
+   nothing is suppressed silently). *)
+
+type rule =
+  | Shared_mutable  (* domain-crossing access to unguarded mutable state *)
+  | Raw_atomic  (* claim/done/taken-style atomic ops outside a protocol module *)
+  | Dls_key  (* Domain.DLS.new_key anywhere but a toplevel binding *)
+  | Blocking_under_mutex  (* pool ops / joins / IO / clocks while a lock is held *)
+  | Nondet  (* wall-clock or self-seeded randomness: breaks byte-identity *)
+
+let all_rules = [ Shared_mutable; Raw_atomic; Dls_key; Blocking_under_mutex; Nondet ]
+
+let rule_id = function
+  | Shared_mutable -> "shared-mutable-unguarded"
+  | Raw_atomic -> "raw-atomic-outside-protocol-module"
+  | Dls_key -> "dls-key-not-toplevel"
+  | Blocking_under_mutex -> "blocking-under-mutex"
+  | Nondet -> "nondeterminism-source"
+
+let rule_of_id = function
+  | "shared-mutable-unguarded" -> Some Shared_mutable
+  | "raw-atomic-outside-protocol-module" -> Some Raw_atomic
+  | "dls-key-not-toplevel" -> Some Dls_key
+  | "blocking-under-mutex" -> Some Blocking_under_mutex
+  | "nondeterminism-source" -> Some Nondet
+  | _ -> None
+
+type finding = {
+  rule : rule;
+  file : string;  (* source path as recorded in the .cmt *)
+  line : int;
+  modname : string;  (* normalized module name, lib prefix stripped *)
+  context : string;  (* enclosing toplevel value binding *)
+  message : string;
+}
+
+let finding_to_string f =
+  Printf.sprintf "%s %s:%d [%s.%s] %s" (rule_id f.rule) (Filename.basename f.file) f.line
+    f.modname f.context f.message
+
+(* ---- the allowlist ---- *)
+
+type entry = {
+  e_rule : rule;
+  e_file : string;  (* basename *)
+  e_context : string;  (* enclosing value, or "*" *)
+  e_just : string;  (* mandatory one-line justification *)
+  e_line : int;  (* line in lint.allow, for diagnostics *)
+}
+
+type t = {
+  entries : entry list;
+  protocol_modules : (string * string) list;  (* module name, justification *)
+}
+
+let empty = { entries = []; protocol_modules = [] }
+
+let is_protocol t m = List.mem_assoc m t.protocol_modules
+
+(* Grammar (one directive per line; '#' starts a comment):
+     protocol-module <Module> -- <justification>
+     <rule-id> <file.ml>:<context> -- <justification>
+   The justification is mandatory: an allowlist line with nothing after
+   "--" is a parse error, not a silent suppression. *)
+let parse_line ~lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match String.index_opt line ' ' with
+    | None -> Error (Printf.sprintf "line %d: expected '<directive> ... -- <why>'" lineno)
+    | Some sp -> (
+        let head = String.sub line 0 sp in
+        let rest = String.trim (String.sub line sp (String.length line - sp)) in
+        let target, just =
+          (* split on the first " -- " *)
+          let rec find i =
+            if i + 4 > String.length rest then None
+            else if String.sub rest i 4 = " -- " then Some i
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> (rest, "")
+          | Some i ->
+              ( String.trim (String.sub rest 0 i),
+                String.trim (String.sub rest (i + 4) (String.length rest - i - 4)) )
+        in
+        if just = "" then
+          Error (Printf.sprintf "line %d: missing justification (expected ' -- <why>')" lineno)
+        else if head = "protocol-module" then Ok (Some (`Protocol (target, just)))
+        else
+          match rule_of_id head with
+          | None -> Error (Printf.sprintf "line %d: unknown rule %S" lineno head)
+          | Some r -> (
+              match String.index_opt target ':' with
+              | None ->
+                  Error
+                    (Printf.sprintf "line %d: expected '<file.ml>:<context>' after rule" lineno)
+              | Some c ->
+                  let file = String.sub target 0 c in
+                  let ctx = String.sub target (c + 1) (String.length target - c - 1) in
+                  if file = "" || ctx = "" then
+                    Error (Printf.sprintf "line %d: empty file or context" lineno)
+                  else
+                    Ok
+                      (Some
+                         (`Entry
+                           {
+                             e_rule = r;
+                             e_file = file;
+                             e_context = ctx;
+                             e_just = just;
+                             e_line = lineno;
+                           }))))
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok acc
+    | l :: rest -> (
+        match parse_line ~lineno l with
+        | Error e -> Error e
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some (`Protocol (m, j))) ->
+            go (lineno + 1) { acc with protocol_modules = acc.protocol_modules @ [ (m, j) ] } rest
+        | Ok (Some (`Entry e)) -> go (lineno + 1) { acc with entries = acc.entries @ [ e ] } rest)
+  in
+  go 1 empty lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error e -> Error e
+
+let entry_matches e (f : finding) =
+  e.e_rule = f.rule
+  && e.e_file = Filename.basename f.file
+  && (e.e_context = "*" || e.e_context = f.context)
+
+let matching_entry t f = List.find_opt (fun e -> entry_matches e f) t.entries
+
+(* Partition findings into violations and suppressed, and report
+   allowlist entries that matched nothing (stale suppressions are
+   surfaced, not silently carried). *)
+type verdict = {
+  violations : finding list;
+  suppressed : (finding * entry) list;
+  unused_entries : entry list;
+}
+
+let apply t findings =
+  let used = Hashtbl.create 16 in
+  let violations, suppressed =
+    List.fold_left
+      (fun (vs, ss) f ->
+        match matching_entry t f with
+        | Some e ->
+            Hashtbl.replace used e.e_line ();
+            (vs, (f, e) :: ss)
+        | None -> (f :: vs, ss))
+      ([], []) findings
+  in
+  let unused = List.filter (fun e -> not (Hashtbl.mem used e.e_line)) t.entries in
+  { violations = List.rev violations; suppressed = List.rev suppressed; unused_entries = unused }

@@ -488,10 +488,13 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let schema_version = 1
+
 let json_summary ?(jobs = 1) ~wall_s runs =
   let buf = Buffer.create 1024 in
-  Printf.bprintf buf "{\n  \"seed\": %d,\n  \"jobs\": %d,\n  \"wall_time_s\": %.3f,\n" runs.seed
-    jobs wall_s;
+  Printf.bprintf buf
+    "{\n  \"schema_version\": %d,\n  \"seed\": %d,\n  \"jobs\": %d,\n  \"wall_time_s\": %.3f,\n"
+    schema_version runs.seed jobs wall_s;
   Buffer.add_string buf "  \"methods\": [\n";
   let rows = summary_rows runs in
   let last = List.length rows - 1 in

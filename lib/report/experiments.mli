@@ -113,6 +113,12 @@ val summary : runs -> string
 (** The (label, results) rows behind {!summary}, in summary order. *)
 val summary_rows : runs -> (string * Result_.t list) list
 
+(** Version of the JSON layouts emitted by this harness ({!json_summary}
+    and the smoke summary in [bench/main.ml]). Bump when a field is
+    added, removed, or changes meaning, so downstream consumers of the
+    perf-trajectory files can dispatch instead of guessing. *)
+val schema_version : int
+
 (** [json_summary ~jobs ~wall_s runs] — the {!summary} data as a JSON
     document (per method: solved count, suite size, avg time and
     attempts over solved queries, total attempts/expansions/pruned/

@@ -32,8 +32,19 @@ let rec claim ~max:m =
   else claim ~max:m
 
 let with_budget n f =
-  let old = Atomic.exchange budget_left (max 0 n) in
-  Fun.protect ~finally:(fun () -> Atomic.set budget_left old) f
+  let target = max 0 n in
+  let old = Atomic.exchange budget_left target in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Claims/releases may have raced [f]'s lifetime: blindly writing
+         [old] back would erase them (a racing [claim] would keep a
+         helper the counter no longer remembers, permanently shrinking
+         the budget). Fast path: nothing moved, swing [target -> old]
+         with a CAS. Otherwise apply the delta, preserving whatever the
+         concurrent claimers did. *)
+      if not (Atomic.compare_and_set budget_left target old) then
+        ignore (Atomic.fetch_and_add budget_left (old - target)))
+    f
 
 type 'b slot = Empty | Done of 'b | Failed of exn * Printexc.raw_backtrace
 

@@ -53,9 +53,10 @@ val claim_exact : int -> unit
 val release : int -> unit
 
 (** [with_budget n f] runs [f] with the budget set to [n], restoring the
-    previous value afterwards (even on exception). Intended for tests and
-    harness setup on a known machine; not safe against claims racing the
-    restore from other domains. *)
+    previous value afterwards (even on exception). The restore is
+    race-safe: claims and releases made by other domains while [f] runs
+    are preserved — the restore re-applies the original delta rather
+    than overwriting the counter. *)
 val with_budget : int -> (unit -> 'a) -> 'a
 
 (** [map ?jobs f xs] — [List.map f xs], computed on several domains.

@@ -1,0 +1,7 @@
+(* Clean twin of fr_atomic: plain get/set/incr on an Atomic are not
+   protocol-shaped read-modify-writes and pass anywhere. *)
+
+let counter = Atomic.make 0
+let bump () = Atomic.incr counter
+let read () = Atomic.get counter
+let reset () = Atomic.set counter 0

@@ -1,0 +1,7 @@
+(* Clean twin of fr_blocking: the critical section does only pure
+   in-memory work; nothing blocking runs while the lock is held. *)
+
+let mu = Mutex.create ()
+let total = ref 0
+let add n = Mutex.protect mu (fun () -> total := !total + n)
+let current () = Mutex.protect mu (fun () -> !total)

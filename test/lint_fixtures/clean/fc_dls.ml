@@ -1,0 +1,5 @@
+(* Clean twin of fr_dls: the DLS key is created once, at a toplevel
+   binding. *)
+
+let scratch : Buffer.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Buffer.create 64)
+let with_scratch f = f (Domain.DLS.get scratch)

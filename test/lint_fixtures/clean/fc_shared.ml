@@ -1,0 +1,15 @@
+(* Clean twin of fr_shared: the spawned domain reaches module-scope
+   state only through a Mutex.protect region, and the counter is an
+   Atomic. *)
+
+let mu = Mutex.create ()
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+let hits = Atomic.make 0
+
+let go () =
+  let d =
+    Domain.spawn (fun () ->
+        Mutex.protect mu (fun () -> Hashtbl.replace table 1 1);
+        Atomic.incr hits)
+  in
+  Domain.join d

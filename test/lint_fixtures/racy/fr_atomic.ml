@@ -1,0 +1,6 @@
+(* Trips raw-atomic-outside-protocol-module: a claim-shaped
+   read-modify-write atomic in a module not declared protocol-module. *)
+
+let state = Atomic.make 0
+let claim () = Atomic.compare_and_set state 0 1
+let steal () = Atomic.exchange state 2

@@ -1,0 +1,6 @@
+(* Trips blocking-under-mutex: IO and a clock syscall inside a
+   Mutex.protect region. *)
+
+let mu = Mutex.create ()
+let log_locked msg = Mutex.protect mu (fun () -> print_endline msg)
+let time_locked () = Mutex.protect mu (fun () -> Unix.gettimeofday ())

@@ -1,0 +1,4 @@
+(* Trips dls-key-not-toplevel: Domain.DLS.new_key inside a function
+   leaks a fresh per-domain slot on every call. *)
+
+let fresh_key () = Domain.DLS.new_key (fun () -> Buffer.create 64)

@@ -1,0 +1,5 @@
+(* Trips nondeterminism-source: wall-clock reads and self-seeded
+   randomness break byte-identical outcomes. *)
+
+let stamp () = Unix.gettimeofday ()
+let reseed () = Random.self_init ()

@@ -1,0 +1,18 @@
+(* Trips shared-mutable-unguarded: a spawned domain touches module-scope
+   mutable state (a Hashtbl) and a mutable record field with no
+   Atomic/Mutex/DLS mediation. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+type counter = { mutable hits : int }
+
+let shared = { hits = 0 }
+
+let go () =
+  let d =
+    Domain.spawn (fun () ->
+        Hashtbl.replace table 1 1;
+        let n = shared.hits in
+        shared.hits <- n + 1)
+  in
+  Domain.join d

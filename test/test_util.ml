@@ -321,6 +321,38 @@ let test_pool_budget_restored () =
   (try Pool.with_budget 3 (fun () -> raise Exit) with Exit -> ());
   check_int "with_budget restores on raise" before (Pool.budget ())
 
+(* Restore-race regression: a claim made while [with_budget]'s body runs
+   must survive the restore. The old restore blindly overwrote the
+   counter with the saved value, erasing the claim — the racing claimer
+   would later [release] into a counter that never recorded its debit,
+   inflating the budget for the rest of the process. *)
+let test_pool_with_budget_restore_compensates () =
+  Pool.with_budget 8 (fun () ->
+      Pool.with_budget 4 (fun () -> Pool.claim_exact 3);
+      check_int "outstanding claim survives the restore" 5 (Pool.budget ());
+      Pool.release 3;
+      check_int "balanced once the claimer releases" 8 (Pool.budget ());
+      (* fast path: an undisturbed region restores exactly *)
+      Pool.with_budget 2 (fun () -> check_int "inner budget visible" 2 (Pool.budget ()));
+      check_int "undisturbed restore is exact" 8 (Pool.budget ()))
+
+let test_pool_with_budget_racing_claimer () =
+  Pool.with_budget 10 (fun () ->
+      let claimed = Atomic.make false in
+      Pool.with_budget 6 (fun () ->
+          let d =
+            Domain.spawn (fun () ->
+                Pool.claim_exact 2;
+                Atomic.set claimed true)
+          in
+          while not (Atomic.get claimed) do
+            Domain.cpu_relax ()
+          done;
+          Domain.join d);
+      check_int "claim from another domain survives the restore" 8 (Pool.budget ());
+      Pool.release 2;
+      check_int "balanced once the claimer releases" 10 (Pool.budget ()))
+
 (* Oversubscription regression: with a zero budget, a DEFAULT-jobs map
    must run entirely on the calling domain (no helper spawn), and nested
    default maps under an explicit outer map must clamp to sequential
@@ -447,6 +479,55 @@ let test_fpset_check_add () =
   done;
   check_int "all stripes retain members" 0 !missing
 
+(* Multi-domain stress: D domains hammer [check_add] over the same key
+   workload (each in a different order) behind a start barrier. The set
+   contract must hold regardless of interleaving:
+     - exactly-once winners: for every distinct key, exactly one
+       [check_add] call across all domains reported "absent";
+     - no lost inserts: every key is a member once all domains join;
+     - no false positives: keys never inserted stay non-members. *)
+let qcheck_fpset_parallel =
+  let universe = 100 in
+  QCheck.Test.make ~name:"fpset: parallel check_add keeps set semantics" ~count:25
+    (QCheck.list_of_size (QCheck.Gen.return 300) (QCheck.int_range 0 (universe - 1)))
+    (fun keys ->
+      QCheck.assume (keys <> []);
+      let s = Fpset.create () in
+      let arr = Array.of_list keys in
+      let n = Array.length arr in
+      let domains = 4 in
+      let wins = Array.init domains (fun _ -> Array.make universe 0) in
+      let started = Atomic.make 0 in
+      let body d () =
+        Atomic.incr started;
+        while Atomic.get started < domains do
+          Domain.cpu_relax ()
+        done;
+        for i = 0 to n - 1 do
+          (* rotate the workload per domain so claims collide *)
+          let k = arr.((i + (d * n / domains)) mod n) in
+          if not (Fpset.check_add s k) then wins.(d).(k) <- wins.(d).(k) + 1
+        done
+      in
+      let ds = List.init (domains - 1) (fun d -> Domain.spawn (body (d + 1))) in
+      body 0 ();
+      List.iter Domain.join ds;
+      let inserted = Array.make universe false in
+      Array.iter (fun k -> inserted.(k) <- true) arr;
+      let ok = ref true in
+      for k = 0 to universe - 1 do
+        let total = Array.fold_left (fun acc w -> acc + w.(k)) 0 wins in
+        if inserted.(k) then begin
+          if total <> 1 then ok := false;
+          if not (Fpset.mem s k) then ok := false
+        end
+        else begin
+          if total <> 0 then ok := false;
+          if Fpset.mem s k then ok := false
+        end
+      done;
+      !ok)
+
 (* ---- Prng ---- *)
 
 let test_prng_determinism () =
@@ -529,13 +610,21 @@ let () =
           Alcotest.test_case "ordered map_reduce" `Quick test_pool_map_reduce;
           Alcotest.test_case "budget accounting" `Quick test_pool_budget_accounting;
           Alcotest.test_case "budget restored on raise" `Quick test_pool_budget_restored;
+          Alcotest.test_case "restore compensates racing claims" `Quick
+            test_pool_with_budget_restore_compensates;
+          Alcotest.test_case "restore survives a racing domain" `Quick
+            test_pool_with_budget_racing_claimer;
           Alcotest.test_case "zero budget clamps default jobs" `Quick
             test_pool_budget_clamps_default_jobs;
           Alcotest.test_case "nested defaults clamp" `Quick test_pool_nested_defaults_clamp;
         ] );
       ( "frontier",
         [ qc qcheck_frontier_matches_single_queue; qc qcheck_frontier_interleaved ] );
-      ( "fpset", [ Alcotest.test_case "check_add semantics" `Quick test_fpset_check_add ] );
+      ( "fpset",
+        [
+          Alcotest.test_case "check_add semantics" `Quick test_fpset_check_add;
+          QCheck_alcotest.to_alcotest qcheck_fpset_parallel;
+        ] );
       ( "prng",
         [
           Alcotest.test_case "determinism" `Quick test_prng_determinism;
