@@ -238,9 +238,239 @@ let run_diagnostics () =
     Stagg_benchsuite.Suite.diagnostics;
   print_newline ()
 
+(* ---- serve modes: the lift-as-a-service bench legs ----
+
+   [--serve-smoke] replays a small deterministic request mix — distinct
+   kernels, an exact repeat, an alpha-renamed variant, a
+   constant-renamed variant, an unliftable kernel, two malformed
+   requests and a stats probe — through one in-process server, cold
+   then warm, at jobs = 1. Every response field except per-request wall
+   time is deterministic, so the normalized output is byte-diffed
+   against committed expectations by the fifth @smoke leg: a drift
+   means the cache/single-flight/remap behavior changed, not noise.
+
+   [--serve-load] replays the full 77-benchmark suite twice through a
+   server at configurable concurrency, asserts every answer is
+   byte-identical to the direct (serverless) pipeline, that the warm
+   pass never searches, and that the cache hit rate clears 50%; it
+   records p50/p95/p99 latency and cache counters into a BENCH-style
+   JSON snapshot. *)
+
+module J = Stagg_serve.Json
+
+(* Per-request wall time is the only nondeterministic response field;
+   drop it, keep everything else byte-exact. *)
+let normalize_response line =
+  match J.of_string line with
+  | Ok (J.Obj fields) ->
+      J.to_string (J.Obj (List.filter (fun (k, _) -> not (String.equal k "time_s")) fields))
+  | Ok j -> J.to_string j
+  | Error _ -> line
+
+let serve_smoke_requests () =
+  let req fields = J.to_string (J.Obj fields) in
+  let lift id c sg = req [ ("id", J.String id); ("c", J.String c); ("sig", J.String sg) ] in
+  let mul3 = "void f(int n, int *a, int *r) { int i; for (i = 0; i < n; i++) r[i] = a[i] * 3; }" in
+  let mul3_alpha =
+    "void g(int m, int *x, int *y) { int j; for (j = 0; j < m; j++) y[j] = x[j] * 3; }"
+  in
+  let mul9 = "void f(int n, int *a, int *r) { int i; for (i = 0; i < n; i++) r[i] = a[i] * 9; }" in
+  let add2 =
+    "void h(int n, int *a, int *b, int *r) { int i; for (i = 0; i < n; i++) r[i] = a[i] + b[i]; }"
+  in
+  let diag = List.hd Stagg_benchsuite.Suite.diagnostics in
+  [
+    lift "mul3" mul3 "n:size,a:arr[n],r:out[n]" (* miss: searched *);
+    lift "mul3" mul3 "n:size,a:arr[n],r:out[n]" (* identical repeat: exact-key hit *);
+    lift "mul3-alpha" mul3_alpha "m:size,x:arr[m],y:out[m]" (* alpha variant: remap *);
+    lift "mul9" mul9 "n:size,a:arr[n],r:out[n]" (* constant variant: remap *);
+    lift "add2" add2 "n:size,a:arr[n],b:arr[n],r:out[n]" (* distinct kernel: miss *);
+    lift diag.Stagg_benchsuite.Bench.name diag.c_source
+      (Stagg_minic.Sigspec.to_string diag.signature) (* unliftable: unsolved *);
+    req [ ("id", J.String "bad-c"); ("c", J.String "void f(int n { }"); ("sig", J.String "n:size") ];
+    req [ ("id", J.String "no-sig"); ("c", J.String mul3) ];
+    req [ ("op", J.String "stats") ];
+  ]
+
+let run_serve_smoke ~jobs ~json_file () =
+  (* jobs > 1 (the TSan CI leg) races the mix through the single-flight
+     cache — useful under the race detector, but which request becomes
+     owner is then scheduling-dependent, so only the jobs = 1 output is
+     byte-diffable *)
+  let server =
+    Stagg_serve.Server.create ~config:{ Stagg_serve.Server.jobs; cache_max = 64; verify = true } ()
+  in
+  let lines = serve_smoke_requests () in
+  let buf = Buffer.create 4096 in
+  let replay label =
+    Printf.bprintf buf "== %s ==\n" label;
+    List.iter
+      (fun resp ->
+        Buffer.add_string buf (normalize_response resp);
+        Buffer.add_char buf '\n')
+      (Stagg_serve.Server.run_lines server lines)
+  in
+  let t0 = Unix.gettimeofday () in
+  replay "cold";
+  replay "warm";
+  Printf.printf "== serve smoke (%d requests, cold + warm replay) ==\n" (List.length lines);
+  Printf.printf "serve smoke wall: %.1fs\n" (Unix.gettimeofday () -. t0);
+  match json_file with
+  | None -> print_string (Buffer.contents buf)
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.eprintf "[bench] wrote %s\n%!" file
+
+(* Nearest-rank percentile over an ascending array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let run_serve_load ~jobs ~json_file () =
+  let benches = Stagg_benchsuite.Suite.all in
+  Printf.printf "== serve load (%d benchmarks x 2 passes, %d jobs) ==\n%!" (List.length benches)
+    jobs;
+  (* Ground truth first: the direct, serverless pipeline. The serve
+     answers must match it byte for byte — the cache and the remap path
+     are allowed to save work, never to change a result. *)
+  let direct =
+    List.map
+      (fun (b : Stagg_benchsuite.Bench.t) ->
+        let r = Stagg.Pipeline.run Stagg.Method_.td_trace b in
+        let taco =
+          Option.map
+            (fun (s : Stagg_validate.Validator.solution) ->
+              Stagg_taco.Pretty.program_to_string s.concrete)
+            r.Stagg.Result_.solution
+        in
+        (b.name, r.Stagg.Result_.solved, taco))
+      benches
+  in
+  let requests =
+    List.map
+      (fun (b : Stagg_benchsuite.Bench.t) ->
+        J.to_string
+          (J.Obj
+             [
+               ("id", J.String b.name);
+               ("c", J.String b.c_source);
+               ("sig", J.String (Stagg_minic.Sigspec.to_string b.signature));
+             ]))
+      benches
+  in
+  let server =
+    Stagg_serve.Server.create ~config:{ Stagg_serve.Server.jobs; cache_max = 256; verify = true } ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let pass1 = Stagg_serve.Server.run_lines server requests in
+  let s1 = Stagg_serve.Server.cache_stats server in
+  let pass2 = Stagg_serve.Server.run_lines server requests in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let s2 = Stagg_serve.Server.cache_stats server in
+  let failures = ref 0 in
+  let check pass responses =
+    List.iter2
+      (fun (name, d_solved, d_taco) resp ->
+        match J.of_string resp with
+        | Error e ->
+            incr failures;
+            Printf.eprintf "[bench] FAIL %s/%s: unparseable response (%s)\n%!" pass name e
+        | Ok j ->
+            let status = Option.bind (J.member "status" j) J.to_str in
+            let taco = Option.bind (J.member "taco" j) J.to_str in
+            let s_solved = status = Some "ok" in
+            if s_solved <> d_solved || (d_solved && taco <> d_taco) then begin
+              incr failures;
+              Printf.eprintf "[bench] FAIL %s/%s: serve %s %S, direct %b %S\n%!" pass name
+                (Option.value status ~default:"?")
+                (Option.value taco ~default:"")
+                d_solved
+                (Option.value d_taco ~default:"")
+            end)
+      direct responses
+  in
+  check "cold" pass1;
+  check "warm" pass2;
+  (* warm-cache replay must be O(1): every repeat answered from cache,
+     zero new searches admitted *)
+  if s2.Stagg_serve.Cache.misses <> s1.Stagg_serve.Cache.misses then begin
+    incr failures;
+    Printf.eprintf "[bench] FAIL: warm pass ran %d fresh searches (expected 0)\n%!"
+      (s2.Stagg_serve.Cache.misses - s1.Stagg_serve.Cache.misses)
+  end;
+  let lift_total = s2.Stagg_serve.Cache.hits + s2.Stagg_serve.Cache.misses + s2.Stagg_serve.Cache.joins in
+  let hit_rate =
+    float_of_int (s2.Stagg_serve.Cache.hits + s2.Stagg_serve.Cache.joins)
+    /. float_of_int (max 1 lift_total)
+  in
+  if hit_rate < 0.5 then begin
+    incr failures;
+    Printf.eprintf "[bench] FAIL: cache hit rate %.3f below 0.5 on a 2x replay\n%!" hit_rate
+  end;
+  let lat =
+    List.filter_map
+      (fun resp ->
+        match J.of_string resp with
+        | Ok j -> Option.map (fun s -> s *. 1000.) (Option.bind (J.member "time_s" j) J.to_float)
+        | Error _ -> None)
+      (pass1 @ pass2)
+    |> Array.of_list
+  in
+  Array.sort compare lat;
+  let p50 = percentile lat 50. and p95 = percentile lat 95. and p99 = percentile lat 99. in
+  let solved = List.length (List.filter (fun (_, s, _) -> s) direct) in
+  let heap_words = (Gc.quick_stat ()).Gc.top_heap_words in
+  Printf.printf
+    "  requests %d  solved %d/%d  hit rate %.3f\n\
+    \  latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n\
+    \  cache: hits %d  misses %d  joins %d  remaps %d  evictions %d  entries %d\n\
+     serve load wall: %.1fs\n"
+    (2 * List.length benches)
+    solved (List.length benches) hit_rate p50 p95 p99 s2.Stagg_serve.Cache.hits
+    s2.Stagg_serve.Cache.misses s2.Stagg_serve.Cache.joins s2.Stagg_serve.Cache.remaps
+    s2.Stagg_serve.Cache.evictions s2.Stagg_serve.Cache.entries wall_s;
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema_version\": %d,\n\
+        \  \"suite\": \"serve-load\",\n\
+        \  \"jobs\": %d,\n\
+        \  \"requests\": %d,\n\
+        \  \"solved\": %d,\n\
+        \  \"total\": %d,\n\
+        \  \"hit_rate\": %.4f,\n\
+        \  \"p50_ms\": %.4f,\n\
+        \  \"p95_ms\": %.4f,\n\
+        \  \"p99_ms\": %.4f,\n\
+        \  \"wall_s\": %.3f,\n\
+        \  \"heap_words\": %d,\n\
+        \  \"cache\": { \"hits\": %d, \"misses\": %d, \"joins\": %d, \"remaps\": %d, \
+         \"evictions\": %d, \"entries\": %d }\n\
+         }\n"
+        Stagg_report.Experiments.schema_version jobs
+        (2 * List.length benches)
+        solved (List.length benches) hit_rate p50 p95 p99 wall_s heap_words
+        s2.Stagg_serve.Cache.hits s2.Stagg_serve.Cache.misses s2.Stagg_serve.Cache.joins
+        s2.Stagg_serve.Cache.remaps s2.Stagg_serve.Cache.evictions s2.Stagg_serve.Cache.entries;
+      close_out oc;
+      Printf.eprintf "[bench] wrote %s\n%!" file);
+  if !failures > 0 then begin
+    Printf.eprintf "[bench] FAIL: %d serve-load check(s) failed\n%!" !failures;
+    exit 1
+  end
+
 let usage () =
   prerr_endline
-    "usage: main.exe [--smoke] [--skip-ablations] [--skip-bechamel] [--no-analysis] \
+    "usage: main.exe [--smoke] [--serve-smoke] [--serve-load] [--skip-ablations] \
+     [--skip-bechamel] [--no-analysis] \
      [--prune-mode off|replay|admission] [--batched-validate off|on] \
      [--oracle llm|trace|trace+llm] [--search-domains K|auto] [--heap-ceiling WORDS] \
      [--jobs N | -j N] [--json FILE] | --strip-schema-version SRC DST";
@@ -262,6 +492,8 @@ let () =
   let skip_ablations = ref false
   and skip_bechamel = ref false
   and smoke = ref false
+  and serve_smoke = ref false
+  and serve_load = ref false
   and analysis = ref true
   and prune_mode = ref Stagg_search.Astar.Prune_admission
   and batched_validate = ref true
@@ -274,6 +506,12 @@ let () =
     | [] -> ()
     | "--smoke" :: rest ->
         smoke := true;
+        parse rest
+    | "--serve-smoke" :: rest ->
+        serve_smoke := true;
+        parse rest
+    | "--serve-load" :: rest ->
+        serve_load := true;
         parse rest
     | "--skip-ablations" :: rest ->
         skip_ablations := true;
@@ -367,6 +605,14 @@ let () =
         usage ()
   in
   parse args;
+  if !serve_smoke then begin
+    run_serve_smoke ~jobs:!jobs ~json_file:!json_file ();
+    exit 0
+  end;
+  if !serve_load then begin
+    run_serve_load ~jobs:!jobs ~json_file:!json_file ();
+    exit 0
+  end;
   if !smoke then begin
     let analysis = !analysis
     and prune_mode = !prune_mode

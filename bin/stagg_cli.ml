@@ -450,6 +450,61 @@ let experiments_cmd =
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures (§8).")
     Term.(const run $ core_flag $ jobs_arg)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve a Unix-domain socket at $(docv) (line-delimited JSON requests and \
+             responses; serial accept). Without this flag the server speaks stdin/stdout.")
+  in
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:"Serve stdin → stdout (the default; explicit flag for scripts' clarity).")
+  in
+  let serve_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Process up to $(docv) requests concurrently. Identical concurrent requests \
+             single-flight through the result cache; 1 (the default) is fully \
+             deterministic: responses depend only on the request stream.")
+  in
+  let cache_max_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-max" ] ~docv:"M"
+          ~doc:"Result-cache capacity (ready entries; least-recently-used eviction).")
+  in
+  let no_verify_arg =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip bounded verification of lifted (and remapped) results.")
+  in
+  let run socket stdio jobs cache_max no_verify =
+    ignore stdio;
+    let config = { Stagg_serve.Server.jobs; cache_max; verify = not no_verify } in
+    let server = Stagg_serve.Server.create ~config () in
+    match socket with
+    | Some path -> Stagg_serve.Server.run_socket server ~path
+    | None -> Stagg_serve.Server.run_stdio server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the lifting server: line-delimited JSON requests ($(b,{\"c\": ..., \"sig\": \
+          ...})) in, lifted TACO programs out, with a canonical-fingerprint result cache \
+          (single-flight, LRU) in front of the search.")
+    Term.(const run $ socket_arg $ stdio_arg $ serve_jobs_arg $ cache_max_arg $ no_verify_arg)
+
 (* ---- lint ---- *)
 
 let lint_cmd =
@@ -533,4 +588,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; lift_cmd; lift_file_cmd; export_cmd; show_cmd; analyze_cmd; kernel_cmd;
-         suite_cmd; experiments_cmd; lint_cmd ]))
+         suite_cmd; serve_cmd; experiments_cmd; lint_cmd ]))

@@ -240,7 +240,8 @@ let prune_of (m : Method_.t) (q : query) ~(consts : 'a list) (prep : prepared) :
            lhs_name = Genlib.tensor_name 0;
          })
 
-let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) result) : Result_.t =
+let lift_prefixed ?(memo_scope = "") (m : Method_.t) (q : query)
+    (prefix_r : (prefix, string) result) : Result_.t =
   let started = Unix.gettimeofday () in
   (* Per-phase accumulators. [validate_s] and [instantiations] are only
      ever mutated on the search's coordinator domain (sequentially, or
@@ -329,8 +330,12 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
           in
           let consts = Stagg_minic.Ast.constants func in
           (* the examples are a function of (benchmark, example_seed), so
-             this key scopes the cross-sweep validation memo correctly *)
-          let memo_key = Printf.sprintf "%s#%d" q.qname example_seed in
+             this key scopes the cross-sweep validation memo correctly.
+             [memo_scope] prefixes the key WITHOUT entering the example
+             seed: a serve epoch isolates its verdicts from other epochs
+             while drawing examples identical to the direct pipeline's,
+             so lifted outputs stay byte-identical across both paths. *)
+          let memo_key = Printf.sprintf "%s%s#%d" memo_scope q.qname example_seed in
           (* prepared once per query: the checker depends only on
              (signature, examples), not on the template under test *)
           let checker = Validator.prepare ~signature:q.signature ~examples in
@@ -406,7 +411,8 @@ let lift_prefixed (m : Method_.t) (q : query) (prefix_r : (prefix, string) resul
               finish ~solved:false ~solution:None ~attempts:stats.attempts
                 ~expansions:stats.expansions ~failure:(Some "budget exceeded") ())))
 
-let lift (m : Method_.t) (q : query) : Result_.t = lift_prefixed m q (prefix_of_query q)
+let lift ?memo_scope (m : Method_.t) (q : query) : Result_.t =
+  lift_prefixed ?memo_scope m q (prefix_of_query q)
 
 let run (m : Method_.t) (b : Bench.t) : Result_.t = lift m (query_of_bench m b)
 

@@ -80,13 +80,24 @@ val prepare : Method_.t -> Stagg_benchsuite.Bench.t -> (prepared, string) result
 val prune_of :
   Method_.t -> query -> consts:'a list -> prepared -> Stagg_grammar.Prune.t option
 
-(** [lift m q] — the whole pipeline on an arbitrary query; never raises. *)
-val lift : Method_.t -> query -> Result_.t
+(** [lift m q] — the whole pipeline on an arbitrary query; never raises.
+
+    [memo_scope] (default [""]) prefixes the cross-sweep validation-memo
+    key. It does NOT enter the example seed: a scoped lift draws the
+    same examples (and hence produces byte-identical results) as an
+    unscoped one, but shares no memoized verdicts with other scopes —
+    the serve path stamps each server epoch's scope here so a long-lived
+    process cannot bleed verdicts between epochs. Pick scopes ending in
+    a delimiter that cannot occur in a [qname] (the server uses
+    ["epoch<n>|"]) so distinct (scope, qname) pairs never concatenate to
+    the same key. *)
+val lift : ?memo_scope:string -> Method_.t -> query -> Result_.t
 
 (** [lift_prefixed m q prefix] — stages ③–④ on a precomputed prefix
     (see {!prefix_of_query}); the query's client is not consulted.
     [lift m q] is [lift_prefixed m q (prefix_of_query q)]. *)
-val lift_prefixed : Method_.t -> query -> (prefix, string) result -> Result_.t
+val lift_prefixed :
+  ?memo_scope:string -> Method_.t -> query -> (prefix, string) result -> Result_.t
 
 (** [run m bench] — the whole pipeline; never raises. *)
 val run : Method_.t -> Stagg_benchsuite.Bench.t -> Result_.t

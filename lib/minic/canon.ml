@@ -1,0 +1,198 @@
+open Stagg_util
+
+(* The canonical stream is a preorder serialization of the function under
+   two rewrites: identifiers become positional ([p<i>] for parameters in
+   declaration order, [v<j>] for everything else by first occurrence), and
+   numeric literals in *data positions* — exactly the positions
+   [Ast.constants] pools, so subscripts, conditions and loop headers keep
+   their literals — become an abstract [#] token ([#0] for zero, which the
+   constant pool excludes and substitution can therefore never rebind).
+
+   Every constructor emits a fixed-arity prefix tag, statement lists are
+   bracketed and options marked, so the stream determines the tree
+   uniquely: two kernels produce equal streams iff they are the same
+   kernel up to naming and (nonzero, data-position) constants. *)
+
+(* ---- 63-bit rolling hash, the [Node.fingerprints] idiom ---- *)
+
+let fp_k = 0x2545f4914f6cdd1d
+
+let fp_mix h =
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x2545f4914f6cdd1d in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x27d4eb2f165667c5 in
+  h lxor (h lsr 31)
+
+let fp_seed = fp_mix 0x5ca1ab1e
+
+(* Token hashes come from the token's own spelling, not [Hashtbl.hash],
+   whose 30-bit range would make cross-token collisions plausible. *)
+let fp_token s =
+  let h = ref 0x27d4eb2f in
+  String.iter (fun ch -> h := (!h * 0x100000001b3) lxor Char.code ch) s;
+  fp_mix !h
+
+(* ---- canonical token stream ---- *)
+
+type ctx = {
+  emit : string -> unit;
+  env : (string, string) Hashtbl.t;
+  mutable n_locals : int;
+}
+
+let rename ctx x =
+  match Hashtbl.find_opt ctx.env x with
+  | Some c -> c
+  | None ->
+      let c = Printf.sprintf "v%d" ctx.n_locals in
+      ctx.n_locals <- ctx.n_locals + 1;
+      Hashtbl.replace ctx.env x c;
+      c
+
+let typ_token = function Ast.Tint -> "int" | Ast.Tptr -> "ptr"
+
+(* [data] tracks whether a literal here would enter the constant pool —
+   the [Ast.constants] rules verbatim. *)
+let rec expr ctx ~data (e : Ast.expr) =
+  let emit = ctx.emit in
+  match e with
+  | Num c ->
+      if not data then emit (Rat.to_string c)
+      else if Rat.is_zero c then emit "#0"
+      else emit "#"
+  | Var x -> emit (rename ctx x)
+  | Bin (o, a, b) ->
+      emit ("bin:" ^ Ast.binop_to_string o);
+      expr ctx ~data a;
+      expr ctx ~data b
+  | Neg e ->
+      emit "neg";
+      expr ctx ~data e
+  | Not e ->
+      emit "not";
+      expr ctx ~data e
+  | Deref e ->
+      emit "deref";
+      expr ctx ~data e
+  | Index (a, b) ->
+      emit "index";
+      expr ctx ~data a;
+      expr ctx ~data:false b
+  | Addr_index (a, b) ->
+      emit "addr-index";
+      expr ctx ~data a;
+      expr ctx ~data:false b
+  | Post_incr x ->
+      emit "post++";
+      emit (rename ctx x)
+  | Post_decr x ->
+      emit "post--";
+      emit (rename ctx x)
+  | Ternary (c, a, b) ->
+      emit "ternary";
+      expr ctx ~data:false c;
+      expr ctx ~data a;
+      expr ctx ~data b
+
+let lvalue ctx (lv : Ast.lvalue) =
+  let emit = ctx.emit in
+  match lv with
+  | Lvar x ->
+      emit "lvar";
+      emit (rename ctx x)
+  | Lderef e ->
+      emit "lderef";
+      expr ctx ~data:false e
+  | Lindex (a, b) ->
+      emit "lindex";
+      expr ctx ~data:false a;
+      expr ctx ~data:false b
+
+let rec stmt ctx (s : Ast.stmt) =
+  let emit = ctx.emit in
+  match s with
+  | Decl (ty, x, init) ->
+      emit ("decl:" ^ typ_token ty);
+      emit (rename ctx x);
+      opt_expr ctx ~data:true init
+  | Assign (lv, e) ->
+      emit "assign";
+      lvalue ctx lv;
+      expr ctx ~data:true e
+  | Op_assign (lv, o, e) ->
+      emit ("op-assign:" ^ Ast.binop_to_string o);
+      lvalue ctx lv;
+      expr ctx ~data:true e
+  | Incr_stmt lv ->
+      emit "incr";
+      lvalue ctx lv
+  | Decr_stmt lv ->
+      emit "decr";
+      lvalue ctx lv
+  | For (h, body) ->
+      emit "for";
+      opt_stmt ctx h.init;
+      opt_expr ctx ~data:false h.cond;
+      opt_stmt ctx h.step;
+      block ctx body
+  | If (c, t, e) ->
+      emit "if";
+      expr ctx ~data:false c;
+      block ctx t;
+      block ctx e
+  | Block b ->
+      emit "block";
+      block ctx b
+  | Expr_stmt e ->
+      emit "expr";
+      expr ctx ~data:true e
+  | Return e ->
+      emit "return";
+      opt_expr ctx ~data:true e
+
+and opt_expr ctx ~data = function
+  | None -> ctx.emit "-"
+  | Some e -> expr ctx ~data e
+
+and opt_stmt ctx = function
+  | None -> ctx.emit "-"
+  | Some s -> stmt ctx s
+
+and block ctx body =
+  ctx.emit "{";
+  List.iter (stmt ctx) body;
+  ctx.emit "}"
+
+let tokens ~(signature : Signature.t) (f : Ast.func) emit =
+  let ctx = { emit; env = Hashtbl.create 16; n_locals = 0 } in
+  List.iteri
+    (fun i (p : Ast.param) -> Hashtbl.replace ctx.env p.pname (Printf.sprintf "p%d" i))
+    f.params;
+  (* the tensor view first: the same C text under different shapes or a
+     different output parameter is a different lifting problem *)
+  List.iter
+    (fun (name, spec) ->
+      match spec with
+      | Signature.Size _ -> emit ("sig:size:" ^ rename ctx name)
+      | Signature.Scalar_data -> emit ("sig:scalar:" ^ rename ctx name)
+      | Signature.Arr dims ->
+          emit
+            (Printf.sprintf "sig:arr:%s[%s]" (rename ctx name)
+               (String.concat "," (List.map (rename ctx) dims))))
+    signature.Signature.args;
+  emit ("sig:out:" ^ rename ctx signature.Signature.out);
+  List.iter (fun (p : Ast.param) -> emit ("param:" ^ typ_token p.ptyp)) f.params;
+  block ctx f.body
+
+let canonical ~signature f =
+  let buf = Buffer.create 256 in
+  tokens ~signature f (fun tok ->
+      if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+      Buffer.add_string buf tok);
+  Buffer.contents buf
+
+let fingerprint ~signature f =
+  let h = ref fp_seed in
+  tokens ~signature f (fun tok -> h := (!h * fp_k) + fp_token tok);
+  !h land max_int

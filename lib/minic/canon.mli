@@ -1,0 +1,37 @@
+(** Canonical kernel fingerprints for the serve-side result cache.
+
+    Two lifting requests deserve one search when they are the same kernel
+    up to naming: the identifiers chosen for parameters and locals, the
+    function's own name, and the particular numeric literals — none of
+    which change the {e shape} of the lifting problem (constants only
+    re-enter at substitution time, through the kernel's own constant
+    pool). [canonical] rewrites a (signature, function) pair into a
+    token stream with exactly those degrees of freedom removed:
+
+    - parameters become positional ([p0], [p1], ...) in declaration
+      order, and the signature's argument specs (size / scalar / array
+      ranks, dimension names resolved to parameter positions, the output
+      position) are folded into the stream — the same C text under a
+      different tensor view is a different problem;
+    - locals and loop variables are numbered by first occurrence in a
+      fixed preorder walk, so any consistent renaming yields the same
+      stream;
+    - every numeric literal collapses to one [#] token (constant
+      abstraction): kernels differing only in their constants collide,
+      and the cache bridges them by re-instantiating the cached solution
+      through the new kernel's constant pool.
+
+    [fingerprint] is a 63-bit polynomial rolling hash of that stream, in
+    the {!Stagg_search.Node.fingerprints} idiom (per-token hashes from
+    the token's own spelling, multiply–add accumulation): equal
+    canonical streams hash equally, distinct streams collide with
+    probability ~2⁻⁶³ — audited against the 77-benchmark suite and
+    QCheck-pinned (alpha/constant variants collide, semantically
+    distinct kernels do not) in [test_serve.ml]. *)
+
+(** The canonical token stream, space-joined — the collision oracle the
+    fingerprint is audited against, and a readable debugging aid. *)
+val canonical : signature:Signature.t -> Ast.func -> string
+
+(** 63-bit rolling hash of {!canonical} (non-negative). *)
+val fingerprint : signature:Signature.t -> Ast.func -> int

@@ -49,6 +49,18 @@ let split_top s =
   parts := Buffer.contents buf :: !parts;
   List.rev !parts |> List.map String.trim |> List.filter (fun p -> p <> "")
 
+let to_string (s : Signature.t) =
+  let dims d = Printf.sprintf "[%s]" (String.concat "," d) in
+  s.Signature.args
+  |> List.map (fun (name, spec) ->
+         match spec with
+         | Signature.Size _ -> name ^ ":size"
+         | Signature.Scalar_data -> name ^ ":scalar"
+         | Signature.Arr d ->
+             if String.equal name s.Signature.out then name ^ ":out" ^ dims d
+             else name ^ ":arr" ^ dims d)
+  |> String.concat ","
+
 let parse spec =
   let entries = split_top spec in
   if entries = [] then Error "empty signature specification"

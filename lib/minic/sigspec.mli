@@ -13,3 +13,8 @@
       bare [out] is a one-cell scalar result). *)
 
 val parse : string -> (Signature.t, string) result
+
+(** Render a signature back to the spec syntax, such that
+    [parse (to_string s)] yields a signature equal to [s]. Used to ship
+    signatures inside serve requests. *)
+val to_string : Signature.t -> string

@@ -488,7 +488,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let schema_version = 1
+let schema_version = 2
 
 let json_summary ?(jobs = 1) ~wall_s runs =
   let buf = Buffer.create 1024 in
@@ -568,16 +568,16 @@ let json_summary ?(jobs = 1) ~wall_s runs =
        (List.length trace_only)
        (String.concat ", " (List.map (fun n -> "\"" ^ json_escape n ^ "\"") trace_only))
    end);
-  (* validator telemetry: cumulative process-wide counters at report time
-     (memo traffic including silently-rejected adds, and the batched
-     path's template-compilation cache) *)
+  (* validator telemetry: process-wide counters at report time (memo
+     traffic including generation-rotation evictions, and the batched
+     path's LRU template-compilation cache) *)
   let vs = Stagg_validate.Validator.stats () in
   Printf.bprintf buf
     "\
-    \  \"validator\": {\"memo_hits\": %d, \"memo_misses\": %d, \"memo_rejected\": %d, \
-     \"template_compiles\": %d, \"template_cache_hits\": %d, \"template_cache_rejected\": %d, \
+    \  \"validator\": {\"memo_hits\": %d, \"memo_misses\": %d, \"memo_evictions\": %d, \
+     \"template_compiles\": %d, \"template_cache_hits\": %d, \"template_cache_evictions\": %d, \
      \"template_overflows\": %d}\n\
      }\n"
-    vs.memo_hits vs.memo_misses vs.memo_rejected vs.template_compiles vs.template_cache_hits
-    vs.template_cache_rejected vs.template_overflows;
+    vs.memo_hits vs.memo_misses vs.memo_evictions vs.template_compiles vs.template_cache_hits
+    vs.template_cache_evictions vs.template_overflows;
   Buffer.contents buf

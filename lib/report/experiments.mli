@@ -124,7 +124,7 @@ val schema_version : int
     attempts over solved queries, total attempts/expansions/pruned/
     suppressed), the per-sweep wall/heap/instantiations-per-second log
     ([sweeps]), the cumulative validator counters
-    ({!Stagg_validate.Validator.stats}: memo hits/misses/rejected adds,
+    ({!Stagg_validate.Validator.stats}: memo hits/misses/evictions,
     template-compilation cache traffic), plus the harness wall time and
     the [jobs] the campaign ran with. Written by [bench/main.exe --json
     FILE] so successive PRs can track the perf trajectory. *)

@@ -1,0 +1,137 @@
+open Stagg_util
+
+type outcome = {
+  solved : bool;
+  lifted : lifted option;
+  attempts : int;
+  expansions : int;
+  instantiations : int;
+  failure : string option;
+}
+
+and lifted = {
+  taco : string;
+  template : Stagg_taco.Ast.program;
+  tensor_pos : (string * int) list;
+  const_idx : int option;
+}
+
+(* Ready entries live in the LRU (value carries the fingerprint so
+   eviction can fix up the donor index); in-flight keys live in a side
+   table, pinned. One mutex + one condition covers everything: waiters
+   broadcast-wake on every fulfill/abort and re-check, the classic
+   no-lost-wakeup shape (the predicate is re-evaluated under the lock
+   after every wait). *)
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  ready : (string, int * outcome) Lru.t;
+  inflight : (string, unit) Hashtbl.t;
+  donors : (int, string) Hashtbl.t;  (** fingerprint → solved entry's key *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable joins : int;
+  mutable remaps : int;
+  mutable evictions : int;
+}
+
+let create ~max =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    ready = Lru.create ~cap:max;
+    inflight = Hashtbl.create 64;
+    donors = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    joins = 0;
+    remaps = 0;
+    evictions = 0;
+  }
+
+type claim = Hit of outcome | Joined of outcome | Owner of outcome option
+
+(* caller holds [t.mu] *)
+let find_donor t ~key ~fp =
+  match Hashtbl.find_opt t.donors fp with
+  | Some dkey when dkey <> key -> (
+      match Lru.find t.ready dkey with
+      | Some (_, o) when o.solved -> Some o
+      | _ ->
+          (* evicted (or overwritten unsolved — cannot happen, only
+             solved outcomes are registered): drop the stale pointer *)
+          Hashtbl.remove t.donors fp;
+          None)
+  | _ -> None
+
+let acquire t ~key ~fp =
+  Mutex.protect t.mu (fun () ->
+      let waited = ref false in
+      let rec loop () =
+        match Lru.find t.ready key with
+        | Some (_, o) ->
+            if !waited then begin
+              t.joins <- t.joins + 1;
+              Joined o
+            end
+            else begin
+              t.hits <- t.hits + 1;
+              Hit o
+            end
+        | None ->
+            if Hashtbl.mem t.inflight key then begin
+              waited := true;
+              Condition.wait t.cond t.mu;
+              loop ()
+            end
+            else begin
+              (* fresh miss, or an aborted owner's key: inherit it *)
+              Hashtbl.replace t.inflight key ();
+              t.misses <- t.misses + 1;
+              Owner (find_donor t ~key ~fp)
+            end
+      in
+      loop ())
+
+let fulfill t ~key ~fp o =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.remove t.inflight key;
+      (match Lru.add t.ready key (fp, o) with
+      | Some (ekey, (efp, _)) ->
+          t.evictions <- t.evictions + 1;
+          (match Hashtbl.find_opt t.donors efp with
+          | Some k when String.equal k ekey -> Hashtbl.remove t.donors efp
+          | _ -> ())
+      | None -> ());
+      if o.solved && o.lifted <> None then Hashtbl.replace t.donors fp key;
+      Condition.broadcast t.cond)
+
+let abort t ~key =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.remove t.inflight key;
+      Condition.broadcast t.cond)
+
+type stats = {
+  hits : int;
+  misses : int;
+  joins : int;
+  remaps : int;
+  evictions : int;
+  inflight : int;
+  entries : int;
+}
+
+let note_remap t = Mutex.protect t.mu (fun () -> t.remaps <- t.remaps + 1)
+
+let stats t =
+  Mutex.protect t.mu (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        joins = t.joins;
+        remaps = t.remaps;
+        evictions = t.evictions;
+        inflight = Hashtbl.length t.inflight;
+        entries = Lru.length t.ready;
+      })

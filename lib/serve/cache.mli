@@ -1,0 +1,87 @@
+(** The fingerprint-keyed result cache: single-flight, LRU, with a
+    donor index for constant/alpha-remapping.
+
+    One entry per {e exact request identity} — the canonical fingerprint
+    plus everything else that determines the lifted output byte for byte
+    (constant pool, query name, parameter names, method/budget digest;
+    the server composes the key). Identical concurrent requests
+    {e single-flight}: the first becomes the owner and runs the search,
+    the rest block on the entry's condition and wake with the owner's
+    outcome; an aborted owner (exception, kill) wakes the waiters and
+    exactly one of them inherits ownership, so no search is lost and
+    none is duplicated.
+
+    A second index maps the bare canonical fingerprint to the most
+    recent {e solved} entry. A new owner whose fingerprint matches a
+    donor gets that outcome handed back from {!acquire}: the kernel is
+    the same up to naming and constants, so the server can usually
+    re-instantiate the donor's template against the new kernel's names
+    and constant pool and re-validate — skipping the search entirely —
+    instead of searching from scratch.
+
+    Ready entries evict LRU at [max]; in-flight entries are pinned (a
+    waiter holds a reference) and never evicted — at most one per
+    concurrently admitted request, so residency is bounded by
+    [max + jobs]. All counters mutate under the cache mutex: no atomics,
+    and a [stats] snapshot is internally consistent. *)
+
+type outcome = {
+  solved : bool;
+  lifted : lifted option;  (** present iff [solved] *)
+  attempts : int;
+  expansions : int;
+  instantiations : int;
+  failure : string option;
+}
+
+(** What a solved entry remembers — enough to replay the result for its
+    own key (the rendered [taco]) and to remap it onto an
+    alpha/constant-variant kernel ([template] + positional bindings). *)
+and lifted = {
+  taco : string;  (** concrete program rendered over this entry's names *)
+  template : Stagg_taco.Ast.program;
+  tensor_pos : (string * int) list;
+      (** template symbol → parameter position in the signature's
+          argument list (positions survive renaming; names do not) *)
+  const_idx : int option;
+      (** index of the bound constant in the kernel's constant pool, for
+          rebinding through a variant kernel's pool *)
+}
+
+type t
+
+val create : max:int -> t
+
+type claim =
+  | Hit of outcome  (** ready entry, no waiting *)
+  | Joined of outcome  (** waited out another request's in-flight search *)
+  | Owner of outcome option
+      (** this caller must {!fulfill} or {!abort} the key; the payload is
+          a same-fingerprint donor outcome to attempt a remap from, if
+          one is cached *)
+
+(** Blocks while the key is in flight elsewhere. *)
+val acquire : t -> key:string -> fp:int -> claim
+
+(** Publish the owner's outcome and wake all waiters. *)
+val fulfill : t -> key:string -> fp:int -> outcome -> unit
+
+(** Owner failed without an outcome: wake the waiters; the first to wake
+    inherits ownership, the rest re-wait. *)
+val abort : t -> key:string -> unit
+
+type stats = {
+  hits : int;
+  misses : int;  (** admissions that became owner (includes inherited) *)
+  joins : int;
+  remaps : int;  (** owner outcomes fulfilled via donor remap *)
+  evictions : int;
+  inflight : int;  (** currently in-flight searches *)
+  entries : int;  (** ready entries resident *)
+}
+
+(** Count a successful donor remap (the server decides — the cache
+    cannot tell a remapped fulfillment from a searched one). *)
+val note_remap : t -> unit
+
+val stats : t -> stats

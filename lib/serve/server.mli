@@ -1,0 +1,78 @@
+(** Lift-as-a-service: the [stagg serve] request loop.
+
+    The server accepts line-delimited JSON requests, runs each through
+    the standard lifting pipeline (trace oracle — no LLM in the loop)
+    and answers with line-delimited JSON responses. Request fields:
+
+    - ["c"] (required) — the mini-C kernel source;
+    - ["sig"] (required) — the tensor signature in {!Stagg_minic.Sigspec}
+      syntax;
+    - ["id"] — the query name. Defaults to the function's own name.
+      The name seeds example generation exactly as the direct pipeline
+      does, so a request named like a benchmark lifts byte-identically
+      to [Pipeline.run];
+    - ["method"] — ["trace"] (default) or ["trace+llm"] (the latter
+      degrades to trace-only: a server has no LLM transcript);
+    - ["timeout_s"], ["max_attempts"], ["max_expansions"] — per-request
+      budget overrides (each capped at the method default);
+    - ["op"] — ["lift"] (default), ["stats"] (telemetry-only response),
+      or ["shutdown"] (acknowledge and stop the serving loop).
+
+    Results are memoized in a {!Cache}: single-flight per exact request
+    identity, donor-remap across alpha/constant-variant kernels (the
+    remapped candidate is re-validated on the requester's own examples,
+    and BMC-verified, before it is served), LRU eviction at
+    [cache_max]. The response's ["cache"] field says which path
+    answered: ["miss"] (searched), ["hit"], ["join"] (waited out a
+    concurrent identical search), or ["remap"].
+
+    Each admitted request claims one domain from the process-wide
+    {!Stagg_util.Pool} budget and releases it on every exit path, so a
+    long-lived server never leaks its allowance across requests —
+    nested parallel constructs inside a search see the budget honestly
+    drained. Each server instance gets a fresh {e epoch}, which scopes
+    the validation memo: verdicts never bleed between epochs, while
+    requests within one epoch still share them.
+
+    Per-response telemetry reports the request's own validator-memo
+    traffic as a delta of two monotonic snapshots — exact when requests
+    are processed sequentially ([jobs = 1]), a process-wide
+    approximation under concurrency. *)
+
+type config = {
+  jobs : int;  (** concurrent request processors; 1 = caller's domain only *)
+  cache_max : int;  (** ready-entry capacity of the result cache *)
+  verify : bool;  (** BMC-verify searched and remapped results (default) *)
+}
+
+val default_config : config
+
+type t
+
+(** Fresh server state (cache, epoch, sequence counter). *)
+val create : ?config:config -> unit -> t
+
+(** The server's validation-memo epoch (unique per [create] in this
+    process). *)
+val epoch : t -> int
+
+val cache_stats : t -> Cache.stats
+
+(** [process_line t ~seq line] — handle one request line, return the
+    response line (no trailing newline). Never raises: malformed input
+    and internal errors become ["status":"error"] responses. *)
+val process_line : t -> seq:int -> string -> string
+
+(** [run_lines t lines] — process a batch, [jobs]-wide, responses in
+    request order. The in-process entry point for tests and the load
+    bench. *)
+val run_lines : t -> string list -> string list
+
+(** Serve stdin → stdout until EOF or a shutdown request. Responses are
+    emitted in request order; at most [jobs] requests are in flight. *)
+val run_stdio : t -> unit
+
+(** Serve a Unix-domain socket (serial accept; [jobs]-wide within a
+    connection) until a shutdown request. Replaces any stale socket
+    file at [path]. *)
+val run_socket : t -> path:string -> unit

@@ -73,53 +73,68 @@ let check_concrete ~signature ~examples p = check (prepare ~signature ~examples)
 
 (* ---- validator telemetry ----
 
-   Process-wide atomic counters: verdict-memo traffic (including adds the
-   [memo_max] backstop rejects, which were previously dropped silently) and
-   template-compilation traffic for the batched path. Monotonic across the
-   campaign; [reset_stats] is for tests. *)
+   Process-wide counters: verdict-memo traffic (including entries the
+   bounded memo evicts, which were previously dropped silently) and
+   template-compilation traffic for the batched path.
+
+   The underlying atomics are MONOTONIC — nothing ever writes them
+   backwards. [reset_stats] subtracts instead: it snapshots the current
+   totals into per-counter baselines and [stats] reports
+   [total - baseline]. A reset racing concurrent [Atomic.incr]s can
+   therefore never lose an increment (the old [Atomic.set c 0] could:
+   an increment landing between the read and the zeroing vanished), and
+   two [stats] snapshots always yield an exact interval delta — the
+   serve path meters each request that way rather than resetting. *)
 
 type stats = {
   memo_hits : int;
   memo_misses : int;
-  memo_rejected : int;  (** adds dropped by the [memo_max] backstop *)
+  memo_evictions : int;  (** entries dropped by generation rotation *)
   template_compiles : int;  (** [compile_template] runs (template-cache misses) *)
   template_cache_hits : int;
-  template_cache_rejected : int;  (** adds dropped by the cache cap *)
+  template_cache_evictions : int;  (** LRU entries displaced at the cache cap *)
   template_overflows : int;  (** templates over MAXRANK: per-candidate fallback *)
 }
 
-let c_memo_hits = Atomic.make 0
-let c_memo_misses = Atomic.make 0
-let c_memo_rejected = Atomic.make 0
-let c_template_compiles = Atomic.make 0
-let c_template_cache_hits = Atomic.make 0
-let c_template_cache_rejected = Atomic.make 0
-let c_template_overflows = Atomic.make 0
-let bump c = Atomic.incr c
+type counter = { total : int Atomic.t; baseline : int Atomic.t }
+
+let counter () = { total = Atomic.make 0; baseline = Atomic.make 0 }
+let c_memo_hits = counter ()
+let c_memo_misses = counter ()
+let c_memo_evictions = counter ()
+let c_template_compiles = counter ()
+let c_template_cache_hits = counter ()
+let c_template_cache_evictions = counter ()
+let c_template_overflows = counter ()
+
+let all_counters =
+  [
+    c_memo_hits;
+    c_memo_misses;
+    c_memo_evictions;
+    c_template_compiles;
+    c_template_cache_hits;
+    c_template_cache_evictions;
+    c_template_overflows;
+  ]
+
+let bump c = Atomic.incr c.total
+let bump_by c n = if n > 0 then ignore (Atomic.fetch_and_add c.total n)
+let read c = Atomic.get c.total - Atomic.get c.baseline
 
 let stats () =
   {
-    memo_hits = Atomic.get c_memo_hits;
-    memo_misses = Atomic.get c_memo_misses;
-    memo_rejected = Atomic.get c_memo_rejected;
-    template_compiles = Atomic.get c_template_compiles;
-    template_cache_hits = Atomic.get c_template_cache_hits;
-    template_cache_rejected = Atomic.get c_template_cache_rejected;
-    template_overflows = Atomic.get c_template_overflows;
+    memo_hits = read c_memo_hits;
+    memo_misses = read c_memo_misses;
+    memo_evictions = read c_memo_evictions;
+    template_compiles = read c_template_compiles;
+    template_cache_hits = read c_template_cache_hits;
+    template_cache_evictions = read c_template_cache_evictions;
+    template_overflows = read c_template_overflows;
   }
 
 let reset_stats () =
-  List.iter
-    (fun c -> Atomic.set c 0)
-    [
-      c_memo_hits;
-      c_memo_misses;
-      c_memo_rejected;
-      c_template_compiles;
-      c_template_cache_hits;
-      c_template_cache_rejected;
-      c_template_overflows;
-    ]
+  List.iter (fun c -> Atomic.set c.baseline (Atomic.get c.total)) all_counters
 
 (* ---- the cross-sweep validation memo ----
 
@@ -140,22 +155,59 @@ let reset_stats () =
    benchmark id contains the separator, silently sharing verdicts
    between distinct (key, program) pairs. *)
 
-let memo : (string * string, bool) Hashtbl.t = Hashtbl.create 4096
+(* Bounded by two-generation rotation rather than the old reject-on-full
+   backstop (which silently stopped memoizing for the rest of the
+   process — fatal in a long-lived server, where the memo must keep
+   admitting the CURRENT request's verdicts). [cur] fills to
+   [memo_gen_max]; rotation then demotes it to [old] and discards the
+   previous [old] (counted as evictions). Lookups consult both
+   generations and re-promote old-generation hits, so any working set
+   under [memo_gen_max] keys survives rotation indefinitely, while total
+   residency never exceeds 2×[memo_gen_max] — the old 500k backstop.
+   Verdicts are deterministic functions of the key, so eviction timing
+   can never change an outcome, only recompute it. *)
+
+let memo_gen_max = 250_000
+
+type memo_state = {
+  mutable cur : (string * string, bool) Hashtbl.t;
+  mutable old : (string * string, bool) Hashtbl.t;
+}
+
+let memo = { cur = Hashtbl.create 4096; old = Hashtbl.create 0 }
 let memo_lock = Mutex.create ()
 let memo_enabled = Atomic.make true
 let set_memo_enabled b = Atomic.set memo_enabled b
-let clear_memo () = Mutex.protect memo_lock (fun () -> Hashtbl.reset memo)
-let memo_size () = Mutex.protect memo_lock (fun () -> Hashtbl.length memo)
 
-(* backstop against unbounded growth on very long campaigns *)
-let memo_max = 500_000
-
-let memo_find key = Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key)
-
-let memo_add key v =
+let clear_memo () =
   Mutex.protect memo_lock (fun () ->
-      if Hashtbl.length memo < memo_max then Hashtbl.replace memo key v
-      else bump c_memo_rejected)
+      memo.cur <- Hashtbl.create 4096;
+      memo.old <- Hashtbl.create 0)
+
+let memo_size () =
+  Mutex.protect memo_lock (fun () -> Hashtbl.length memo.cur + Hashtbl.length memo.old)
+
+(* caller holds [memo_lock] *)
+let memo_insert key v =
+  Hashtbl.replace memo.cur key v;
+  if Hashtbl.length memo.cur >= memo_gen_max then begin
+    bump_by c_memo_evictions (Hashtbl.length memo.old);
+    memo.old <- memo.cur;
+    memo.cur <- Hashtbl.create 4096
+  end
+
+let memo_find key =
+  Mutex.protect memo_lock (fun () ->
+      match Hashtbl.find_opt memo.cur key with
+      | Some _ as hit -> hit
+      | None -> (
+          match Hashtbl.find_opt memo.old key with
+          | Some v as hit ->
+              memo_insert key v;
+              hit
+          | None -> None))
+
+let memo_add key v = Mutex.protect memo_lock (fun () -> memo_insert key v)
 
 (* ---- the per-domain compiled-template cache ----
 
@@ -171,15 +223,22 @@ let memo_add key v =
 
 let template_cache_max = 8192
 
-let template_cache_key : (string, Tcompile.t) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+(* LRU, not drop-on-full: a server's pool domains live for the whole
+   process, and under the old policy the 8192 slots a domain happened to
+   compile first were the only templates it would ever cache — every
+   later request paid a full recompile per pop. With LRU the cache
+   tracks each request's working set; eviction displaces the
+   least-recently-hit template (counted, observable in [stats]). The
+   cache stays domain-local, so no lock: [Lru.t] is single-domain. *)
+let template_cache_key : (string, Tcompile.t) Lru.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Lru.create ~cap:template_cache_max)
 
 (* [None] = the template exceeds the fixed MAXRANK scratch capacity; the
    caller falls back to per-candidate compilation. *)
 let compiled_template_for template : Tcompile.t option =
   let cache = Domain.DLS.get template_cache_key in
   let key = Stagg_taco.Pretty.program_to_string template in
-  match Hashtbl.find_opt cache key with
+  match Lru.find cache key with
   | Some ct ->
       bump c_template_cache_hits;
       Some ct
@@ -190,8 +249,9 @@ let compiled_template_for template : Tcompile.t option =
           None
       | ct ->
           bump c_template_compiles;
-          if Hashtbl.length cache < template_cache_max then Hashtbl.replace cache key ct
-          else bump c_template_cache_rejected;
+          (match Lru.add cache key ct with
+          | Some _ -> bump c_template_cache_evictions
+          | None -> ());
           Some ct)
 
 (* Instantiation observability: the count is accumulated per call (no

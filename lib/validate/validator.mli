@@ -104,21 +104,31 @@ val check_concrete :
   Stagg_taco.Ast.program ->
   bool
 
-(** Validator telemetry: cumulative process-wide counters over the
-    verdict memo (hits, misses, and adds rejected by the 500k backstop —
-    previously dropped silently) and the batched path's per-domain
+(** Validator telemetry: process-wide counters over the verdict memo
+    (hits, misses, and entries evicted by generation rotation — the memo
+    is bounded at ~500k entries but keeps admitting, unlike the old
+    reject-on-full backstop) and the batched path's per-domain LRU
     compiled-template cache. *)
 type stats = {
   memo_hits : int;
   memo_misses : int;
-  memo_rejected : int;
+  memo_evictions : int;
   template_compiles : int;
   template_cache_hits : int;
-  template_cache_rejected : int;
+  template_cache_evictions : int;
   template_overflows : int;
       (** templates whose LHS rank exceeds {!Stagg_taco.Shape.max_rank}:
           validated on the per-candidate fallback path *)
 }
 
+(** Counters since the last {!reset_stats} (process start if never
+    reset). The underlying totals are monotonic; two [stats] snapshots
+    subtract to an exact interval delta even while other domains keep
+    validating — how the serve path meters per-request telemetry. *)
 val stats : unit -> stats
+
+(** Re-baseline {!stats} to zero. Safe to call concurrently with
+    in-flight validation: implemented as baseline capture over monotonic
+    counters, so increments are never lost (the previous implementation
+    zeroed the counters and could drop racing increments). *)
 val reset_stats : unit -> unit

@@ -528,6 +528,94 @@ let qcheck_fpset_parallel =
       done;
       !ok)
 
+(* Kill-mid-request (PR 10): a serve request claims a pool slot, runs,
+   and may die on any path — C parse error, search exception, timeout.
+   The server pairs every [claim_exact] with a [Fun.protect]ed release;
+   this pins the discipline at the pool level, including an exception
+   that crosses a domain join (the killed-worker shape). *)
+let test_pool_claim_release_on_kill () =
+  Pool.with_budget 6 (fun () ->
+      let handle die () =
+        Pool.claim_exact 1;
+        Fun.protect
+          ~finally:(fun () -> Pool.release 1)
+          (fun () -> if die then raise Exit else ())
+      in
+      (try handle true () with Exit -> ());
+      check_int "claim released when the handler raises" 6 (Pool.budget ());
+      handle false ();
+      check_int "claim released on the normal path" 6 (Pool.budget ());
+      let d = Domain.spawn (fun () -> try handle true () with Exit -> ()) in
+      Domain.join d;
+      check_int "claim released when a worker domain dies mid-request" 6 (Pool.budget ()))
+
+(* ---- Lru ---- *)
+
+let test_lru_basic () =
+  let l = Lru.create ~cap:2 in
+  check_int "capacity recorded" 2 (Lru.capacity l);
+  check_bool "fresh add evicts nothing" true (Lru.add l "a" 1 = None);
+  check_bool "fresh add evicts nothing" true (Lru.add l "b" 2 = None);
+  check_bool "find returns the value" true (Lru.find l "a" = Some 1);
+  (* "a" was just promoted, so the third insert displaces "b" *)
+  check_bool "over-cap add evicts the LRU entry" true (Lru.add l "c" 3 = Some ("b", 2));
+  check_bool "evicted key gone" true (Lru.find l "b" = None);
+  check_bool "promoted key survives" true (Lru.find l "a" = Some 1);
+  check_int "length at cap" 2 (Lru.length l)
+
+let test_lru_replace_and_remove () =
+  let l = Lru.create ~cap:2 in
+  ignore (Lru.add l "a" 1);
+  ignore (Lru.add l "b" 2);
+  (* replacing a resident key is not an insertion: nothing may be evicted *)
+  check_bool "replacement evicts nothing" true (Lru.add l "a" 10 = None);
+  check_bool "replacement updates the value" true (Lru.find l "a" = Some 10);
+  check_int "replacement keeps the length" 2 (Lru.length l);
+  Lru.remove l "a";
+  check_bool "removed key gone" true (Lru.find l "a" = None);
+  check_int "length after remove" 1 (Lru.length l);
+  check_bool "room after remove: no eviction" true (Lru.add l "c" 3 = None);
+  check_bool "back at cap: oldest goes" true (Lru.add l "d" 4 = Some ("b", 2));
+  check_bool "mem does not promote" true (Lru.mem l "c");
+  check_bool "mem left c as LRU" true (Lru.add l "e" 5 = Some ("c", 3))
+
+let qcheck_lru_model =
+  (* differential against a naive model: a bounded assoc list with
+     move-to-front on find and tail-drop on overflow *)
+  QCheck.Test.make ~name:"lru: matches the move-to-front model" ~count:200
+    QCheck.(list (pair (int_range 0 9) (option (int_range 0 99))))
+    (fun ops ->
+      let cap = 4 in
+      let l = Lru.create ~cap in
+      let model = ref [] in
+      List.for_all
+        (fun (k, op) ->
+          match op with
+          | Some v ->
+              let evicted = Lru.add l k v in
+              let without = List.remove_assoc k !model in
+              let resident = List.mem_assoc k !model in
+              model := (k, v) :: without;
+              let expect =
+                if resident || List.length !model <= cap then None
+                else begin
+                  match List.rev !model with
+                  | (ek, ev) :: _ ->
+                      model := List.filter (fun (k', _) -> k' <> ek) !model;
+                      Some (ek, ev)
+                  | [] -> None
+                end
+              in
+              evicted = expect && Lru.length l = List.length !model
+          | None -> (
+              match (Lru.find l k, List.assoc_opt k !model) with
+              | None, None -> true
+              | Some v, Some v' when v = v' ->
+                  model := (k, v) :: List.remove_assoc k !model;
+                  true
+              | _ -> false))
+        ops)
+
 (* ---- Prng ---- *)
 
 let test_prng_determinism () =
@@ -617,6 +705,14 @@ let () =
           Alcotest.test_case "zero budget clamps default jobs" `Quick
             test_pool_budget_clamps_default_jobs;
           Alcotest.test_case "nested defaults clamp" `Quick test_pool_nested_defaults_clamp;
+          Alcotest.test_case "claim released on kill-mid-request" `Quick
+            test_pool_claim_release_on_kill;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic add/find/evict" `Quick test_lru_basic;
+          Alcotest.test_case "replace and remove" `Quick test_lru_replace_and_remove;
+          qc qcheck_lru_model;
         ] );
       ( "frontier",
         [ qc qcheck_frontier_matches_single_queue; qc qcheck_frontier_interleaved ] );

@@ -179,6 +179,51 @@ let test_batched_differential () =
     <> None);
   Validator.clear_memo ()
 
+(* ---- the compiled-template cache's LRU regression ----
+
+   The per-domain cache is capped at 8192 compiled templates. The old
+   policy rejected new entries once full: a long-lived serve process
+   would freeze the cache on whichever 8192 templates a domain compiled
+   first and recompile everything else forever. With LRU the cap evicts
+   the least-recently-hit entry instead, so the templates a recent
+   request touched always stay hot. *)
+let test_template_cache_lru_eviction () =
+  let sg =
+    { Sig.args = [ ("N", Sig.Size "N"); ("A", Sig.Arr [ "N" ]); ("R", Sig.Arr [ "N" ]) ]; out = "R" }
+  in
+  let src = "void f(int N, int* A, int* R) { int i; for (i=0;i<N;i++) R[i] = A[i] * 7; }" in
+  let exs =
+    Result.get_ok
+      (Examples.generate ~func:(parse_c src) ~signature:sg ~prng:(Prng.create ~seed:5) ())
+  in
+  let checker = Validator.prepare ~signature:sg ~examples:exs in
+  let validate k =
+    ignore
+      (Validator.validate_counted ~signature:sg ~checker ~consts:[] ~batched:true
+         (parse_t (Printf.sprintf "a(i) = b(i) * %d" k)))
+  in
+  let n = 8192 + 256 in
+  Validator.reset_stats ();
+  for k = 1 to n do
+    validate k
+  done;
+  let st1 = Validator.stats () in
+  check_int "every distinct template compiled once" n st1.Validator.template_compiles;
+  check_bool "the cap evicted, not rejected" true (st1.Validator.template_cache_evictions >= 256);
+  (* the most recent working set is still resident *)
+  Validator.reset_stats ();
+  for k = n - 99 to n do
+    validate k
+  done;
+  let st2 = Validator.stats () in
+  check_int "recent templates all hit" 100 st2.Validator.template_cache_hits;
+  check_int "recent templates never recompiled" 0 st2.Validator.template_compiles;
+  (* while the oldest really was displaced *)
+  Validator.reset_stats ();
+  validate 1;
+  let st3 = Validator.stats () in
+  check_int "the oldest template was evicted and recompiles" 1 st3.Validator.template_compiles
+
 let test_check_concrete () =
   let exs = gen_examples () in
   check_bool "correct concrete accepted" true
@@ -203,6 +248,8 @@ let () =
           Alcotest.test_case "verify hook" `Quick test_validator_verify_hook;
           Alcotest.test_case "constant pool" `Quick test_validator_constants;
           Alcotest.test_case "batched differential" `Quick test_batched_differential;
+          Alcotest.test_case "template cache LRU eviction" `Quick
+            test_template_cache_lru_eviction;
           Alcotest.test_case "check_concrete" `Quick test_check_concrete;
         ] );
     ]
